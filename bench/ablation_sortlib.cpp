@@ -1,0 +1,133 @@
+// Microbenchmarks for design choices DESIGN.md calls out:
+//  - sortlib (the ASPaS-role mergesort) vs std::sort / std::stable_sort,
+//    serial and via the thread pool — the paper credits its single-node
+//    edge over muBLASTP partitioning to the optimized sort [12];
+//  - the explicit permutation-matrix product vs the closed-form stride map
+//    for the distribution policies (§III-B).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "blast/db.hpp"
+#include "blast/partitioner.hpp"
+#include "core/permutation.hpp"
+#include "sortlib/sort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using papar::Rng;
+
+std::vector<std::uint64_t> random_u64(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64();
+  return v;
+}
+
+std::vector<papar::blast::IndexEntry> random_entries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<papar::blast::IndexEntry> v(n);
+  for (auto& e : v) {
+    e.seq_start = static_cast<std::int32_t>(rng.next_below(1 << 30));
+    e.seq_size = static_cast<std::int32_t>(rng.next_below(1000));
+    e.desc_start = static_cast<std::int32_t>(rng.next_below(1 << 30));
+    e.desc_size = static_cast<std::int32_t>(rng.next_below(200));
+  }
+  return v;
+}
+
+void BM_StdSortU64(benchmark::State& state) {
+  const auto base = random_u64(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_StdSortU64)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_StdStableSortU64(benchmark::State& state) {
+  const auto base = random_u64(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto v = base;
+    std::stable_sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_StdStableSortU64)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SortlibMergeSortU64(benchmark::State& state) {
+  const auto base = random_u64(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto v = base;
+    papar::sortlib::merge_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_SortlibMergeSortU64)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SortlibParallelSortU64(benchmark::State& state) {
+  const auto base = random_u64(1 << 18, 1);
+  papar::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    papar::sortlib::parallel_sort(std::span<std::uint64_t>(v),
+                                  std::less<std::uint64_t>(), pool);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_SortlibParallelSortU64)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SortIndexEntriesSortlib(benchmark::State& state) {
+  const auto base = random_entries(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto v = base;
+    papar::sortlib::merge_sort(std::span<papar::blast::IndexEntry>(v),
+                               papar::blast::index_entry_less);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_SortIndexEntriesSortlib)->Arg(1 << 16);
+
+void BM_SortIndexEntriesStd(benchmark::State& state) {
+  const auto base = random_entries(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end(), papar::blast::index_entry_less);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_SortIndexEntriesStd)->Arg(1 << 16);
+
+void BM_StridePermutationClosedForm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  papar::core::StridePermutation perm(16, n);
+  std::vector<std::uint32_t> x(n);
+  std::iota(x.begin(), x.end(), 0);
+  for (auto _ : state) {
+    std::vector<std::uint32_t> y(n);
+    for (std::size_t i = 0; i < n; ++i) y[perm.dest(i)] = x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_StridePermutationClosedForm)->Arg(1 << 16);
+
+void BM_StridePermutationMatrixApply(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = papar::core::PermutationMatrix::from_stride(
+      papar::core::StridePermutation(16, n));
+  std::vector<std::uint32_t> x(n);
+  std::iota(x.begin(), x.end(), 0);
+  for (auto _ : state) {
+    auto y = matrix.apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_StridePermutationMatrixApply)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

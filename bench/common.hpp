@@ -1,0 +1,62 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// (see DESIGN.md §4) and prints the same rows/series the paper reports,
+// annotated with the paper's own numbers for side-by-side reading.
+//
+// Cluster model (also in DESIGN.md §2): one simulated rank stands in for
+// one cluster node — two 8-core Xeon E5-2670 sockets in the paper. Rank
+// compute time is measured thread-CPU time scaled by kNodeScale
+// (16 cores at ~70% parallel efficiency); the fabric is either the
+// RDMA-like model (PaPar on MR-MPI over MVAPICH2) or the Ethernet model
+// (PowerLyra's socket shuffle).
+//
+// PAPAR_BENCH_SCALE (a float, default 1.0) scales dataset sizes for quick
+// smoke runs; results are reported with the effective sizes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mpsim/network.hpp"
+
+namespace papar::bench {
+
+/// One rank = one 16-core node at 70% parallel efficiency.
+inline constexpr double kNodeScale = 1.0 / 11.2;
+
+/// The fabric PaPar's MR-MPI backend runs on.
+inline mp::NetworkModel papar_fabric() {
+  return mp::NetworkModel::rdma().with_compute_scale(kNodeScale);
+}
+
+/// The fabric PowerLyra's socket shuffle runs on.
+inline mp::NetworkModel powerlyra_fabric() {
+  return mp::NetworkModel::ethernet().with_compute_scale(kNodeScale);
+}
+
+/// Dataset scale factor from the environment (default 1.0).
+inline double scale_factor() {
+  if (const char* s = std::getenv("PAPAR_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * scale_factor());
+}
+
+inline void print_header(const char* experiment, const char* paper_summary) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_summary);
+  if (scale_factor() != 1.0) {
+    std::printf("note: datasets scaled by PAPAR_BENCH_SCALE=%.3f\n", scale_factor());
+  }
+  std::printf("==================================================================\n");
+}
+
+}  // namespace papar::bench

@@ -1,0 +1,42 @@
+// Figure 13(b): strong scaling of PaPar's cyclic BLAST partitioning,
+// 1 to 16 nodes, speedup relative to PaPar's own single-node time.
+//
+// The paper reports 14.3x (env_nr) and 7.9x (nr) at 16 nodes.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+
+int main() {
+  using namespace papar;
+  using namespace papar::blast;
+  bench::print_header(
+      "Figure 13(b): PaPar cyclic partitioning, strong scaling 1-16 nodes",
+      "speedup vs 1 node at 16 nodes: 14.3x (env_nr), 7.9x (nr)");
+
+  struct DbCase {
+    const char* name;
+    GeneratorOptions opt;
+    double paper_16;
+  };
+  DbCase dbs[] = {{"env_nr-like", env_nr_like(), 14.3}, {"nr-like", nr_like(), 7.9}};
+
+  std::printf("%-12s %-6s %-12s %-10s\n", "database", "nodes", "time (s)", "speedup");
+  for (auto& c : dbs) {
+    c.opt.sequence_count = bench::scaled(c.opt.sequence_count);
+    const Database db = generate_database(c.opt);
+    double t1 = 0;
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      const auto papar = partition_with_papar(db, nodes, 32, Policy::kCyclic, {},
+                                              bench::papar_fabric());
+      if (nodes == 1) t1 = papar.stats.makespan;
+      std::printf("%-12s %-6d %-12.4f %-10.2f\n", c.name, nodes, papar.stats.makespan,
+                  t1 / papar.stats.makespan);
+    }
+    std::printf("  (paper at 16 nodes: %.1fx)\n", c.paper_16);
+  }
+  std::printf("\nshape to check: monotone speedup with node count for both "
+              "databases, sublinear at 16 nodes.\n");
+  return 0;
+}

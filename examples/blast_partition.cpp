@@ -1,0 +1,72 @@
+// BLAST database partitioning end to end (the paper's first case study).
+//
+// Generates a synthetic protein database in the muBLASTP binary format,
+// partitions it with the PaPar-generated cyclic workflow (sort by encoded
+// sequence length, distribute round-robin), verifies the partitions match
+// the application's own multithreaded partitioner, and writes each
+// partition out as a standalone database with recalculated pointers.
+//
+// Usage: ./examples/blast_partition [sequences] [partitions] [nodes] [outdir]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "blast/search_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace papar;
+  using namespace papar::blast;
+
+  const std::size_t sequences = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  const std::size_t partitions = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const int nodes = argc > 3 ? std::atoi(argv[3]) : 4;
+  const std::string outdir = argc > 4 ? argv[4] : "";
+
+  // A length-clustered database with sequence payload so partitions can be
+  // written out whole.
+  GeneratorOptions opt = env_nr_like();
+  opt.sequence_count = sequences;
+  opt.with_payload = !outdir.empty();
+  const Database db = generate_database(opt);
+  std::printf("generated database: %zu sequences, %lld encoded residues\n",
+              db.sequence_count(),
+              static_cast<long long>(db.index.back().seq_start + db.index.back().seq_size));
+
+  // PaPar: the Fig. 8 workflow on `nodes` simulated nodes.
+  const auto papar = partition_with_papar(db, nodes, partitions, Policy::kCyclic);
+  std::printf("PaPar produced %zu partitions (simulated makespan %.2f ms, "
+              "shuffle %.2f MB)\n",
+              papar.partitions.partitions.size(), papar.stats.makespan * 1e3,
+              static_cast<double>(papar.stats.remote_bytes) / 1e6);
+
+  // The application's own partitioner must agree (correctness claim).
+  ThreadPool pool(4);
+  const auto baseline = partition_baseline(db.index, partitions, Policy::kCyclic, pool);
+  std::printf("partitions identical to muBLASTP partitioner: %s\n",
+              papar.partitions == baseline ? "yes" : "NO (bug!)");
+
+  // Show why cyclic matters: simulated search skew vs the block method.
+  const auto batch = make_query_batch(db, QueryBatch::k500, 99);
+  const auto cyclic_sim = simulate_search(papar.partitions, batch);
+  const auto block_sim =
+      simulate_search(partition_reference(db.index, partitions, Policy::kBlock), batch);
+  std::printf("simulated batch-500 search: cyclic imbalance %.3f, block %.3f "
+              "(block/cyclic makespan = %.2fx)\n",
+              cyclic_sim.imbalance, block_sim.imbalance,
+              block_sim.makespan / cyclic_sim.makespan);
+
+  // Optionally materialize each partition as a standalone database.
+  if (!outdir.empty()) {
+    std::filesystem::create_directories(outdir);
+    for (std::size_t p = 0; p < papar.partitions.partitions.size(); ++p) {
+      const Database part = extract_partition(db, papar.partitions.partitions[p]);
+      write_database(outdir + "/part" + std::to_string(p), part);
+    }
+    std::printf("wrote %zu partition databases under %s\n",
+                papar.partitions.partitions.size(), outdir.c_str());
+  }
+  return 0;
+}

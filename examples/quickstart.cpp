@@ -1,0 +1,86 @@
+// Quickstart: partition a tiny dataset with a PaPar workflow.
+//
+// This walks the whole user-facing surface in one file:
+//   1. describe the input format with an InputData configuration (Fig. 4),
+//   2. describe the partitioning algorithm with a Workflow configuration
+//      (sort by a key, then distribute round-robin — Fig. 8's shape),
+//   3. run it on a simulated cluster and inspect the partitions.
+//
+// Build and run:   ./examples/quickstart
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "util/bytes.hpp"
+#include "xml/xml.hpp"
+
+int main() {
+  using namespace papar;
+
+  // 1. The input: binary records of two int32 fields {id, size}.
+  const char* input_config = R"(
+    <input id="demo" name="demo records">
+      <input_format>binary</input_format>
+      <element>
+        <value name="id" type="integer"/>
+        <value name="size" type="integer"/>
+      </element>
+    </input>)";
+  const auto spec = schema::parse_input_spec(xml::parse(input_config));
+
+  // 2. The workflow: sort by `size`, then deal out cyclically — the same
+  //    two-operator shape as the paper's muBLASTP workflow.
+  const char* workflow_config = R"(
+    <workflow id="demo_partition" name="demo partition">
+      <arguments>
+        <param name="input_path" type="hdfs" format="demo"/>
+        <param name="output_path" type="hdfs" format="demo"/>
+        <param name="num_partitions" type="integer"/>
+      </arguments>
+      <operators>
+        <operator id="sort" operator="Sort">
+          <param name="inputPath" value="$input_path"/>
+          <param name="outputPath" value="/tmp/sorted"/>
+          <param name="key" value="size"/>
+        </operator>
+        <operator id="distr" operator="Distribute">
+          <param name="inputPath" value="$sort.outputPath"/>
+          <param name="outputPath" value="$output_path"/>
+          <param name="distrPolicy" value="roundRobin"/>
+          <param name="numPartitions" value="$num_partitions"/>
+        </operator>
+      </operators>
+    </workflow>)";
+
+  // 3. Twelve records with sizes descending from 120 to 10.
+  ByteWriter file;
+  for (std::int32_t i = 0; i < 12; ++i) {
+    file.put<std::int32_t>(i);                  // id
+    file.put<std::int32_t>(120 - 10 * i);       // size
+  }
+  const std::string content(reinterpret_cast<const char*>(file.data()), file.size());
+
+  // 4. Run on 4 simulated nodes, producing 3 partitions.
+  core::WorkflowEngine engine(
+      core::parse_workflow(xml::parse(workflow_config)), {{"demo", spec}},
+      {{"input_path", "demo.bin"}, {"output_path", "out"}, {"num_partitions", "3"}});
+  mp::Runtime runtime(4);
+  const auto result = engine.run(runtime, {{"demo.bin", content}});
+
+  // 5. Inspect: each partition holds every third record of the sorted
+  //    order, so sizes within a partition ascend with stride 30.
+  std::printf("quickstart: %zu records -> %zu partitions on %d simulated nodes\n",
+              result.total_records(), result.partitions.size(), runtime.size());
+  const auto decoded = result.decode();
+  for (std::size_t p = 0; p < decoded.size(); ++p) {
+    std::printf("  partition %zu:", p);
+    for (const auto& rec : decoded[p]) {
+      std::printf(" {id=%lld,size=%lld}", static_cast<long long>(rec.as_int(0)),
+                  static_cast<long long>(rec.as_int(1)));
+    }
+    std::printf("\n");
+  }
+  std::printf("simulated makespan: %.1f us, shuffle traffic: %llu bytes\n",
+              result.stats.makespan * 1e6,
+              static_cast<unsigned long long>(result.stats.remote_bytes));
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "blast/db.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace papar::blast {
+
+void Database::validate() const {
+  std::int64_t seq_cursor = 0;
+  std::int64_t desc_cursor = 0;
+  for (const auto& e : index) {
+    if (e.seq_size < 0 || e.desc_size < 0) {
+      throw DataError("negative size in index entry");
+    }
+    if (e.seq_start != seq_cursor || e.desc_start != desc_cursor) {
+      throw DataError("index entries do not tile the payload areas");
+    }
+    seq_cursor += e.seq_size;
+    desc_cursor += e.desc_size;
+  }
+  if (!sequence_data.empty() &&
+      seq_cursor != static_cast<std::int64_t>(sequence_data.size())) {
+    throw DataError("sequence payload size disagrees with the index");
+  }
+  if (!description_data.empty() &&
+      desc_cursor != static_cast<std::int64_t>(description_data.size())) {
+    throw DataError("description payload size disagrees with the index");
+  }
+}
+
+std::string index_file_image(const Database& db) {
+  ByteWriter w(kHeaderSize + db.index.size() * sizeof(IndexEntry));
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put<std::uint32_t>(1);  // format version
+  w.put<std::uint64_t>(db.index.size());
+  w.put<std::uint64_t>(db.sequence_data.size());
+  // Pad to the fixed 32-byte header.
+  while (w.size() < kHeaderSize) w.put<char>('\0');
+  for (const auto& e : db.index) w.put(e);
+  const auto& bytes = w.bytes();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+std::vector<IndexEntry> parse_index_image(const std::string& image) {
+  if (image.size() < kHeaderSize) throw DataError("index file too short");
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw DataError("bad index file magic");
+  }
+  if ((image.size() - kHeaderSize) % sizeof(IndexEntry) != 0) {
+    throw DataError("ragged index file");
+  }
+  const std::size_t n = (image.size() - kHeaderSize) / sizeof(IndexEntry);
+  std::vector<IndexEntry> entries(n);
+  std::memcpy(entries.data(), image.data() + kHeaderSize, n * sizeof(IndexEntry));
+  ByteReader header(image.data() + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
+  (void)header.get<std::uint32_t>();  // version
+  const auto declared = header.get<std::uint64_t>();
+  if (declared != n) throw DataError("index header count disagrees with file size");
+  return entries;
+}
+
+void write_database(const std::string& path, const Database& db) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw DataError("cannot open " + path);
+    const std::string image = index_file_image(db);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  {
+    std::ofstream out(path + ".seq", std::ios::binary | std::ios::trunc);
+    out.write(db.sequence_data.data(),
+              static_cast<std::streamsize>(db.sequence_data.size()));
+  }
+  {
+    std::ofstream out(path + ".desc", std::ios::binary | std::ios::trunc);
+    out.write(db.description_data.data(),
+              static_cast<std::streamsize>(db.description_data.size()));
+  }
+}
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+}  // namespace
+
+Database read_database(const std::string& path) {
+  Database db;
+  db.index = parse_index_image(slurp(path));
+  db.sequence_data = slurp(path + ".seq");
+  db.description_data = slurp(path + ".desc");
+  db.validate();
+  return db;
+}
+
+schema::Schema index_schema() {
+  schema::Schema s;
+  s.add_field("seq_start", schema::FieldType::kInt32)
+      .add_field("seq_size", schema::FieldType::kInt32)
+      .add_field("desc_start", schema::FieldType::kInt32)
+      .add_field("desc_size", schema::FieldType::kInt32);
+  return s;
+}
+
+std::vector<IndexEntry> recalculate_pointers(const std::vector<IndexEntry>& entries) {
+  std::vector<IndexEntry> out;
+  out.reserve(entries.size());
+  std::int32_t seq_cursor = 0;
+  std::int32_t desc_cursor = 0;
+  for (const auto& e : entries) {
+    out.push_back(IndexEntry{seq_cursor, e.seq_size, desc_cursor, e.desc_size});
+    seq_cursor += e.seq_size;
+    desc_cursor += e.desc_size;
+  }
+  return out;
+}
+
+Database extract_partition(const Database& db, const std::vector<IndexEntry>& entries) {
+  Database part;
+  part.index = recalculate_pointers(entries);
+  part.sequence_data.reserve([&] {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += static_cast<std::size_t>(e.seq_size);
+    return n;
+  }());
+  for (const auto& e : entries) {
+    if (static_cast<std::size_t>(e.seq_start) + static_cast<std::size_t>(e.seq_size) >
+        db.sequence_data.size()) {
+      throw DataError("index entry points past the sequence payload");
+    }
+    part.sequence_data.append(db.sequence_data, static_cast<std::size_t>(e.seq_start),
+                              static_cast<std::size_t>(e.seq_size));
+    if (static_cast<std::size_t>(e.desc_start) + static_cast<std::size_t>(e.desc_size) >
+        db.description_data.size()) {
+      throw DataError("index entry points past the description payload");
+    }
+    part.description_data.append(db.description_data,
+                                 static_cast<std::size_t>(e.desc_start),
+                                 static_cast<std::size_t>(e.desc_size));
+  }
+  part.validate();
+  return part;
+}
+
+}  // namespace papar::blast

@@ -1,0 +1,72 @@
+// muBLASTP-style protein database files.
+//
+// The database layout follows the paper's Fig. 4: a 32-byte header, then a
+// packed index of four-int32 tuples {seq_start, seq_size, desc_start,
+// desc_size}, one per sequence. seq_start/desc_start point into the encoded
+// sequence and description payload areas, which this implementation stores
+// in two sibling files (<db>.seq, <db>.desc), mirroring how muBLASTP keeps
+// the index separate from the bulk data. The partitioners only touch the
+// index; payloads are sliced when partitions are written out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/schema.hpp"
+
+namespace papar::blast {
+
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr char kMagic[8] = {'M', 'U', 'B', 'L', 'A', 'S', 'T', 'P'};
+
+struct IndexEntry {
+  std::int32_t seq_start = 0;
+  std::int32_t seq_size = 0;
+  std::int32_t desc_start = 0;
+  std::int32_t desc_size = 0;
+
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+static_assert(sizeof(IndexEntry) == 16, "index entries are packed 4x int32");
+
+/// An in-memory database: index plus (optionally empty) payload areas.
+struct Database {
+  std::vector<IndexEntry> index;
+  std::string sequence_data;
+  std::string description_data;
+
+  std::size_t sequence_count() const { return index.size(); }
+
+  /// Validates that every entry points inside the payload areas and that
+  /// entries tile them contiguously (start = previous start + size).
+  void validate() const;
+};
+
+/// Serializes the index file image (header + packed tuples), the exact
+/// format the paper's Fig. 4 InputData configuration describes.
+std::string index_file_image(const Database& db);
+
+/// Parses an index file image back into entries.
+std::vector<IndexEntry> parse_index_image(const std::string& image);
+
+/// Writes <path> (index), <path>.seq and <path>.desc.
+void write_database(const std::string& path, const Database& db);
+
+/// Reads a database written by write_database.
+Database read_database(const std::string& path);
+
+/// The Schema matching the index tuple (used to drive PaPar workflows).
+schema::Schema index_schema();
+
+/// Recalculates seq_start/desc_start so a partition's entries tile its own
+/// payload area contiguously — the user-defined add-on operator the paper
+/// mentions for muBLASTP output adjustment (§III-C).
+std::vector<IndexEntry> recalculate_pointers(const std::vector<IndexEntry>& entries);
+
+/// Extracts one partition as a standalone database, slicing the payload
+/// areas per entry and recalculating pointers.
+Database extract_partition(const Database& db, const std::vector<IndexEntry>& entries);
+
+}  // namespace papar::blast

@@ -1,0 +1,117 @@
+#include "blast/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace papar::blast {
+
+GeneratorOptions env_nr_like() {
+  GeneratorOptions opt;
+  opt.sequence_count = 60000;
+  opt.seed = 0xE41;
+  // env_nr is dominated by short environmental-sample fragments.
+  opt.bulk_fraction = 0.95;
+  opt.bulk_mean = 45.0;
+  opt.tail_alpha = 1.9;
+  return opt;
+}
+
+GeneratorOptions nr_like() {
+  GeneratorOptions opt;
+  opt.sequence_count = 850000;
+  opt.seed = 0x17;
+  // nr carries a heavier tail of long curated proteins.
+  opt.bulk_fraction = 0.90;
+  opt.bulk_mean = 60.0;
+  opt.tail_alpha = 1.5;
+  return opt;
+}
+
+std::int32_t sample_length(const GeneratorOptions& opt, Rng& rng) {
+  double len;
+  if (rng.next_double() < opt.bulk_fraction) {
+    len = opt.min_length + rng.next_exponential(1.0 / opt.bulk_mean);
+  } else {
+    len = rng.next_pareto(opt.tail_xm, opt.tail_alpha);
+  }
+  len = std::min(len, static_cast<double>(opt.max_length));
+  return std::max(opt.min_length, static_cast<std::int32_t>(len));
+}
+
+namespace {
+constexpr char kResidues[] = "ACDEFGHIKLMNPQRSTVWY";
+}
+
+Database generate_database(const GeneratorOptions& opt) {
+  PAPAR_CHECK_MSG(opt.sequence_count > 0, "empty database requested");
+  Rng rng(opt.seed);
+  Database db;
+  db.index.reserve(opt.sequence_count);
+  std::int32_t seq_cursor = 0;
+  std::int32_t desc_cursor = 0;
+  std::size_t remaining_in_family = 0;
+  double family_length = 0.0;
+  for (std::size_t i = 0; i < opt.sequence_count; ++i) {
+    if (remaining_in_family == 0) {
+      family_length = static_cast<double>(sample_length(opt, rng));
+      remaining_in_family =
+          1 + static_cast<std::size_t>(
+                  rng.next_exponential(1.0 / std::max(opt.family_size_mean, 1.0)));
+    }
+    --remaining_in_family;
+    const double jitter = 1.0 + opt.family_jitter * (2.0 * rng.next_double() - 1.0);
+    const auto seq_size = std::clamp(static_cast<std::int32_t>(family_length * jitter),
+                                     opt.min_length, opt.max_length);
+    // Descriptions: short free-text header, loosely correlated with length.
+    const auto desc_size =
+        static_cast<std::int32_t>(24 + rng.next_below(96));
+    db.index.push_back(IndexEntry{seq_cursor, seq_size, desc_cursor, desc_size});
+    if (opt.with_payload) {
+      for (std::int32_t j = 0; j < seq_size; ++j) {
+        db.sequence_data += kResidues[rng.next_below(sizeof(kResidues) - 1)];
+      }
+      db.description_data += ">seq" + std::to_string(i);
+      db.description_data.resize(
+          static_cast<std::size_t>(desc_cursor + desc_size), ' ');
+    }
+    seq_cursor += seq_size;
+    desc_cursor += desc_size;
+  }
+  if (opt.with_payload) db.validate();
+  return db;
+}
+
+std::vector<std::int32_t> make_query_batch(const Database& db, QueryBatch batch,
+                                           std::uint64_t seed, std::size_t batch_size) {
+  PAPAR_CHECK_MSG(!db.index.empty(), "cannot sample queries from an empty database");
+  const std::int32_t cap = batch == QueryBatch::k100   ? 100
+                           : batch == QueryBatch::k500 ? 500
+                                                       : 0;
+  Rng rng(seed);
+  std::vector<std::int32_t> lengths;
+  lengths.reserve(batch_size);
+  std::size_t attempts = 0;
+  while (lengths.size() < batch_size) {
+    const auto& e = db.index[rng.next_below(db.index.size())];
+    if (cap == 0 || e.seq_size <= cap) {
+      lengths.push_back(e.seq_size);
+    }
+    if (++attempts > batch_size * 10000) {
+      throw DataError("could not sample a query batch under the length cap");
+    }
+  }
+  return lengths;
+}
+
+const char* query_batch_name(QueryBatch batch) {
+  switch (batch) {
+    case QueryBatch::k100: return "100";
+    case QueryBatch::k500: return "500";
+    case QueryBatch::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace papar::blast

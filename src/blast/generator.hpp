@@ -1,0 +1,76 @@
+// Synthetic protein database generation.
+//
+// Substitution for the paper's env_nr (≈6 M sequences, 1.7 GB) and nr
+// (≈85 M sequences, 53 GB) NCBI databases (DESIGN.md §2): a deterministic
+// generator that reproduces their relevant shape — "most of the sequences
+// in two databases are less than 100 letters" with a heavy right tail — at
+// laptop scale while keeping the 1:14 size ratio between the two.
+//
+// Length model: a mixture of a short-sequence bulk (shifted exponential,
+// mode well under 100 residues) and a Pareto tail of long sequences. Query
+// batches follow §IV-A: 100 random sequences, optionally capped at 100 or
+// 500 letters ("100", "500", "mixed").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blast/db.hpp"
+#include "util/rng.hpp"
+
+namespace papar::blast {
+
+struct GeneratorOptions {
+  std::size_t sequence_count = 10000;
+  std::uint64_t seed = 1;
+  /// Fraction of sequences drawn from the short bulk (rest from the tail).
+  double bulk_fraction = 0.92;
+  /// Mean residues of the short bulk above the minimum.
+  double bulk_mean = 55.0;
+  /// Pareto shape of the long tail (smaller = heavier tail).
+  double tail_alpha = 1.6;
+  /// Pareto scale (minimum) of the long tail, in residues.
+  double tail_xm = 150.0;
+  /// Minimum sequence length in residues.
+  std::int32_t min_length = 11;
+  /// Maximum sequence length (protein DBs top out in the tens of
+  /// thousands; nr's longest are ~36k).
+  std::int32_t max_length = 36000;
+  /// Generate residue/description payload bytes (costs memory; the
+  /// partitioning experiments need only the index).
+  bool with_payload = false;
+  /// Real NCBI databases store related sequences adjacently (deposited in
+  /// batches per organism/project), so lengths are autocorrelated along the
+  /// file — which is why contiguous "block" partitions skew. Sequences are
+  /// generated in families sharing a base length; this is the mean family
+  /// size (1 = i.i.d. lengths).
+  double family_size_mean = 48.0;
+  /// Relative jitter of member lengths around the family base length.
+  double family_jitter = 0.15;
+};
+
+/// env_nr-scale preset (60 K sequences, mirroring 6 M at 1/100).
+GeneratorOptions env_nr_like();
+
+/// nr-scale preset (850 K sequences, mirroring 85 M at 1/100).
+GeneratorOptions nr_like();
+
+/// Generates a database; entries tile the payload areas in generation
+/// order, exactly like a freshly formatted muBLASTP database.
+Database generate_database(const GeneratorOptions& options);
+
+/// Draws one sequence length from the options' mixture model.
+std::int32_t sample_length(const GeneratorOptions& options, Rng& rng);
+
+enum class QueryBatch { k100, k500, kMixed };
+
+/// §IV-A query batches: 100 sequences sampled from the database, capped at
+/// 100 letters ("100"), 500 letters ("500"), or uncapped ("mixed").
+std::vector<std::int32_t> make_query_batch(const Database& db, QueryBatch batch,
+                                           std::uint64_t seed,
+                                           std::size_t batch_size = 100);
+
+const char* query_batch_name(QueryBatch batch);
+
+}  // namespace papar::blast

@@ -1,0 +1,161 @@
+#include "blast/partitioner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "core/workflow.hpp"
+#include "sortlib/sort.hpp"
+#include "xml/xml.hpp"
+
+namespace papar::blast {
+
+PartitionedIndex PartitionedIndex::recalculated() const {
+  PartitionedIndex out;
+  out.partitions.reserve(partitions.size());
+  for (const auto& part : partitions) {
+    out.partitions.push_back(recalculate_pointers(part));
+  }
+  return out;
+}
+
+std::size_t PartitionedIndex::total_sequences() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions) n += p.size();
+  return n;
+}
+
+bool index_entry_less(const IndexEntry& a, const IndexEntry& b) {
+  if (a.seq_size != b.seq_size) return a.seq_size < b.seq_size;
+  // Byte order must match the engine's tie-break, which compares the wire
+  // encoding (little-endian packed int32s) lexicographically.
+  return std::memcmp(&a, &b, sizeof(IndexEntry)) < 0;
+}
+
+namespace {
+
+PartitionedIndex deal_out(const std::vector<IndexEntry>& sorted,
+                          std::size_t num_partitions, Policy policy) {
+  PartitionedIndex out;
+  out.partitions.resize(num_partitions);
+  const std::size_t n = sorted.size();
+  if (policy == Policy::kCyclic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.partitions[i % num_partitions].push_back(sorted[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.partitions[i * num_partitions / std::max<std::size_t>(n, 1)].push_back(
+          sorted[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionedIndex partition_reference(std::vector<IndexEntry> index,
+                                     std::size_t num_partitions, Policy policy) {
+  PAPAR_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  if (policy == Policy::kCyclic) {
+    std::sort(index.begin(), index.end(), index_entry_less);
+  }
+  return deal_out(index, num_partitions, policy);
+}
+
+PartitionedIndex partition_baseline(std::vector<IndexEntry> index,
+                                    std::size_t num_partitions, Policy policy,
+                                    ThreadPool& pool) {
+  PAPAR_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  if (policy == Policy::kCyclic) {
+    sortlib::parallel_sort(std::span<IndexEntry>(index), index_entry_less, pool);
+  }
+  return deal_out(index, num_partitions, policy);
+}
+
+std::string blast_input_spec_xml() {
+  return R"(<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>)";
+}
+
+std::string blast_workflow_xml(Policy policy) {
+  if (policy == Policy::kCyclic) {
+    // Fig. 8 essentially verbatim (including the "ouputPath" spelling).
+    return R"(<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>)";
+  }
+  // The default "block" method is a single distribute job.
+  return R"(<workflow id="blast_partition_block" name="BLAST block partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="block"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>)";
+}
+
+PaparBlastResult partition_with_papar(const Database& db, int nranks,
+                                      std::size_t num_partitions, Policy policy,
+                                      core::EngineOptions options,
+                                      mp::NetworkModel network) {
+  const auto spec = schema::parse_input_spec(xml::parse(blast_input_spec_xml()));
+  auto wf = core::parse_workflow(xml::parse(blast_workflow_xml(policy)));
+  core::WorkflowEngine engine(std::move(wf), {{"blast_db", spec}},
+                              {{"input_path", "db.index"},
+                               {"output_path", "partitions"},
+                               {"num_partitions", std::to_string(num_partitions)}},
+                              options);
+  mp::Runtime runtime(nranks, network);
+  auto result = engine.run(runtime, {{"db.index", index_file_image(db)}});
+
+  PaparBlastResult out;
+  out.stats = result.stats;
+  out.partitions.partitions.resize(num_partitions);
+  for (std::size_t p = 0; p < result.partitions.size(); ++p) {
+    auto& dest = out.partitions.partitions[p];
+    dest.reserve(result.partitions[p].size());
+    for (const auto& wire : result.partitions[p]) {
+      PAPAR_CHECK_MSG(wire.size() == sizeof(IndexEntry), "bad partition record size");
+      IndexEntry e;
+      std::memcpy(&e, wire.data(), sizeof(e));
+      dest.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace papar::blast

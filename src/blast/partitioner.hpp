@@ -1,0 +1,80 @@
+// muBLASTP database partitioning: the application baseline and the
+// PaPar-driven equivalent.
+//
+// Two policies from §IV-A:
+//   - "block":  the default method — contiguous ranges with near-equal
+//     sequence counts, no reordering.
+//   - "cyclic": the optimized method [36] — sort the index by encoded
+//     sequence length, then deal entries round-robin, so every partition
+//     sees the full length distribution (similar counts, mixed lengths,
+//     similar encoded sizes).
+//
+// The baseline is the paper's comparator: a single-node multithreaded
+// implementation ("the current implementation of muBLASTP partitioning only
+// provides a multithreaded method"). The PaPar path drives the exact
+// workflow configuration of Fig. 8 through the engine. Both sort with the
+// same total order (seq_size, then tuple bytes), so partitions are
+// byte-identical — the paper's correctness claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blast/db.hpp"
+#include "core/engine.hpp"
+#include "mpsim/network.hpp"
+#include "util/thread_pool.hpp"
+
+namespace papar::blast {
+
+enum class Policy { kCyclic, kBlock };
+
+struct PartitionedIndex {
+  /// partitions[p] = index entries of partition p, in partition order,
+  /// with their original (whole-database) pointers.
+  std::vector<std::vector<IndexEntry>> partitions;
+
+  /// Same partitions with pointers recalculated per partition (the output
+  /// adjustment add-on of §III-C).
+  PartitionedIndex recalculated() const;
+
+  std::size_t total_sequences() const;
+
+  friend bool operator==(const PartitionedIndex&, const PartitionedIndex&) = default;
+};
+
+/// Total order used by every cyclic partitioner: ascending encoded length,
+/// ties broken by the little-endian tuple bytes (so all implementations
+/// agree on the permutation).
+bool index_entry_less(const IndexEntry& a, const IndexEntry& b);
+
+/// Single-threaded reference implementation (ground truth for tests).
+PartitionedIndex partition_reference(std::vector<IndexEntry> index,
+                                     std::size_t num_partitions, Policy policy);
+
+/// The muBLASTP baseline: multithreaded sort (sortlib) on one node, then
+/// the policy's assignment. This is what Fig. 13(a) compares against.
+PartitionedIndex partition_baseline(std::vector<IndexEntry> index,
+                                    std::size_t num_partitions, Policy policy,
+                                    ThreadPool& pool);
+
+struct PaparBlastResult {
+  PartitionedIndex partitions;
+  mp::RunStats stats;
+};
+
+/// Runs the paper's Fig. 8 workflow (sort + cyclic distribute, or a single
+/// block distribute) through the PaPar engine on `nranks` simulated nodes.
+PaparBlastResult partition_with_papar(const Database& db, int nranks,
+                                      std::size_t num_partitions, Policy policy,
+                                      core::EngineOptions options = {},
+                                      mp::NetworkModel network = mp::NetworkModel::rdma());
+
+/// The Fig. 8 workflow configuration XML used by partition_with_papar
+/// (exposed for examples and documentation).
+std::string blast_workflow_xml(Policy policy);
+
+/// The Fig. 4 InputData configuration XML for the index file.
+std::string blast_input_spec_xml();
+
+}  // namespace papar::blast

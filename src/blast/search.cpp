@@ -1,0 +1,217 @@
+#include "blast/search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace papar::blast {
+
+namespace {
+/// Protein alphabet used by the generator; codes are dense in [0, 20).
+constexpr int kAlphabet = 20;
+
+int residue_code(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'D': return 2;
+    case 'E': return 3;
+    case 'F': return 4;
+    case 'G': return 5;
+    case 'H': return 6;
+    case 'I': return 7;
+    case 'K': return 8;
+    case 'L': return 9;
+    case 'M': return 10;
+    case 'N': return 11;
+    case 'P': return 12;
+    case 'Q': return 13;
+    case 'R': return 14;
+    case 'S': return 15;
+    case 'T': return 16;
+    case 'V': return 17;
+    case 'W': return 18;
+    case 'Y': return 19;
+    default: return -1;
+  }
+}
+}  // namespace
+
+PartitionIndex::PartitionIndex(const Database& db,
+                               const std::vector<IndexEntry>& entries,
+                               const SearchParams& params)
+    : params_(params) {
+  PAPAR_CHECK_MSG(params_.k >= 1 && params_.k <= 6, "seed length out of range");
+  if (db.sequence_data.empty()) {
+    throw DataError("database has no sequence payload (generate with_payload)");
+  }
+  // Copy the partition's residues into contiguous storage.
+  std::size_t total = 0;
+  for (const auto& e : entries) total += static_cast<std::size_t>(e.seq_size);
+  storage_.reserve(total);
+  sequences_.reserve(entries.size());
+  std::vector<std::size_t> starts;
+  starts.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (static_cast<std::size_t>(e.seq_start) + static_cast<std::size_t>(e.seq_size) >
+        db.sequence_data.size()) {
+      throw DataError("index entry points past the sequence payload");
+    }
+    starts.push_back(storage_.size());
+    storage_.append(db.sequence_data, static_cast<std::size_t>(e.seq_start),
+                    static_cast<std::size_t>(e.seq_size));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    sequences_.emplace_back(storage_.data() + starts[i],
+                            static_cast<std::size_t>(entries[i].seq_size));
+  }
+
+  // Bucket count = |alphabet|^k (at most 20^6, but k defaults to 3: 8000).
+  num_buckets_ = 1;
+  for (int i = 0; i < params_.k; ++i) num_buckets_ *= kAlphabet;
+
+  // Two-pass CSR build over all k-mer positions.
+  std::vector<std::uint32_t> counts(num_buckets_ + 1, 0);
+  auto for_each_kmer = [&](auto&& fn) {
+    for (std::uint32_t s = 0; s < sequences_.size(); ++s) {
+      const auto seq = sequences_[s];
+      if (seq.size() < static_cast<std::size_t>(params_.k)) continue;
+      for (std::size_t off = 0; off + params_.k <= seq.size(); ++off) {
+        fn(s, static_cast<std::uint32_t>(off), kmer_code(seq.data() + off));
+      }
+    }
+  };
+  for_each_kmer([&](std::uint32_t, std::uint32_t, std::uint32_t code) {
+    ++counts[code + 1];
+  });
+  for (std::size_t b = 0; b < num_buckets_; ++b) counts[b + 1] += counts[b];
+  bucket_offsets_ = counts;
+  positions_.resize(bucket_offsets_[num_buckets_]);
+  std::vector<std::uint32_t> cursor(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  for_each_kmer([&](std::uint32_t s, std::uint32_t off, std::uint32_t code) {
+    positions_[cursor[code]++] = SeedPos{s, off};
+  });
+}
+
+std::uint32_t PartitionIndex::kmer_code(const char* s) const {
+  std::uint32_t code = 0;
+  for (int i = 0; i < params_.k; ++i) {
+    const int r = residue_code(s[i]);
+    PAPAR_CHECK_MSG(r >= 0, "non-residue character in sequence data");
+    code = code * kAlphabet + static_cast<std::uint32_t>(r);
+  }
+  return code;
+}
+
+std::vector<Hit> PartitionIndex::search(std::string_view query, Stats* stats) const {
+  std::vector<Hit> best;  // best hit per subject, sparse via map-by-sort later
+  // Track the best score per subject with a small open-address cache keyed
+  // by subject id; partitions here are small enough for a flat array.
+  std::vector<std::int32_t> best_score(sequences_.size(), 0);
+  std::vector<Hit> best_hit(sequences_.size());
+
+  if (query.size() < static_cast<std::size_t>(params_.k)) return {};
+  for (std::size_t qoff = 0; qoff + params_.k <= query.size(); ++qoff) {
+    const std::uint32_t code = kmer_code(query.data() + qoff);
+    if (stats != nullptr) ++stats->seed_lookups;
+    const std::uint32_t begin = bucket_offsets_[code];
+    const std::uint32_t end = bucket_offsets_[code + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const SeedPos pos = positions_[i];
+      if (stats != nullptr) ++stats->seed_hits;
+      const auto subject = sequences_[pos.sequence];
+
+      // Ungapped X-drop extension around the seed.
+      if (stats != nullptr) ++stats->extensions;
+      std::int32_t score = params_.match * params_.k;
+      std::int32_t max_score = score;
+      // Right extension.
+      std::size_t q = qoff + static_cast<std::size_t>(params_.k);
+      std::size_t s = pos.offset + static_cast<std::size_t>(params_.k);
+      std::size_t right = 0, best_right = 0;
+      while (q < query.size() && s < subject.size()) {
+        score += query[q] == subject[s] ? params_.match : params_.mismatch;
+        ++right;
+        if (score > max_score) {
+          max_score = score;
+          best_right = right;
+        }
+        if (score <= max_score - params_.xdrop) break;
+        ++q;
+        ++s;
+      }
+      // Left extension.
+      score = max_score;
+      std::size_t left = 0, best_left = 0;
+      std::size_t ql = qoff, sl = pos.offset;
+      while (ql > 0 && sl > 0) {
+        --ql;
+        --sl;
+        score += query[ql] == subject[sl] ? params_.match : params_.mismatch;
+        ++left;
+        if (score > max_score) {
+          max_score = score;
+          best_left = left;
+        }
+        if (score <= max_score - params_.xdrop) break;
+      }
+
+      if (max_score >= params_.min_score && max_score > best_score[pos.sequence]) {
+        best_score[pos.sequence] = max_score;
+        Hit h;
+        h.subject = pos.sequence;
+        h.score = max_score;
+        h.query_pos = static_cast<std::int32_t>(qoff - best_left);
+        h.subject_pos = static_cast<std::int32_t>(pos.offset - best_left);
+        h.length = static_cast<std::int32_t>(best_left + params_.k + best_right);
+        best_hit[pos.sequence] = h;
+      }
+    }
+  }
+
+  for (std::uint32_t s = 0; s < sequences_.size(); ++s) {
+    if (best_score[s] > 0) best.push_back(best_hit[s]);
+  }
+  std::sort(best.begin(), best.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.subject_pos < b.subject_pos;
+  });
+  return best;
+}
+
+std::size_t search_batch(const PartitionIndex& index,
+                         const std::vector<std::string>& queries,
+                         PartitionIndex::Stats* stats) {
+  std::size_t hits = 0;
+  for (const auto& q : queries) {
+    hits += index.search(q, stats).size();
+  }
+  return hits;
+}
+
+std::vector<std::string> sample_query_strings(const Database& db, std::size_t count,
+                                              std::int32_t max_length,
+                                              std::uint64_t seed) {
+  if (db.sequence_data.empty()) {
+    throw DataError("database has no sequence payload (generate with_payload)");
+  }
+  Rng rng(seed);
+  std::vector<std::string> queries;
+  queries.reserve(count);
+  std::size_t attempts = 0;
+  while (queries.size() < count) {
+    const auto& e = db.index[rng.next_below(db.index.size())];
+    if (max_length == 0 || e.seq_size <= max_length) {
+      queries.emplace_back(db.sequence_data, static_cast<std::size_t>(e.seq_start),
+                           static_cast<std::size_t>(e.seq_size));
+    }
+    if (++attempts > count * 10000) {
+      throw DataError("could not sample queries under the length cap");
+    }
+  }
+  return queries;
+}
+
+}  // namespace papar::blast

@@ -1,0 +1,44 @@
+#include "blast/search_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace papar::blast {
+
+double SearchCostModel::cost(std::int32_t query_len, std::int32_t subject_len) const {
+  return c0 + c1 * static_cast<double>(query_len) *
+                  std::pow(static_cast<double>(subject_len), gamma);
+}
+
+SearchSimResult simulate_search(const PartitionedIndex& partitions,
+                                const std::vector<std::int32_t>& batch,
+                                const SearchCostModel& model) {
+  PAPAR_CHECK_MSG(!batch.empty(), "empty query batch");
+  SearchSimResult result;
+  result.partition_costs.reserve(partitions.partitions.size());
+  // cost(q, s) factors as c0 + (c1 * q) * s^gamma, so the partition total is
+  // |batch| * |part| * c0 + (c1 * sum_q q) * sum_s s^gamma.
+  double query_len_sum = 0;
+  for (auto q : batch) query_len_sum += q;
+  for (const auto& part : partitions.partitions) {
+    double subject_pow_sum = 0;
+    for (const auto& e : part) {
+      subject_pow_sum += std::pow(static_cast<double>(e.seq_size), model.gamma);
+    }
+    const double total = static_cast<double>(batch.size()) *
+                             static_cast<double>(part.size()) * model.c0 +
+                         model.c1 * query_len_sum * subject_pow_sum;
+    result.partition_costs.push_back(total);
+  }
+  result.makespan =
+      *std::max_element(result.partition_costs.begin(), result.partition_costs.end());
+  double sum = 0;
+  for (double c : result.partition_costs) sum += c;
+  result.mean = sum / static_cast<double>(result.partition_costs.size());
+  result.imbalance = result.mean > 0 ? result.makespan / result.mean : 1.0;
+  return result;
+}
+
+}  // namespace papar::blast

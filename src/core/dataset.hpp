@@ -1,0 +1,50 @@
+// Dataset: the per-rank state that flows between workflow jobs.
+//
+// A PaPar workflow is a sequence of jobs; the output of one is the input of
+// the next, addressed by its configured path string ("$sort.outputPath").
+// All intermediate data stays in rank memory (the paper's in-memory
+// repartitioning requirement): a Dataset is one rank's slice of a logical
+// collection, stored as a KvBuffer page whose values are wire-encoded
+// records (or packed groups of records), with the schema and format
+// metadata the planner tracks as operators transform the data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pack.hpp"
+#include "mapreduce/kvbuffer.hpp"
+#include "schema/record.hpp"
+#include "schema/schema.hpp"
+
+namespace papar::core {
+
+/// Physical layout of the values in a dataset page, set by format operators
+/// (paper Table I: orig / pack / unpack).
+enum class DataFormat {
+  /// One KV per record; value = record wire bytes.
+  kOrig,
+  /// One KV per group; value = packed group (see pack.hpp).
+  kPacked,
+};
+
+struct Dataset {
+  schema::Schema schema;
+  DataFormat format = DataFormat::kOrig;
+  /// For kPacked data: the field every record of a group shares (the group
+  /// key), which the CSC compression stores only once.
+  std::optional<std::size_t> group_key_field;
+  /// This rank's records/groups. Key bytes are operator-defined scratch
+  /// (empty unless a shuffle is in flight).
+  mr::KvBuffer page;
+
+  /// Records on this rank (groups count their members).
+  std::size_t local_record_count() const {
+    if (format == DataFormat::kOrig) return page.count();
+    std::size_t n = 0;
+    page.for_each([&n](std::string_view, std::string_view v) { n += group_size(v); });
+    return n;
+  }
+};
+
+}  // namespace papar::core

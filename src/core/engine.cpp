@@ -1,0 +1,467 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/log.hpp"
+
+namespace papar::core {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+enum class StepKind { kSort, kGroup, kSplit, kDistribute, kCustom };
+
+StepKind classify(std::string_view op_name) {
+  const std::string n = lower(op_name);
+  if (n == "sort") return StepKind::kSort;
+  if (n == "group") return StepKind::kGroup;
+  if (n == "split") return StepKind::kSplit;
+  if (n == "distribute") return StepKind::kDistribute;
+  return StepKind::kCustom;
+}
+
+/// One operator, fully resolved and bound to backend arguments.
+struct PlannedStep {
+  StepKind kind = StepKind::kCustom;
+  const OperatorDecl* decl = nullptr;
+  std::string input_path;  // exact path, or prefix for distribute
+  std::vector<std::string> output_paths;
+  SortArgs sort;
+  GroupArgs group;
+  SplitArgs split;
+  DistributeArgs dist;
+  std::map<std::string, std::string> custom_params;
+};
+
+}  // namespace
+
+// -- PartitionResult ---------------------------------------------------------
+
+std::size_t PartitionResult::total_records() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions) n += p.size();
+  return n;
+}
+
+std::vector<std::vector<schema::Record>> PartitionResult::decode() const {
+  std::vector<std::vector<schema::Record>> out;
+  out.reserve(partitions.size());
+  for (const auto& part : partitions) {
+    std::vector<schema::Record> recs;
+    recs.reserve(part.size());
+    for (const auto& wire : part) {
+      recs.push_back(schema::Record::decode(schema, wire));
+    }
+    out.push_back(std::move(recs));
+  }
+  return out;
+}
+
+// -- WorkflowEngine ------------------------------------------------------------
+
+WorkflowEngine::WorkflowEngine(WorkflowConfig config,
+                               std::map<std::string, schema::InputSpec> input_specs,
+                               std::map<std::string, std::string> args,
+                               EngineOptions options, const OperatorRegistry* registry)
+    : config_(std::move(config)),
+      input_specs_(std::move(input_specs)),
+      args_(std::move(args)),
+      options_(options),
+      registry_(registry) {
+  PAPAR_CHECK_MSG(registry_ != nullptr, "engine needs an operator registry");
+}
+
+std::string WorkflowEngine::resolve_ref(const std::string& ref) const {
+  // ref has no leading '$'.
+  const auto dot = ref.find('.');
+  if (dot == std::string::npos) {
+    // Launch argument, then workflow argument default.
+    if (const auto it = args_.find(ref); it != args_.end()) return it->second;
+    if (const auto* arg = config_.argument(ref); arg != nullptr && !arg->value.empty()) {
+      return resolve(arg->value);
+    }
+    throw ConfigError("unbound workflow argument `$" + ref + "`");
+  }
+  // "$op.param" or "$op.$attr".
+  const std::string op_id = ref.substr(0, dot);
+  std::string pname = ref.substr(dot + 1);
+  if (!pname.empty() && pname[0] == '$') {
+    // Attribute reference: resolves to the bare attribute name.
+    return pname.substr(1);
+  }
+  const OperatorDecl* op = config_.operator_by_id(op_id);
+  if (op == nullptr) {
+    throw ConfigError("reference to unknown operator `$" + ref + "`");
+  }
+  const ParamDecl* param = op->param(pname);
+  if (param == nullptr && (pname == "outputPath" || pname == "ouputPath")) {
+    param = op->output_path_param();
+  }
+  if (param == nullptr) {
+    throw ConfigError("operator `" + op_id + "` has no parameter `" + pname + "`");
+  }
+  return resolve(param->value);
+}
+
+std::string WorkflowEngine::resolve(const std::string& value) const {
+  // Substitute every $reference embedded in the string. References are
+  // $name, $op.param, or $op.$attr — maximal runs of [A-Za-z0-9_.$] after a
+  // leading '$'.
+  std::string out;
+  std::size_t i = 0;
+  while (i < value.size()) {
+    if (value[i] != '$') {
+      out += value[i++];
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < value.size() &&
+           (std::isalnum(static_cast<unsigned char>(value[j])) || value[j] == '_' ||
+            value[j] == '.' ||
+            (value[j] == '$' && j > i + 1))) {
+      ++j;
+    }
+    // Trim a trailing '.' (punctuation, not part of the reference).
+    std::size_t end = j;
+    while (end > i + 1 && value[end - 1] == '.') --end;
+    if (end == i + 1) throw ConfigError("dangling `$` in `" + value + "`");
+    out += resolve_ref(value.substr(i + 1, end - i - 1));
+    i = end;
+  }
+  return out;
+}
+
+PartitionResult WorkflowEngine::run(
+    mp::Runtime& runtime, const std::map<std::string, std::string>& input_files) {
+  const int nranks = runtime.size();
+
+  // ---- Plan: resolve every operator ---------------------------------------
+  std::vector<PlannedStep> steps;
+  steps.reserve(config_.operators.size());
+
+  auto required_param = [this](const OperatorDecl& decl,
+                               std::string_view name) -> std::string {
+    const ParamDecl* p = decl.param(name);
+    if (p == nullptr) {
+      throw ConfigError("operator `" + decl.id + "` is missing parameter `" +
+                        std::string(name) + "`");
+    }
+    return resolve(p->value);
+  };
+
+  for (const auto& decl : config_.operators) {
+    PlannedStep step;
+    step.decl = &decl;
+    step.kind = classify(decl.op);
+    if (step.kind == StepKind::kCustom && !registry_->contains(decl.op)) {
+      throw ConfigError("unknown operator `" + decl.op + "`");
+    }
+    step.input_path = required_param(decl, "inputPath");
+    if (decl.num_reducers > 0 && decl.num_reducers != nranks) {
+      log::info("operator `", decl.id, "`: num_reducers=", decl.num_reducers,
+                " noted; this backend launches one reducer per rank (", nranks, ")");
+    }
+
+    switch (step.kind) {
+      case StepKind::kSort: {
+        const ParamDecl* out = decl.output_path_param();
+        if (out == nullptr) throw ConfigError("sort `" + decl.id + "` lacks outputPath");
+        step.output_paths.push_back(resolve(out->value));
+        step.sort.key = required_param(decl, "key");
+        step.sort.splitter = options_.splitter;
+        if (const auto* flag = decl.param("flag")) {
+          step.sort.ascending = resolve(flag->value) != "1";
+        } else if (const auto* asc = decl.param("ascending")) {
+          step.sort.ascending = resolve(asc->value) != "false";
+        }
+        break;
+      }
+      case StepKind::kGroup: {
+        const ParamDecl* out = decl.output_path_param();
+        if (out == nullptr) throw ConfigError("group `" + decl.id + "` lacks outputPath");
+        step.output_paths.push_back(resolve(out->value));
+        step.group.key = required_param(decl, "key");
+        step.group.output_format =
+            out->format == "pack" ? DataFormat::kPacked : DataFormat::kOrig;
+        step.group.compress = options_.compress_packed;
+        if (!decl.addons.empty()) {
+          const AddOnDecl& a = decl.addons.front();
+          AddOnSpec spec;
+          spec.kind = parse_addon_kind(a.op);
+          spec.value_field = a.value.empty() ? a.key : a.value;
+          spec.attr_name = a.attr;
+          step.group.addon = spec;
+        }
+        break;
+      }
+      case StepKind::kSplit: {
+        const ParamDecl* outs = decl.param("outputPathList");
+        if (outs == nullptr) {
+          throw ConfigError("split `" + decl.id + "` lacks outputPathList");
+        }
+        for (const auto& path : split_list(resolve(outs->value))) {
+          step.output_paths.push_back(path);
+        }
+        step.split.key = required_param(decl, "key");
+        for (const auto& term : split_policy_terms(required_param(decl, "policy"))) {
+          step.split.conditions.push_back(parse_split_condition(term));
+        }
+        if (step.split.conditions.size() != step.output_paths.size()) {
+          throw ConfigError("split `" + decl.id +
+                            "`: outputs and policy terms disagree in count");
+        }
+        if (!outs->format.empty()) {
+          for (const auto& f : split_list(outs->format)) {
+            if (f == "unpack") {
+              step.split.output_formats.push_back(DataFormat::kOrig);
+            } else if (f == "pack") {
+              step.split.output_formats.push_back(DataFormat::kPacked);
+            } else if (f == "orig") {
+              step.split.output_formats.push_back(std::nullopt);
+            } else {
+              throw ConfigError("unknown split output format `" + f + "`");
+            }
+          }
+          if (step.split.output_formats.size() != step.output_paths.size()) {
+            throw ConfigError("split `" + decl.id +
+                              "`: outputs and formats disagree in count");
+          }
+        }
+        break;
+      }
+      case StepKind::kDistribute: {
+        const ParamDecl* out = decl.output_path_param();
+        if (out == nullptr) {
+          throw ConfigError("distribute `" + decl.id + "` lacks outputPath");
+        }
+        step.output_paths.push_back(resolve(out->value));
+        const ParamDecl* policy = decl.param("distrPolicy");
+        if (policy == nullptr) policy = decl.param("policy");
+        if (policy == nullptr) {
+          throw ConfigError("distribute `" + decl.id + "` lacks a policy");
+        }
+        step.dist.policy = parse_distr_policy(resolve(policy->value));
+        step.dist.num_partitions =
+            static_cast<std::size_t>(std::stoul(required_param(decl, "numPartitions")));
+        PAPAR_CHECK_MSG(step.dist.num_partitions >= 1, "numPartitions must be >= 1");
+        // Output schema: the format declared on the workflow argument the
+        // outputPath came from ("the output has the same format of input").
+        if (!out->value.empty() && out->value[0] == '$' &&
+            out->value.find('.') == std::string::npos) {
+          if (const auto* arg = config_.argument(out->value.substr(1));
+              arg != nullptr && !arg->format.empty()) {
+            const auto it = input_specs_.find(arg->format);
+            if (it == input_specs_.end()) {
+              throw ConfigError("workflow argument `" + arg->name +
+                                "` references unknown format `" + arg->format + "`");
+            }
+            step.dist.output_schema = it->second.schema;
+          }
+        }
+        break;
+      }
+      case StepKind::kCustom: {
+        const ParamDecl* out = decl.output_path_param();
+        if (out == nullptr) {
+          throw ConfigError("operator `" + decl.id + "` lacks outputPath");
+        }
+        step.output_paths.push_back(resolve(out->value));
+        for (const auto& p : decl.params) {
+          step.custom_params[p.name] = resolve(p.value);
+        }
+        break;
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+
+  for (std::size_t s = 0; s + 1 < steps.size(); ++s) {
+    if (steps[s].kind == StepKind::kDistribute) {
+      throw ConfigError("distribute must be the final operator of a workflow");
+    }
+  }
+
+  // ---- Bind file inputs -----------------------------------------------------
+  // A step input that names a file (rather than an upstream dataset) is
+  // matched to its InputSpec through the workflow argument that carries the
+  // value, then opened once and split across ranks.
+  std::map<std::string, std::unique_ptr<schema::InputFormat>> file_inputs;
+  std::map<std::string, std::vector<schema::FileSplit>> file_splits;
+  for (const auto& decl : config_.operators) {
+    const ParamDecl* in = decl.param("inputPath");
+    if (in == nullptr || in->value.empty() || in->value[0] != '$') continue;
+    if (in->value.find('.') != std::string::npos) continue;  // upstream dataset
+    const auto* arg = config_.argument(in->value.substr(1));
+    if (arg == nullptr || arg->format.empty()) continue;
+    const std::string path = resolve(in->value);
+    if (file_inputs.count(path)) continue;
+    const auto spec_it = input_specs_.find(arg->format);
+    if (spec_it == input_specs_.end()) {
+      throw ConfigError("workflow argument `" + arg->name +
+                        "` references unknown format `" + arg->format + "`");
+    }
+    const auto file_it = input_files.find(path);
+    if (file_it == input_files.end()) {
+      throw ConfigError("no input content provided for `" + path + "`");
+    }
+    auto input = schema::open_input_from_memory(spec_it->second, file_it->second);
+    file_splits[path] = input->splits(nranks);
+    file_inputs[path] = std::move(input);
+  }
+
+  // Custom operators: one instance per rank, created up front.
+  std::map<std::string, std::vector<std::unique_ptr<CustomOperator>>> custom_ops;
+  for (const auto& step : steps) {
+    if (step.kind != StepKind::kCustom) continue;
+    auto& instances = custom_ops[step.decl->id];
+    instances.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      instances.push_back(registry_->create(*step.decl, step.custom_params));
+    }
+  }
+
+  // ---- Execute ---------------------------------------------------------------
+  PartitionResult result;
+  bool have_result_schema = false;
+  // Partitioning time/traffic are snapshotted at the end of the job
+  // sequence, before the output write (the paper's measurements exclude
+  // I/O time).
+  std::vector<double> job_times(static_cast<std::size_t>(nranks), 0.0);
+  std::uint64_t job_bytes = 0;
+  std::uint64_t job_messages = 0;
+
+  auto body = [&](mp::Comm& comm) {
+    std::map<std::string, Dataset> datasets;
+
+    auto take_dataset = [&](const std::string& path) -> Dataset {
+      if (auto it = datasets.find(path); it != datasets.end()) {
+        Dataset ds = std::move(it->second);
+        datasets.erase(it);
+        return ds;
+      }
+      const auto fit = file_inputs.find(path);
+      if (fit == file_inputs.end()) {
+        throw ConfigError("operator input `" + path +
+                          "` is neither an upstream output nor a bound file");
+      }
+      Dataset ds;
+      ds.schema = fit->second->schema();
+      fit->second->for_each_wire(
+          file_splits.at(path)[static_cast<std::size_t>(comm.rank())],
+          [&ds](std::string_view wire) { ds.page.add("", wire); });
+      return ds;
+    };
+
+    std::optional<DistributedDataset> final_dist;
+    std::string final_path;
+
+    for (const auto& step : steps) {
+      comm.barrier();  // job boundary
+      switch (step.kind) {
+        case StepKind::kSort: {
+          Dataset ds = take_dataset(step.input_path);
+          sort_op(comm, ds, step.sort);
+          datasets[step.output_paths[0]] = std::move(ds);
+          break;
+        }
+        case StepKind::kGroup: {
+          Dataset ds = take_dataset(step.input_path);
+          group_op(comm, ds, step.group);
+          datasets[step.output_paths[0]] = std::move(ds);
+          break;
+        }
+        case StepKind::kSplit: {
+          Dataset ds = take_dataset(step.input_path);
+          auto outs = split_op(comm, std::move(ds), step.split);
+          for (std::size_t i = 0; i < outs.size(); ++i) {
+            datasets[step.output_paths[i]] = std::move(outs[i]);
+          }
+          break;
+        }
+        case StepKind::kDistribute: {
+          // Prefix matching: "/tmp/split/" picks up both split outputs.
+          std::vector<std::string> matched;
+          for (const auto& [path, ds] : datasets) {
+            if (path.rfind(step.input_path, 0) == 0) matched.push_back(path);
+          }
+          std::sort(matched.begin(), matched.end());
+          std::vector<Dataset> owned;
+          owned.reserve(matched.size());
+          for (const auto& path : matched) owned.push_back(take_dataset(path));
+          if (owned.empty()) owned.push_back(take_dataset(step.input_path));
+          std::vector<Dataset*> inputs;
+          inputs.reserve(owned.size());
+          for (auto& ds : owned) inputs.push_back(&ds);
+          final_dist = distribute_op(comm, inputs, step.dist);
+          final_path = step.output_paths[0];
+          break;
+        }
+        case StepKind::kCustom: {
+          Dataset ds = take_dataset(step.input_path);
+          custom_ops.at(step.decl->id)[static_cast<std::size_t>(comm.rank())]->execute(
+              comm, ds);
+          datasets[step.output_paths[0]] = std::move(ds);
+          break;
+        }
+      }
+    }
+
+    // Snapshot per-rank completion time and fabric traffic BEFORE the
+    // barrier: no rank can have started the (untimed) output write yet, and
+    // the final shuffle's alltoallv semantics guarantee every job send is
+    // already counted when any rank reaches this point.
+    job_times[static_cast<std::size_t>(comm.rank())] = comm.vtime();
+    if (comm.rank() == 0) {
+      job_bytes = comm.remote_bytes_so_far();
+      job_messages = comm.remote_messages_so_far();
+    }
+    comm.barrier();
+
+    std::vector<std::vector<std::string>> partitions;
+    schema::Schema out_schema;
+    if (final_dist) {
+      partitions = materialize_partitions(comm, *final_dist);
+      out_schema = final_dist->schema;
+    } else {
+      // No distribute: the last operator's output becomes one partition,
+      // records in rank order.
+      const auto& last = steps.back();
+      Dataset ds = take_dataset(last.output_paths[0]);
+      if (ds.format == DataFormat::kPacked) unpack_op(ds);
+      ByteWriter w;
+      ds.page.for_each(
+          [&w](std::string_view, std::string_view value) { w.put_string(std::string(value)); });
+      auto all = comm.allgather(w.take());
+      partitions.resize(1);
+      for (const auto& part : all) {
+        ByteReader r(part);
+        while (!r.done()) partitions[0].push_back(r.get_string());
+      }
+      out_schema = ds.schema;
+    }
+
+    if (comm.rank() == 0) {
+      result.partitions = std::move(partitions);
+      result.schema = std::move(out_schema);
+      have_result_schema = true;
+    }
+  };
+
+  result.stats = runtime.run(body);
+  // Replace the run totals with the pre-output-write snapshot.
+  result.stats.rank_time = job_times;
+  result.stats.makespan = *std::max_element(job_times.begin(), job_times.end());
+  result.stats.remote_bytes = job_bytes;
+  result.stats.remote_messages = job_messages;
+  PAPAR_CHECK_MSG(have_result_schema, "workflow produced no result");
+  return result;
+}
+
+}  // namespace papar::core

@@ -1,0 +1,65 @@
+#include "core/permutation.hpp"
+
+#include <algorithm>
+
+namespace papar::core {
+
+StridePermutation::StridePermutation(std::size_t m, std::size_t total)
+    : m_(m), total_(total) {
+  PAPAR_CHECK_MSG(m >= 1, "stride must be positive");
+}
+
+std::size_t StridePermutation::partition_size(std::size_t p) const {
+  PAPAR_CHECK_MSG(p < m_, "partition out of range");
+  return total_ / m_ + (p < total_ % m_ ? 1 : 0);
+}
+
+std::size_t StridePermutation::partition_offset(std::size_t p) const {
+  PAPAR_CHECK_MSG(p < m_, "partition out of range");
+  const std::size_t base = total_ / m_;
+  const std::size_t rem = total_ % m_;
+  // Partitions 0..rem-1 hold base+1 elements.
+  return p * base + std::min(p, rem);
+}
+
+std::size_t StridePermutation::dest(std::size_t i) const {
+  PAPAR_CHECK_MSG(i < total_, "index out of range");
+  // Source i is the (i / m)-th element of partition i % m. When m divides
+  // total this reduces to the textbook x_{ik+j} -> x_{jm+i} map with
+  // k = total / m (swapping the roles of stride and partition count to match
+  // the paper's L_m^{km} written as a stride-by-m permutation).
+  return partition_offset(i % m_) + i / m_;
+}
+
+PermutationMatrix PermutationMatrix::identity(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  return PermutationMatrix(std::move(rows));
+}
+
+PermutationMatrix PermutationMatrix::from_stride(const StridePermutation& perm) {
+  std::vector<std::size_t> rows(perm.total());
+  for (std::size_t i = 0; i < perm.total(); ++i) {
+    rows[perm.dest(i)] = i;  // row dest(i) selects source column i
+  }
+  return PermutationMatrix(std::move(rows));
+}
+
+PermutationMatrix PermutationMatrix::transpose() const {
+  std::vector<std::size_t> rows(source_of_row_.size());
+  for (std::size_t r = 0; r < source_of_row_.size(); ++r) {
+    rows[source_of_row_[r]] = r;
+  }
+  return PermutationMatrix(std::move(rows));
+}
+
+bool PermutationMatrix::is_permutation() const {
+  std::vector<bool> seen(source_of_row_.size(), false);
+  for (std::size_t s : source_of_row_) {
+    if (s >= seen.size() || seen[s]) return false;
+    seen[s] = true;
+  }
+  return true;
+}
+
+}  // namespace papar::core

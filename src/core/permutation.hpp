@@ -1,0 +1,98 @@
+// Stride permutations and explicit permutation matrices (paper §III-B).
+//
+// PaPar formalizes distribution policies as the stride permutation
+//
+//     L_m^{km} : x_{ik+j} -> x_{jm+i},   0 <= i < m, 0 <= j < k,
+//
+// borrowed from the SPIRAL operator language [7]: applied to a vector of
+// km entries it performs a stride-by-m permutation, which is exactly the
+// cyclic redistribution onto m partitions (block distribution is the
+// identity L_{km}^{km}). The framework generates the matrix at runtime from
+// the `policy` and `numPartitions` parameters; the distribute operator's
+// code never changes (the decoupling the paper highlights).
+//
+// Two representations are provided: StridePermutation evaluates the index
+// map in closed form (and generalizes to totals that are not a multiple of
+// m, where partitions differ in size by one); PermutationMatrix stores the
+// same map as an explicit sparse 0/1 matrix and applies it as a
+// matrix-vector product. Tests pin them to each other.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace papar::core {
+
+/// Closed-form stride permutation L_m^{total} (generalized to any total).
+/// Maps *source* index to *destination* index in the permuted vector, where
+/// the permuted vector is the concatenation of the m cyclic partitions.
+class StridePermutation {
+ public:
+  /// `m`: the stride / number of partitions. `total`: vector length.
+  StridePermutation(std::size_t m, std::size_t total);
+
+  std::size_t stride() const { return m_; }
+  std::size_t total() const { return total_; }
+
+  /// Destination index of source element `i`.
+  std::size_t dest(std::size_t i) const;
+
+  /// Partition that source element `i` lands in (i % m).
+  std::size_t partition(std::size_t i) const {
+    PAPAR_CHECK_MSG(i < total_, "index out of range");
+    return i % m_;
+  }
+
+  /// Number of elements partition `p` receives.
+  std::size_t partition_size(std::size_t p) const;
+
+  /// First destination index of partition `p` in the permuted vector.
+  std::size_t partition_offset(std::size_t p) const;
+
+ private:
+  std::size_t m_;
+  std::size_t total_;
+};
+
+/// Explicit permutation matrix: row r has a single 1 in column source(r).
+class PermutationMatrix {
+ public:
+  /// Identity of size n.
+  static PermutationMatrix identity(std::size_t n);
+
+  /// The matrix of a stride permutation (row r = destination r).
+  static PermutationMatrix from_stride(const StridePermutation& perm);
+
+  std::size_t size() const { return source_of_row_.size(); }
+
+  /// Column holding the 1 in row r, i.e. y[r] = x[source(r)].
+  std::size_t source(std::size_t r) const { return source_of_row_.at(r); }
+
+  /// Matrix-vector product y = P x (the runtime form of the distribution).
+  template <typename T>
+  std::vector<T> apply(const std::vector<T>& x) const {
+    PAPAR_CHECK_MSG(x.size() == source_of_row_.size(), "dimension mismatch");
+    std::vector<T> y;
+    y.reserve(x.size());
+    for (std::size_t r = 0; r < source_of_row_.size(); ++r) {
+      y.push_back(x[source_of_row_[r]]);
+    }
+    return y;
+  }
+
+  /// P^T (the inverse of a permutation matrix).
+  PermutationMatrix transpose() const;
+
+  /// Verifies the rows form a permutation of [0, n).
+  bool is_permutation() const;
+
+ private:
+  explicit PermutationMatrix(std::vector<std::size_t> source_of_row)
+      : source_of_row_(std::move(source_of_row)) {}
+
+  std::vector<std::size_t> source_of_row_;
+};
+
+}  // namespace papar::core

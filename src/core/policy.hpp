@@ -1,0 +1,50 @@
+// Distribution policies (paper Table I, `distribute` operator).
+//
+// The two base policies are `cyclic` (round-robin; the stride permutation
+// L_P^N) and `block` (contiguous ranges; the identity permutation). The
+// composite `graphVertexCut` policy is what the PowerLyra hybrid-cut
+// workflow binds to its distribute job: packed entries (a low-degree vertex
+// with all its in-edges) go to the partition that hashes from the group key,
+// while unpacked entries (individual edges of high-degree vertices) scatter
+// by the hash of their source vertex — deterministic per record, so the
+// same input always yields the same partitions regardless of backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/dataset.hpp"
+#include "core/permutation.hpp"
+
+namespace papar::core {
+
+enum class DistrPolicyKind {
+  kCyclic,
+  kBlock,
+  kGraphVertexCut,
+};
+
+/// Parses the names accepted in workflow files: "roundRobin" / "cyclic",
+/// "block", "graphVertexCut".
+DistrPolicyKind parse_distr_policy(std::string_view name);
+
+std::string_view distr_policy_name(DistrPolicyKind kind);
+
+/// Everything a policy needs to place one entry.
+struct PlacementContext {
+  std::size_t num_partitions = 1;
+  /// Total entries across ranks (cyclic/block).
+  std::size_t global_total = 0;
+  /// This entry's index in the global order (cyclic/block).
+  std::size_t global_index = 0;
+  /// The dataset the entry belongs to (format decides graphVertexCut's rule).
+  const Dataset* dataset = nullptr;
+  /// The entry's value bytes (record or packed group).
+  std::string_view value;
+};
+
+/// Partition assignment for one entry under the given policy.
+std::size_t place_entry(DistrPolicyKind kind, const PlacementContext& ctx);
+
+}  // namespace papar::core

@@ -1,0 +1,37 @@
+// Dynamic in-memory workload redistribution (paper §V).
+//
+// The related-work discussion sketches PaPar's extension to dynamic skew
+// handling: "when repartitioning intermediate data from Mappers to Reducers
+// is necessary, we can use the PaPar distribution function with the cyclic
+// policy to rebalance the key-value pairs between reducers." This module
+// implements exactly that: an in-memory repartitioning of a Dataset across
+// the live communicator — no files, no schema changes, entries preserved —
+// using the same stride-permutation placement as the distribute operator.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dataset.hpp"
+#include "core/policy.hpp"
+#include "mpsim/comm.hpp"
+
+namespace papar::core {
+
+struct RebalanceReport {
+  /// Entries on this rank before/after.
+  std::size_t before = 0;
+  std::size_t after = 0;
+  /// max/mean entries per rank before/after (identical on every rank).
+  double imbalance_before = 1.0;
+  double imbalance_after = 1.0;
+};
+
+/// Redistributes the dataset's entries across ranks so per-rank counts are
+/// balanced (cyclic: counts differ by at most one; block: contiguous global
+/// ranges). The relative global order of entries is preserved — entry i of
+/// the global sequence ends up on the rank the stride permutation L_P^N
+/// prescribes, in sequence. Collective over the communicator.
+RebalanceReport rebalance_op(mp::Comm& comm, Dataset& ds,
+                             DistrPolicyKind policy = DistrPolicyKind::kCyclic);
+
+}  // namespace papar::core

@@ -1,0 +1,36 @@
+#include "core/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace papar::core {
+
+OperatorRegistry& OperatorRegistry::global() {
+  static OperatorRegistry registry;
+  return registry;
+}
+
+void OperatorRegistry::add(std::string name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool OperatorRegistry::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<CustomOperator> OperatorRegistry::create(
+    const OperatorDecl& decl, const std::map<std::string, std::string>& params) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(decl.op);
+    if (it == factories_.end()) {
+      throw ConfigError("unknown operator `" + decl.op + "` (not built-in, not registered)");
+    }
+    factory = it->second;
+  }
+  return factory(decl, params);
+}
+
+}  // namespace papar::core

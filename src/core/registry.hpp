@@ -1,0 +1,58 @@
+// User-defined operator registry (paper §III-B, Fig. 7).
+//
+// PaPar lets users register their own computational operators: inherit one
+// of the operator classes, describe the operator in a configuration file,
+// and the framework invokes it by name when a workflow references it. Here
+// a custom operator implements CustomOperator::execute over the rank-local
+// Dataset (with the communicator for any shuffling it needs) and registers
+// a factory under its workflow name; the engine consults the registry for
+// any operator name it does not recognize as a built-in.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/dataset.hpp"
+#include "core/workflow.hpp"
+#include "mpsim/comm.hpp"
+
+namespace papar::core {
+
+/// Extension point for user operators. execute() is a collective: every
+/// rank calls it with its Dataset slice.
+class CustomOperator {
+ public:
+  virtual ~CustomOperator() = default;
+  virtual void execute(mp::Comm& comm, Dataset& data) = 0;
+};
+
+class OperatorRegistry {
+ public:
+  /// Factory receiving the operator declaration and its fully resolved
+  /// parameters (no remaining $references).
+  using Factory = std::function<std::unique_ptr<CustomOperator>(
+      const OperatorDecl& decl, const std::map<std::string, std::string>& params)>;
+
+  /// Process-wide registry (used by the engine by default).
+  static OperatorRegistry& global();
+
+  /// Registers a factory; re-registering a name replaces the old factory.
+  void add(std::string name, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Instantiates the named operator; throws ConfigError if unknown.
+  std::unique_ptr<CustomOperator> create(
+      const OperatorDecl& decl,
+      const std::map<std::string, std::string>& params) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace papar::core

@@ -1,0 +1,144 @@
+#include "core/workflow.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace papar::core {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+ParamDecl parse_param(const xml::Node& node) {
+  ParamDecl p;
+  p.name = std::string(node.required_attribute("name"));
+  p.type = node.attribute_or("type", "String");
+  p.value = node.attribute_or("value", "");
+  p.format = node.attribute_or("format", "");
+  return p;
+}
+
+}  // namespace
+
+const ParamDecl* OperatorDecl::param(std::string_view name) const {
+  for (const auto& p : params) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const ParamDecl* OperatorDecl::output_path_param() const {
+  if (const auto* p = param("outputPath")) return p;
+  if (const auto* p = param("ouputPath")) return p;  // paper Fig. 8 spelling
+  if (const auto* p = param("outputPathList")) return p;
+  return nullptr;
+}
+
+const ParamDecl* WorkflowConfig::argument(std::string_view name) const {
+  for (const auto& a : arguments) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const OperatorDecl* WorkflowConfig::operator_by_id(std::string_view id) const {
+  for (const auto& op : operators) {
+    if (op.id == id) return &op;
+  }
+  return nullptr;
+}
+
+WorkflowConfig parse_workflow(const xml::Node& node) {
+  if (node.name != "workflow") {
+    throw ConfigError("expected <workflow>, found <" + node.name + ">");
+  }
+  WorkflowConfig wf;
+  wf.id = std::string(node.required_attribute("id"));
+  wf.name = node.attribute_or("name", wf.id);
+
+  if (const auto* args = node.child("arguments")) {
+    for (const auto* p : args->children_named("param")) {
+      wf.arguments.push_back(parse_param(*p));
+    }
+  }
+
+  const auto& ops = node.required_child("operators");
+  for (const auto* opnode : ops.children_named("operator")) {
+    OperatorDecl decl;
+    decl.id = std::string(opnode->required_attribute("id"));
+    decl.op = std::string(opnode->required_attribute("operator"));
+    const auto reducers = opnode->attribute("num_reducers");
+    if (reducers && !reducers->empty() && (*reducers)[0] != '$') {
+      decl.num_reducers = std::stoi(std::string(*reducers));
+    }
+    for (const auto& child : opnode->children) {
+      if (child.name == "param") {
+        decl.params.push_back(parse_param(child));
+      } else if (child.name == "addon") {
+        AddOnDecl addon;
+        addon.op = std::string(child.required_attribute("operator"));
+        addon.key = child.attribute_or("key", "");
+        addon.value = child.attribute_or("value", "");
+        addon.attr = std::string(child.required_attribute("attr"));
+        decl.addons.push_back(std::move(addon));
+      } else {
+        throw ConfigError("unexpected element <" + child.name + "> in operator `" +
+                          decl.id + "`");
+      }
+    }
+    if (wf.operator_by_id(decl.id) != nullptr) {
+      throw ConfigError("duplicate operator id `" + decl.id + "`");
+    }
+    wf.operators.push_back(std::move(decl));
+  }
+  if (wf.operators.empty()) {
+    throw ConfigError("workflow `" + wf.id + "` declares no operators");
+  }
+  return wf;
+}
+
+WorkflowConfig load_workflow(const std::string& path) {
+  return parse_workflow(xml::parse_file(path));
+}
+
+std::vector<std::string> split_list(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      const auto token = trim(text.substr(begin, i - begin));
+      if (!token.empty()) out.push_back(token);
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_policy_terms(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '{') {
+      const auto close = text.find('}', i);
+      if (close == std::string_view::npos) {
+        throw ConfigError("unterminated split policy term in `" + std::string(text) + "`");
+      }
+      out.push_back(std::string(text.substr(i, close - i + 1)));
+      i = close + 1;
+    } else {
+      ++i;
+    }
+  }
+  if (out.empty()) {
+    throw ConfigError("split policy has no terms: `" + std::string(text) + "`");
+  }
+  return out;
+}
+
+}  // namespace papar::core

@@ -1,0 +1,68 @@
+// Workflow configuration model (paper §III-C, Figs. 8 and 10).
+//
+// A workflow file declares arguments (bound at launch time) and an ordered
+// list of operators, each with parameters that may reference arguments
+// ("$num_partitions"), another operator's parameters ("$sort.outputPath" —
+// dataflow edges), or attributes created by add-ons ("$group.$indegree").
+// parse_workflow builds the declarative model; resolution happens in the
+// engine once runtime argument values are known.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/xml.hpp"
+
+namespace papar::core {
+
+struct ParamDecl {
+  std::string name;
+  std::string type;    // "String", "integer", "hdfs", "KeyId", ...
+  std::string value;   // may contain $references; empty = bound at launch
+  std::string format;  // e.g. InputSpec id on hdfs args, "pack" on outputs
+};
+
+struct AddOnDecl {
+  std::string op;     // count / max / min / mean / sum
+  std::string key;    // field the add-on aggregates over
+  std::string value;  // source field for max/min/mean/sum
+  std::string attr;   // name of the produced attribute
+};
+
+struct OperatorDecl {
+  std::string id;       // unique within the workflow
+  std::string op;       // operator name ("Sort", "group", custom...)
+  int num_reducers = 0; // 0 = backend default
+  std::vector<ParamDecl> params;
+  std::vector<AddOnDecl> addons;
+
+  const ParamDecl* param(std::string_view name) const;
+  /// Accepts the paper's "ouputPath" spelling alongside "outputPath".
+  const ParamDecl* output_path_param() const;
+};
+
+struct WorkflowConfig {
+  std::string id;
+  std::string name;
+  std::vector<ParamDecl> arguments;
+  std::vector<OperatorDecl> operators;
+
+  const ParamDecl* argument(std::string_view name) const;
+  const OperatorDecl* operator_by_id(std::string_view id) const;
+};
+
+/// Parses a <workflow> element.
+WorkflowConfig parse_workflow(const xml::Node& node);
+
+/// Parses a workflow configuration file.
+WorkflowConfig load_workflow(const std::string& path);
+
+/// Splits a comma-separated list, trimming surrounding whitespace.
+std::vector<std::string> split_list(std::string_view text);
+
+/// Splits a split-policy string "{>=, $t},{<, $t}" into its "{...}" terms.
+std::vector<std::string> split_policy_terms(std::string_view text);
+
+}  // namespace papar::core

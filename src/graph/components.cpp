@@ -1,0 +1,174 @@
+#include "graph/components.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace papar::graph {
+
+std::vector<VertexId> components_reference(const Graph& g) {
+  // Union-find with path halving, then canonicalize every component to the
+  // minimum vertex id it contains.
+  std::vector<VertexId> parent(g.num_vertices);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& e : g.edges) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<VertexId> min_of_root(g.num_vertices);
+  std::iota(min_of_root.begin(), min_of_root.end(), 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    const VertexId r = find(v);
+    min_of_root[r] = std::min(min_of_root[r], v);
+  }
+  std::vector<VertexId> labels(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) labels[v] = min_of_root[find(v)];
+  return labels;
+}
+
+ComponentsResult components_distributed(const Graph& g, const GraphPartitioning& parts,
+                                        mp::Runtime& runtime, int max_iterations) {
+  const auto p = static_cast<std::size_t>(runtime.size());
+  PAPAR_CHECK_MSG(parts.num_partitions == p,
+                  "partition count must equal the rank count");
+  PAPAR_CHECK_MSG(parts.edge_partition.size() == g.edges.size(),
+                  "partitioning does not match the graph");
+  const std::size_t n = g.num_vertices;
+  PAPAR_CHECK_MSG(n > 0, "empty graph");
+
+  // Host-side plan: local edges, plus per-vertex replica masks so masters
+  // know which partitions mirror each vertex (labels flow both ways along
+  // the undirected projection, so one exchange list serves gather and
+  // scatter).
+  std::vector<std::vector<Edge>> local_edges(p);
+  std::vector<std::uint64_t> replica_mask(n, 0);
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    const auto part = parts.edge_partition[i];
+    local_edges[part].push_back(g.edges[i]);
+    replica_mask[g.edges[i].src] |= std::uint64_t{1} << part;
+    replica_mask[g.edges[i].dst] |= std::uint64_t{1} << part;
+  }
+  // mirrors[r][dest] = vertices rank r must exchange with dest.
+  // A mirror sends its local label candidate to the master; the master
+  // broadcasts the settled label back over the same lists.
+  std::vector<std::vector<std::vector<VertexId>>> to_master(
+      p, std::vector<std::vector<VertexId>>(p));
+  std::vector<std::vector<std::vector<VertexId>>> to_mirrors(
+      p, std::vector<std::vector<VertexId>>(p));
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t master = vertex_owner(v, p);
+    for (std::size_t r = 0; r < p; ++r) {
+      if (r == master) continue;
+      if (replica_mask[v] & (std::uint64_t{1} << r)) {
+        to_master[r][master].push_back(v);
+        to_mirrors[master][r].push_back(v);
+      }
+    }
+  }
+
+  ComponentsResult result;
+  result.labels.assign(n, 0);
+  std::mutex result_mutex;
+  std::atomic<int> iterations{0};
+
+  result.stats = runtime.run([&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    std::vector<VertexId> label(n);
+    std::iota(label.begin(), label.end(), 0);
+
+    int it = 0;
+    for (;;) {
+      ++it;
+      // Local min-propagation over the undirected projection.
+      std::uint64_t changed = 0;
+      for (const auto& e : local_edges[r]) {
+        const VertexId m = std::min(label[e.src], label[e.dst]);
+        if (label[e.src] != m) {
+          label[e.src] = m;
+          ++changed;
+        }
+        if (label[e.dst] != m) {
+          label[e.dst] = m;
+          ++changed;
+        }
+      }
+
+      // Mirrors propose their local minima to masters.
+      {
+        std::vector<std::vector<unsigned char>> send(p);
+        for (std::size_t dest = 0; dest < p; ++dest) {
+          ByteWriter w(to_master[r][dest].size() * 8);
+          for (VertexId v : to_master[r][dest]) {
+            w.put(v);
+            w.put(label[v]);
+          }
+          send[dest] = w.take();
+        }
+        auto received = comm.alltoallv(std::move(send));
+        for (const auto& buf : received) {
+          ByteReader reader(buf);
+          while (!reader.done()) {
+            const auto v = reader.get<VertexId>();
+            const auto l = reader.get<VertexId>();
+            if (l < label[v]) {
+              label[v] = l;
+              ++changed;
+            }
+          }
+        }
+      }
+      // Masters push settled labels back to mirrors.
+      {
+        std::vector<std::vector<unsigned char>> send(p);
+        for (std::size_t dest = 0; dest < p; ++dest) {
+          ByteWriter w(to_mirrors[r][dest].size() * 8);
+          for (VertexId v : to_mirrors[r][dest]) {
+            w.put(v);
+            w.put(label[v]);
+          }
+          send[dest] = w.take();
+        }
+        auto received = comm.alltoallv(std::move(send));
+        for (const auto& buf : received) {
+          ByteReader reader(buf);
+          while (!reader.done()) {
+            const auto v = reader.get<VertexId>();
+            const auto l = reader.get<VertexId>();
+            if (l < label[v]) {
+              label[v] = l;
+              ++changed;
+            }
+          }
+        }
+      }
+
+      const auto global_changed = comm.allreduce_sum<std::uint64_t>(changed);
+      if (global_changed == 0) break;
+      if (max_iterations > 0 && it >= max_iterations) break;
+    }
+
+    if (r == 0) iterations.store(it);
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      for (VertexId v = 0; v < n; ++v) {
+        if (vertex_owner(v, p) == r) result.labels[v] = label[v];
+      }
+    }
+  });
+
+  result.iterations = iterations.load();
+  return result;
+}
+
+}  // namespace papar::graph

@@ -1,0 +1,39 @@
+// Distributed Connected Components over partitioned graphs.
+//
+// The paper names Connected Components alongside PageRank as a GraphLab
+// algorithm that benefits from PowerLyra's partitioning; this engine runs
+// label propagation (min-label flooding over the undirected projection) on
+// the same master/mirror machinery as pagerank.cpp, so the three cut
+// strategies can be compared on a second workload.
+//
+// Per iteration every vertex adopts the minimum label among itself and its
+// neighbors; the algorithm converges when an iteration changes nothing
+// (detected with an allreduce), after at most diameter+1 rounds.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "mpsim/runtime.hpp"
+
+namespace papar::graph {
+
+struct ComponentsResult {
+  /// Component label of every vertex (the minimum vertex id in its
+  /// weakly-connected component).
+  std::vector<VertexId> labels;
+  int iterations = 0;
+  mp::RunStats stats;
+};
+
+/// Single-node reference implementation (union-find).
+std::vector<VertexId> components_reference(const Graph& g);
+
+/// Distributed label propagation; the partitioning must have
+/// num_partitions == runtime.size(). `max_iterations` bounds the rounds
+/// (0 = run to convergence).
+ComponentsResult components_distributed(const Graph& g, const GraphPartitioning& parts,
+                                        mp::Runtime& runtime, int max_iterations = 0);
+
+}  // namespace papar::graph

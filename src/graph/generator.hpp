@@ -1,0 +1,55 @@
+// Synthetic graph generation.
+//
+// Substitution for the paper's SNAP datasets (DESIGN.md §2): deterministic
+// generators producing directed power-law graphs with tunable clustering,
+// plus presets matched to the *shape* of Table II at roughly 1/10 linear
+// scale — same vertex:edge ratios, power-law in-degree, and a clustering
+// knob so the LiveJournal-like graph has the "vertices cluster together"
+// property the paper blames for PowerLyra's overhead.
+//
+// Two models:
+//  - R-MAT (Chakrabarti et al.): recursive quadrant sampling; power-law
+//    degrees and natural community structure (and therefore triangles).
+//  - Zipf edges: dst drawn from a Zipf rank distribution, src uniform;
+//    precise in-degree control for partitioner unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace papar::graph {
+
+struct RmatOptions {
+  /// 2^scale vertices.
+  unsigned scale = 16;
+  std::size_t num_edges = 1 << 20;
+  /// Quadrant probabilities (a+b+c+d = 1). Skew comes from a >> d.
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 1;
+  /// Extra triangle-closing passes: fraction of edges rewired to close
+  /// wedges, raising the clustering coefficient.
+  double closure_fraction = 0.0;
+};
+
+Graph generate_rmat(const RmatOptions& options);
+
+struct ZipfGraphOptions {
+  VertexId num_vertices = 1 << 16;
+  std::size_t num_edges = 1 << 20;
+  /// Zipf exponent of the in-degree distribution.
+  double zipf_s = 1.2;
+  std::uint64_t seed = 1;
+};
+
+Graph generate_zipf(const ZipfGraphOptions& options);
+
+/// Table II presets (scaled; see DESIGN.md §2).
+/// Google-like: 87 K vertices, 510 K edges, moderate clustering.
+Graph google_like(std::uint64_t seed = 0x600);
+/// Pokec-like: 163 K vertices, 3.06 M edges.
+Graph pokec_like(std::uint64_t seed = 0x70C);
+/// LiveJournal-like: 485 K vertices, 6.9 M edges, high clustering.
+Graph livejournal_like(std::uint64_t seed = 0x17E);
+
+}  // namespace papar::graph

@@ -1,0 +1,106 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace papar::graph {
+
+std::vector<std::uint32_t> Graph::in_degrees() const {
+  std::vector<std::uint32_t> deg(num_vertices, 0);
+  for (const auto& e : edges) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<std::uint32_t> Graph::out_degrees() const {
+  std::vector<std::uint32_t> deg(num_vertices, 0);
+  for (const auto& e : edges) ++deg[e.src];
+  return deg;
+}
+
+void Graph::validate() const {
+  for (const auto& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      throw DataError("edge endpoint out of range");
+    }
+  }
+}
+
+Csr build_adjacency(const Graph& g, bool reverse) {
+  Csr csr;
+  csr.offsets.assign(g.num_vertices + 1, 0);
+  for (const auto& e : g.edges) {
+    ++csr.offsets[(reverse ? e.dst : e.src) + 1];
+  }
+  for (std::size_t v = 0; v < g.num_vertices; ++v) {
+    csr.offsets[v + 1] += csr.offsets[v];
+  }
+  csr.targets.resize(g.edges.size());
+  std::vector<std::size_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& e : g.edges) {
+    const VertexId from = reverse ? e.dst : e.src;
+    const VertexId to = reverse ? e.src : e.dst;
+    csr.targets[cursor[from]++] = to;
+  }
+  return csr;
+}
+
+std::string to_edge_list_text(const Graph& g) {
+  std::string out;
+  out.reserve(g.edges.size() * 12);
+  for (const auto& e : g.edges) {
+    out += std::to_string(e.src);
+    out += '\t';
+    out += std::to_string(e.dst);
+    out += '\n';
+  }
+  return out;
+}
+
+Graph from_edge_list_text(const std::string& text, VertexId num_vertices) {
+  Graph g;
+  std::size_t pos = 0;
+  VertexId max_vertex = 0;
+  while (pos < text.size()) {
+    const auto tab = text.find('\t', pos);
+    if (tab == std::string::npos) throw DataError("edge list: missing tab");
+    const auto nl = text.find('\n', tab + 1);
+    if (nl == std::string::npos) throw DataError("edge list: missing newline");
+    Edge e;
+    auto [p1, ec1] = std::from_chars(text.data() + pos, text.data() + tab, e.src);
+    auto [p2, ec2] = std::from_chars(text.data() + tab + 1, text.data() + nl, e.dst);
+    if (ec1 != std::errc() || ec2 != std::errc() || p1 != text.data() + tab ||
+        p2 != text.data() + nl) {
+      throw DataError("edge list: bad vertex id");
+    }
+    g.edges.push_back(e);
+    max_vertex = std::max({max_vertex, e.src, e.dst});
+    pos = nl + 1;
+  }
+  g.num_vertices = num_vertices != 0 ? num_vertices
+                   : g.edges.empty() ? 0
+                                     : max_vertex + 1;
+  g.validate();
+  return g;
+}
+
+void write_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw DataError("cannot open " + path);
+  const std::string text = to_edge_list_text(g);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw DataError("write failed: " + path);
+}
+
+Graph read_edge_list(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_edge_list_text(buf.str());
+}
+
+}  // namespace papar::graph

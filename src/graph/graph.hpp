@@ -1,0 +1,63 @@
+// Directed graph substrate: edge lists, adjacency, degrees, and the
+// EdgeList text format of the paper's Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace papar::graph {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct Graph {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+
+  /// In-degree of every vertex.
+  std::vector<std::uint32_t> in_degrees() const;
+
+  /// Out-degree of every vertex.
+  std::vector<std::uint32_t> out_degrees() const;
+
+  /// Validates that every endpoint is < num_vertices.
+  void validate() const;
+};
+
+/// Compressed sparse row adjacency (out-edges). Building the CSC (in-edges)
+/// is the same structure over reversed edges.
+struct Csr {
+  std::vector<std::size_t> offsets;  // num_vertices + 1
+  std::vector<VertexId> targets;     // num_edges
+
+  std::size_t degree(VertexId v) const { return offsets[v + 1] - offsets[v]; }
+  const VertexId* begin(VertexId v) const { return targets.data() + offsets[v]; }
+  const VertexId* end(VertexId v) const { return targets.data() + offsets[v + 1]; }
+};
+
+/// Builds out-edge CSR (reverse=false) or in-edge CSC (reverse=true).
+Csr build_adjacency(const Graph& g, bool reverse);
+
+/// Serializes the graph in the paper's EdgeList text format:
+/// "src\tdst\n" per edge (Fig. 5).
+std::string to_edge_list_text(const Graph& g);
+
+/// Parses EdgeList text. num_vertices = max endpoint + 1 unless an explicit
+/// count is given.
+Graph from_edge_list_text(const std::string& text, VertexId num_vertices = 0);
+
+/// Writes/reads the text format to disk.
+void write_edge_list(const std::string& path, const Graph& g);
+Graph read_edge_list(const std::string& path);
+
+}  // namespace papar::graph

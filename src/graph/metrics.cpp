@@ -1,0 +1,125 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace papar::graph {
+
+std::size_t count_triangles(const Graph& g) {
+  // Undirected simple projection with degree ordering. Vertices are first
+  // relabeled by (degree, id) rank so that one total order governs both the
+  // edge direction (low rank -> high rank) and the sorted adjacency lists —
+  // every triangle then appears as exactly one wedge u -> v, u -> w with a
+  // forward edge v -> w, and the closing check is a sorted intersection.
+  std::vector<std::uint32_t> degree(g.num_vertices, 0);
+  for (const auto& e : g.edges) {
+    if (e.src == e.dst) continue;
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<VertexId> order(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degree[a] != degree[b] ? degree[a] < degree[b] : a < b;
+  });
+  std::vector<VertexId> rank(g.num_vertices);
+  for (VertexId i = 0; i < g.num_vertices; ++i) rank[order[i]] = i;
+
+  // Build forward adjacency in rank space, deduplicated.
+  std::vector<std::pair<VertexId, VertexId>> fwd;
+  fwd.reserve(g.edges.size());
+  for (const auto& e : g.edges) {
+    if (e.src == e.dst) continue;
+    const VertexId a = rank[e.src];
+    const VertexId b = rank[e.dst];
+    fwd.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(fwd.begin(), fwd.end());
+  fwd.erase(std::unique(fwd.begin(), fwd.end()), fwd.end());
+
+  std::vector<std::size_t> offsets(g.num_vertices + 1, 0);
+  for (const auto& [u, v] : fwd) ++offsets[u + 1];
+  for (std::size_t v = 0; v < g.num_vertices; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> targets(fwd.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [u, v] : fwd) targets[cursor[u]++] = v;
+  }
+
+  // Count closed wedges: for each u, for each neighbor pair (v, w) of u
+  // (v before w), check edge v -> w via sorted-range intersection.
+  std::size_t triangles = 0;
+  for (VertexId u = 0; u < g.num_vertices; ++u) {
+    const auto ub = targets.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    const auto ue = targets.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+    for (auto it = ub; it != ue; ++it) {
+      const VertexId v = *it;
+      // Intersect u's remaining forward neighbors with v's forward list.
+      const auto vb = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto ve = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      auto a = it + 1;
+      auto b = vb;
+      while (a != ue && b != ve) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++triangles;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+GraphStats compute_stats(const Graph& g, bool with_triangles) {
+  GraphStats stats;
+  stats.vertices = g.num_vertices;
+  stats.edges = g.edges.size();
+  stats.type = "Directed";
+  stats.triangles = with_triangles ? count_triangles(g) : 0;
+  return stats;
+}
+
+std::vector<std::size_t> in_degree_histogram(const Graph& g, std::size_t max_degree) {
+  PAPAR_CHECK_MSG(max_degree >= 1, "histogram needs at least one bin");
+  std::vector<std::size_t> hist(max_degree + 1, 0);
+  for (auto d : g.in_degrees()) {
+    ++hist[std::min<std::size_t>(d, max_degree)];
+  }
+  return hist;
+}
+
+double degree_histogram_slope(const std::vector<std::size_t>& histogram) {
+  // Fit log(count) = slope * log(degree) + b over bins with degree >= 1 and
+  // count > 0 (excluding the saturated last bin).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t d = 1; d + 1 < histogram.size(); ++d) {
+    if (histogram[d] == 0) continue;
+    const double x = std::log(static_cast<double>(d));
+    const double y = std::log(static_cast<double>(histogram[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  return (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+}
+
+double high_degree_fraction(const Graph& g, std::uint32_t threshold) {
+  if (g.num_vertices == 0) return 0.0;
+  std::size_t high = 0;
+  for (auto d : g.in_degrees()) high += d >= threshold;
+  return static_cast<double>(high) / static_cast<double>(g.num_vertices);
+}
+
+}  // namespace papar::graph

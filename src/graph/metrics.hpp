@@ -1,0 +1,41 @@
+// Graph statistics: everything Table II reports, plus degree-distribution
+// helpers used to verify the generators produce power-law graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace papar::graph {
+
+struct GraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::string type = "Directed";
+  std::size_t triangles = 0;
+};
+
+/// Counts triangles in the undirected simple projection of the graph
+/// (SNAP's convention for the Table II numbers): node-iterator with
+/// degree-ordered forward adjacency, O(sum of d^2) worst case but fast on
+/// power-law graphs.
+std::size_t count_triangles(const Graph& g);
+
+/// Full Table II row for one graph.
+GraphStats compute_stats(const Graph& g, bool with_triangles = true);
+
+/// Histogram of in-degrees: result[d] = number of vertices with in-degree
+/// d, capped at `max_degree` (larger degrees accumulate in the last bin).
+std::vector<std::size_t> in_degree_histogram(const Graph& g, std::size_t max_degree);
+
+/// Least-squares slope of log(count) vs log(degree) over the histogram's
+/// nonempty bins — a crude power-law exponent estimate (expected ~ -2).
+double degree_histogram_slope(const std::vector<std::size_t>& histogram);
+
+/// Fraction of vertices whose in-degree is >= threshold (the hybrid-cut
+/// high-degree population).
+double high_degree_fraction(const Graph& g, std::uint32_t threshold);
+
+}  // namespace papar::graph

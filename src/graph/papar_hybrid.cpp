@@ -1,0 +1,114 @@
+#include "graph/papar_hybrid.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "core/workflow.hpp"
+#include "util/error.hpp"
+#include "xml/xml.hpp"
+
+namespace papar::graph {
+
+std::string edge_input_spec_xml() {
+  return R"(<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>)";
+}
+
+std::string hybrid_workflow_xml() {
+  // Fig. 10 with its dangling "$sort.outputPath" reference corrected to the
+  // actual upstream operator id ("group"), as discussed in DESIGN.md.
+  return R"(<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree, /tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy"
+             value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>)";
+}
+
+PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
+                                   std::size_t num_partitions,
+                                   std::uint32_t threshold,
+                                   core::EngineOptions options,
+                                   mp::NetworkModel network) {
+  const auto spec = schema::parse_input_spec(xml::parse(edge_input_spec_xml()));
+  auto wf = core::parse_workflow(xml::parse(hybrid_workflow_xml()));
+  core::WorkflowEngine engine(std::move(wf), {{"graph_edge", spec}},
+                              {{"input_file", "edges.txt"},
+                               {"output_path", "partitions"},
+                               {"num_partitions", std::to_string(num_partitions)},
+                               {"threshold", std::to_string(threshold)}},
+                              options);
+  mp::Runtime runtime(nranks, network);
+  auto result = engine.run(runtime, {{"edges.txt", to_edge_list_text(g)}});
+
+  // Convert partitions of (vertex_a, vertex_b) records back into an
+  // edge -> partition map. Duplicate edges are matched by multiplicity.
+  PaparHybridResult out;
+  out.stats = result.stats;
+  out.partitioning.kind = CutKind::kHybridCut;
+  out.partitioning.num_partitions = num_partitions;
+  out.partitioning.edge_partition.assign(g.edges.size(), 0);
+
+  std::map<Edge, std::vector<std::size_t>> edge_indices;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    edge_indices[g.edges[i]].push_back(i);
+  }
+  auto parse_vertex = [](const std::string& s) {
+    VertexId v = 0;
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size()) {
+      throw DataError("bad vertex id in partition output: " + s);
+    }
+    return v;
+  };
+  const auto decoded = result.decode();
+  std::size_t assigned = 0;
+  for (std::size_t p = 0; p < decoded.size(); ++p) {
+    for (const auto& rec : decoded[p]) {
+      const Edge e{parse_vertex(rec.as_string(0)), parse_vertex(rec.as_string(1))};
+      auto it = edge_indices.find(e);
+      PAPAR_CHECK_MSG(it != edge_indices.end() && !it->second.empty(),
+                      "partition output contains an unknown edge");
+      out.partitioning.edge_partition[it->second.back()] =
+          static_cast<std::uint32_t>(p);
+      it->second.pop_back();
+      ++assigned;
+    }
+  }
+  PAPAR_CHECK_MSG(assigned == g.edges.size(), "partition output lost edges");
+  return out;
+}
+
+}  // namespace papar::graph

@@ -1,0 +1,38 @@
+// PaPar-driven hybrid-cut: the paper's Fig. 10 workflow applied to a graph.
+//
+// Runs group(count->indegree, pack) -> split(threshold) -> distribute
+// (graphVertexCut) through the workflow engine and converts the resulting
+// partitions back into an edge->partition assignment, so it can be compared
+// byte-for-byte against the native PowerLyra baseline and fed to the
+// PageRank engine.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "mpsim/network.hpp"
+
+namespace papar::graph {
+
+struct PaparHybridResult {
+  GraphPartitioning partitioning;
+  mp::RunStats stats;
+};
+
+/// Runs the Fig. 10 workflow on `nranks` simulated nodes with
+/// `num_partitions` output partitions.
+PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
+                                   std::size_t num_partitions,
+                                   std::uint32_t threshold,
+                                   core::EngineOptions options = {},
+                                   mp::NetworkModel network = mp::NetworkModel::rdma());
+
+/// The Fig. 10 workflow configuration XML (exposed for examples/docs).
+std::string hybrid_workflow_xml();
+
+/// The Fig. 5 InputData configuration XML for edge lists.
+std::string edge_input_spec_xml();
+
+}  // namespace papar::graph

@@ -1,0 +1,113 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace papar::graph {
+
+const char* cut_name(CutKind kind) {
+  switch (kind) {
+    case CutKind::kEdgeCut: return "edge-cut";
+    case CutKind::kVertexCut: return "vertex-cut";
+    case CutKind::kHybridCut: return "hybrid-cut";
+  }
+  return "?";
+}
+
+namespace {
+// Vertices hash through their EdgeList text representation so the native
+// partitioners and the PaPar workflow (which sees string vertex ids from
+// the Fig. 5 input format) agree on every placement — the partition-
+// identity guarantee depends on it.
+std::uint64_t hash_vertex(VertexId v) {
+  char buf[12];
+  const auto len = static_cast<std::size_t>(std::snprintf(buf, sizeof(buf), "%u", v));
+  return key_hash(std::string_view(buf, len));
+}
+}  // namespace
+
+std::size_t vertex_owner(VertexId v, std::size_t num_partitions) {
+  return hash_vertex(v) % num_partitions;
+}
+
+std::vector<std::size_t> GraphPartitioning::edges_per_partition() const {
+  std::vector<std::size_t> counts(num_partitions, 0);
+  for (auto p : edge_partition) ++counts[p];
+  return counts;
+}
+
+double GraphPartitioning::edge_imbalance() const {
+  const auto counts = edges_per_partition();
+  const auto mx = *std::max_element(counts.begin(), counts.end());
+  double sum = 0;
+  for (auto c : counts) sum += static_cast<double>(c);
+  const double mean = sum / static_cast<double>(counts.size());
+  return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+}
+
+GraphPartitioning partition_graph(const Graph& g, std::size_t num_partitions,
+                                  CutKind kind, std::uint32_t hybrid_threshold) {
+  PAPAR_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  GraphPartitioning parts;
+  parts.kind = kind;
+  parts.num_partitions = num_partitions;
+  parts.edge_partition.reserve(g.edges.size());
+
+  std::vector<std::uint32_t> in_deg;
+  if (kind == CutKind::kHybridCut) in_deg = g.in_degrees();
+
+  for (const auto& e : g.edges) {
+    std::size_t p = 0;
+    switch (kind) {
+      case CutKind::kEdgeCut:
+        p = vertex_owner(e.dst, num_partitions);
+        break;
+      case CutKind::kVertexCut:
+        p = mix64(hash_vertex(e.src) ^ (hash_vertex(e.dst) * 0x51ed2701)) %
+            num_partitions;
+        break;
+      case CutKind::kHybridCut:
+        p = in_deg[e.dst] >= hybrid_threshold
+                ? vertex_owner(e.src, num_partitions)
+                : vertex_owner(e.dst, num_partitions);
+        break;
+    }
+    parts.edge_partition.push_back(static_cast<std::uint32_t>(p));
+  }
+  return parts;
+}
+
+ReplicationStats compute_replication(const Graph& g, const GraphPartitioning& parts) {
+  PAPAR_CHECK_MSG(g.edges.size() == parts.edge_partition.size(),
+                  "partitioning does not match the graph");
+  // Replica sets as bitmasks for P <= 64, the practical range here.
+  PAPAR_CHECK_MSG(parts.num_partitions <= 64, "replication mask supports P <= 64");
+  std::vector<std::uint64_t> replicas(g.num_vertices, 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    replicas[v] = std::uint64_t{1} << vertex_owner(v, parts.num_partitions);
+  }
+  ReplicationStats stats;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    const auto& e = g.edges[i];
+    const std::uint64_t bit = std::uint64_t{1} << parts.edge_partition[i];
+    replicas[e.src] |= bit;
+    replicas[e.dst] |= bit;
+    if (vertex_owner(e.src, parts.num_partitions) !=
+        vertex_owner(e.dst, parts.num_partitions)) {
+      ++stats.cut_edges;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    stats.total_replicas += static_cast<std::size_t>(__builtin_popcountll(replicas[v]));
+  }
+  stats.replication_factor = g.num_vertices == 0
+                                 ? 1.0
+                                 : static_cast<double>(stats.total_replicas) /
+                                       static_cast<double>(g.num_vertices);
+  return stats;
+}
+
+}  // namespace papar::graph

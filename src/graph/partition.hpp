@@ -1,0 +1,65 @@
+// Graph partitioning strategies: edge-cut, vertex-cut, and PowerLyra's
+// hybrid-cut (§II-A, Fig. 2), plus the replication metrics that drive the
+// PageRank communication model.
+//
+// All three strategies assign every *edge* to a partition with a
+// deterministic hash rule, so partitions are reproducible across backends
+// and rank counts (the property the paper's correctness evaluation checks):
+//
+//   edge-cut:    edge (u,v) lives with its destination vertex,
+//                owner(v) = hash(v) % P — vertices are partitioned and
+//                cross-partition edges are "cut".
+//   vertex-cut:  edge (u,v) -> hash(u,v) % P (random edge placement, the
+//                PowerGraph baseline); vertices are replicated wherever
+//                their edges land.
+//   hybrid-cut:  in-degree(v) < threshold: edge -> hash(v) % P (a low-degree
+//                vertex keeps all its in-edges together);
+//                otherwise: edge -> hash(u) % P (a high-degree vertex's
+//                in-edges scatter by source). PowerLyra's differentiation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace papar::graph {
+
+enum class CutKind { kEdgeCut, kVertexCut, kHybridCut };
+
+const char* cut_name(CutKind kind);
+
+/// Deterministic owner of a vertex (used by edge-cut and as the master
+/// assignment for the PageRank engine).
+std::size_t vertex_owner(VertexId v, std::size_t num_partitions);
+
+struct GraphPartitioning {
+  CutKind kind = CutKind::kHybridCut;
+  std::size_t num_partitions = 1;
+  /// Partition of each edge, parallel to Graph::edges.
+  std::vector<std::uint32_t> edge_partition;
+
+  std::vector<std::size_t> edges_per_partition() const;
+
+  /// Load balance: max/mean edges per partition.
+  double edge_imbalance() const;
+};
+
+/// Partitions every edge of `g` under the chosen strategy.
+GraphPartitioning partition_graph(const Graph& g, std::size_t num_partitions,
+                                  CutKind kind, std::uint32_t hybrid_threshold = 200);
+
+/// Replication metrics: how many partitions each vertex must exist on
+/// (its master plus every partition holding one of its edges). The average
+/// is PowerGraph/PowerLyra's replication factor lambda; PageRank exchanges
+/// ~2 * (sum of replicas - |V|) values per iteration.
+struct ReplicationStats {
+  double replication_factor = 1.0;
+  std::size_t total_replicas = 0;
+  /// Edges whose endpoints have different masters (the edge-cut "cut size").
+  std::size_t cut_edges = 0;
+};
+
+ReplicationStats compute_replication(const Graph& g, const GraphPartitioning& parts);
+
+}  // namespace papar::graph

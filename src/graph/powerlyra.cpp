@@ -1,0 +1,138 @@
+#include "graph/powerlyra.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace papar::graph {
+
+GraphPartitioning powerlyra_partition(const Graph& g, std::size_t num_partitions,
+                                      std::uint32_t threshold, ThreadPool& pool) {
+  PAPAR_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+
+  // Parallel in-degree count: per-chunk histograms merged serially (the
+  // flat-array equivalent of PowerLyra's parallel ingress counting).
+  const std::size_t chunks = pool.size();
+  std::vector<std::vector<std::uint32_t>> partial(
+      chunks, std::vector<std::uint32_t>(g.num_vertices, 0));
+  pool.parallel_for(g.edges.size(), [&](std::size_t b, std::size_t e, std::size_t c) {
+    auto& hist = partial[c % chunks];
+    for (std::size_t i = b; i < e; ++i) ++hist[g.edges[i].dst];
+  });
+  std::vector<std::uint32_t> in_deg(g.num_vertices, 0);
+  for (const auto& hist : partial) {
+    for (std::size_t v = 0; v < g.num_vertices; ++v) in_deg[v] += hist[v];
+  }
+
+  GraphPartitioning parts;
+  parts.kind = CutKind::kHybridCut;
+  parts.num_partitions = num_partitions;
+  parts.edge_partition.resize(g.edges.size());
+  pool.parallel_for(g.edges.size(), [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) {
+      const auto& edge = g.edges[i];
+      const std::size_t p = in_deg[edge.dst] >= threshold
+                                ? vertex_owner(edge.src, num_partitions)
+                                : vertex_owner(edge.dst, num_partitions);
+      parts.edge_partition[i] = static_cast<std::uint32_t>(p);
+    }
+  });
+  return parts;
+}
+
+PowerLyraRunResult powerlyra_partition_distributed(const Graph& g,
+                                                   mp::Runtime& runtime,
+                                                   const PowerLyraOptions& opt) {
+  const auto p = static_cast<std::size_t>(runtime.size());
+  const std::size_t n = g.num_vertices;
+  const std::size_t m = g.edges.size();
+  PAPAR_CHECK_MSG(n > 0, "empty graph");
+
+  PowerLyraRunResult result;
+  result.partitioning.kind = CutKind::kHybridCut;
+  result.partitioning.num_partitions = p;
+  result.partitioning.edge_partition.assign(m, 0);
+
+  // PowerLyra's actual ingress shape: edges are first hash-exchanged by
+  // destination so in-degrees are counted where the vertex lives; a
+  // low-degree edge is then already at its final partition, and only
+  // high-degree edges take a second hop to the partition of their source.
+  result.stats = runtime.run([&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const std::size_t begin = r * m / p;
+    const std::size_t end = (r + 1) * m / p;
+
+    struct Tagged {
+      std::uint64_t index;
+      Edge edge;
+    };
+
+    // 1. Shuffle this rank's slice by owner(dst).
+    {
+      std::vector<ByteWriter> buckets(p);
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto dest = vertex_owner(g.edges[i].dst, p);
+        buckets[dest].put(Tagged{static_cast<std::uint64_t>(i), g.edges[i]});
+      }
+      std::vector<std::vector<unsigned char>> send;
+      send.reserve(p);
+      for (auto& b : buckets) send.push_back(b.take());
+
+      auto received = comm.alltoallv(std::move(send));
+
+      // 2. Count in-degrees of owned vertices (flat array: PowerLyra's
+      //    native ingress works on dense per-machine vertex arrays).
+      std::vector<std::uint32_t> deg(n, 0);
+      for (const auto& buf : received) {
+        ByteReader reader(buf);
+        while (!reader.done()) {
+          const auto t = reader.get<Tagged>();
+          ++deg[t.edge.dst];
+        }
+      }
+
+      // 3. Dynamic low-cut scoring: PowerLyra evaluates placement scores
+      //    for its low-degree vertices against every partition. Modeled
+      //    charge, scaled by the graph's clustering factor (the paper notes
+      //    the overhead is worst on graphs "which vertices cluster
+      //    together", e.g. LiveJournal).
+      std::size_t low_vertices = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        low_vertices += deg[v] > 0 && deg[v] < opt.threshold;
+      }
+      comm.charge_modeled(static_cast<double>(low_vertices) * static_cast<double>(p) *
+                          opt.score_cost * opt.clustering_factor);
+
+      // 4. Low-degree edges are home; high-degree edges hop to owner(src).
+      std::vector<ByteWriter> high(p);
+      for (const auto& buf : received) {
+        ByteReader reader(buf);
+        while (!reader.done()) {
+          const auto t = reader.get<Tagged>();
+          if (deg[t.edge.dst] >= opt.threshold) {
+            high[vertex_owner(t.edge.src, p)].put(t);
+          } else {
+            result.partitioning.edge_partition[t.index] = static_cast<std::uint32_t>(r);
+          }
+        }
+      }
+      std::vector<std::vector<unsigned char>> send2;
+      send2.reserve(p);
+      for (auto& b : high) send2.push_back(b.take());
+      auto received2 = comm.alltoallv(std::move(send2));
+      for (const auto& buf : received2) {
+        ByteReader reader(buf);
+        while (!reader.done()) {
+          const auto t = reader.get<Tagged>();
+          result.partitioning.edge_partition[t.index] = static_cast<std::uint32_t>(r);
+        }
+      }
+    }
+    comm.barrier();
+  });
+
+  return result;
+}
+
+}  // namespace papar::graph

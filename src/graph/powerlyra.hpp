@@ -1,0 +1,59 @@
+// PowerLyra baseline partitioner (the Fig. 15 comparator).
+//
+// Re-implementation of PowerLyra's hybrid-cut ingress as a native program,
+// in two configurations matching the paper's description:
+//
+//  - powerlyra_partition: the shared-memory multithreaded path (NUMA-tuned
+//    in the original; here a thread pool over flat arrays). Produces the
+//    same edge->partition assignment as partition_graph(kHybridCut) — that
+//    determinism is what lets the correctness evaluation compare PaPar's
+//    partitions against the application's.
+//  - powerlyra_partition_distributed: the multi-node path. The paper notes
+//    two structural handicaps that our model reproduces: its shuffle uses
+//    socket communication over Ethernet (run it on an ethernet-model
+//    Runtime), and its "dynamic approach ... calculates scores for
+//    low-degree vertices in each partition", an overhead that grows with
+//    the candidate-partition count and bites hardest on clustered graphs
+//    (LiveJournal). The scoring overhead is charged as modeled compute
+//    (cost per low-degree vertex per partition x a per-graph clustering
+//    factor); everything else is executed for real.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "mpsim/runtime.hpp"
+#include "util/thread_pool.hpp"
+
+namespace papar::graph {
+
+struct PowerLyraOptions {
+  std::uint32_t threshold = 200;
+  /// Modeled cost of scoring one low-degree vertex against one candidate
+  /// partition (seconds). PowerLyra's dynamic low-cut placement.
+  double score_cost = 40e-9;
+  /// Graph-dependent multiplier on the scoring work: clustered graphs
+  /// (LiveJournal-like) re-score more often.
+  double clustering_factor = 1.0;
+};
+
+/// Single-node multithreaded hybrid-cut (the paper's PowerLyra snapshot on
+/// one node). Deterministic: equals partition_graph(g, P, kHybridCut).
+GraphPartitioning powerlyra_partition(const Graph& g, std::size_t num_partitions,
+                                      std::uint32_t threshold, ThreadPool& pool);
+
+struct PowerLyraRunResult {
+  GraphPartitioning partitioning;
+  mp::RunStats stats;
+};
+
+/// Multi-node ingress: ranks slice the edge list, count in-degrees with one
+/// allreduce, score-and-place (modeled overhead), and shuffle edges to
+/// their partitions. Run this on a Runtime built over
+/// NetworkModel::ethernet() to reproduce the paper's setup.
+PowerLyraRunResult powerlyra_partition_distributed(const Graph& g,
+                                                   mp::Runtime& runtime,
+                                                   const PowerLyraOptions& options);
+
+}  // namespace papar::graph

@@ -1,0 +1,102 @@
+// Key-value page used by the MapReduce engine.
+//
+// Records are packed back-to-back as [u32 key-len][u32 value-len][key][value]
+// in one growable byte page, matching the byte-string KV model of MR-MPI
+// (Plimpton & Devine), the backend the paper maps PaPar onto. A page can be
+// shipped across the simulated fabric wholesale, which is exactly what the
+// shuffle does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace papar::mr {
+
+struct KvPair {
+  std::string_view key;
+  std::string_view value;
+};
+
+class KvBuffer {
+ public:
+  KvBuffer() = default;
+
+  /// Appends one record.
+  void add(std::string_view key, std::string_view value);
+
+  /// Appends a POD value under a POD key.
+  template <typename K, typename V>
+  void add_pod(const K& key, const V& value) {
+    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+    add(std::string_view(reinterpret_cast<const char*>(&key), sizeof(K)),
+        std::string_view(reinterpret_cast<const char*>(&value), sizeof(V)));
+  }
+
+  /// Appends every record of `page` (a raw byte page in this format).
+  void append_page(const unsigned char* data, std::size_t n);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t byte_size() const { return bytes_.size(); }
+  const std::vector<unsigned char>& bytes() const { return bytes_; }
+
+  void clear() {
+    bytes_.clear();
+    count_ = 0;
+  }
+
+  /// Record located at byte offset `off`; also returns the offset of the
+  /// next record via `next`.
+  KvPair at(std::size_t off, std::size_t* next = nullptr) const;
+
+  /// Byte offsets of all records, in page order. O(count).
+  std::vector<std::size_t> offsets() const;
+
+  /// Calls fn(key, value) for every record in page order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t off = 0;
+    while (off < bytes_.size()) {
+      std::size_t next = 0;
+      KvPair kv = at(off, &next);
+      fn(kv.key, kv.value);
+      off = next;
+    }
+  }
+
+  /// Rebuilds the page so records appear in the order given by `order`
+  /// (a permutation of offsets()).
+  void reorder(const std::vector<std::size_t>& order);
+
+  /// Moves the raw page out, leaving the buffer empty.
+  std::vector<unsigned char> take_bytes();
+
+  /// Replaces the page with `bytes` (must be a valid page).
+  void adopt_bytes(std::vector<unsigned char> bytes);
+
+ private:
+  std::vector<unsigned char> bytes_;
+  std::size_t count_ = 0;
+};
+
+/// Write-only view of a KvBuffer handed to user map/reduce callbacks.
+class KvEmitter {
+ public:
+  explicit KvEmitter(KvBuffer& sink) : sink_(&sink) {}
+
+  void emit(std::string_view key, std::string_view value) { sink_->add(key, value); }
+
+  template <typename K, typename V>
+  void emit_pod(const K& key, const V& value) {
+    sink_->add_pod(key, value);
+  }
+
+ private:
+  KvBuffer* sink_;
+};
+
+}  // namespace papar::mr

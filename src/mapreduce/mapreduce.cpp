@@ -1,0 +1,206 @@
+#include "mapreduce/mapreduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/hash.hpp"
+
+namespace papar::mr {
+
+void MapReduce::map(int nmap, const MapTaskFn& fn) {
+  KvEmitter emitter(page_);
+  for (int itask = comm_->rank(); itask < nmap; itask += comm_->size()) {
+    fn(itask, emitter);
+  }
+}
+
+void MapReduce::map_kv(const MapKvFn& fn) {
+  KvBuffer fresh;
+  KvEmitter emitter(fresh);
+  page_.for_each([&](std::string_view k, std::string_view v) { fn(k, v, emitter); });
+  page_ = std::move(fresh);
+}
+
+void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
+  const int p = comm_->size();
+  std::vector<KvBuffer> outgoing(static_cast<std::size_t>(p));
+  page_.for_each([&](std::string_view k, std::string_view v) {
+    const int dest = route(KvPair{k, v});
+    PAPAR_CHECK_MSG(dest >= 0 && dest < p, "partitioner returned an invalid rank");
+    outgoing[static_cast<std::size_t>(dest)].add(k, v);
+  });
+  page_.clear();
+  std::vector<std::vector<unsigned char>> send;
+  send.reserve(static_cast<std::size_t>(p));
+  for (auto& buf : outgoing) send.push_back(buf.take_bytes());
+  auto received = comm_->alltoallv(std::move(send));
+  for (const auto& part : received) page_.append_page(part.data(), part.size());
+}
+
+void MapReduce::aggregate() {
+  const int p = comm_->size();
+  shuffle_by([p](const KvPair& kv) {
+    return static_cast<int>(key_hash(kv.key) % static_cast<std::uint64_t>(p));
+  });
+}
+
+void MapReduce::aggregate(const PartitionFn& part) {
+  shuffle_by([&part](const KvPair& kv) { return part(kv.key, kv.value); });
+}
+
+void MapReduce::reduce(const ReduceFn& fn) {
+  // Stable sort record offsets by key bytes so equal keys are adjacent and
+  // values keep their page order within each group.
+  auto offs = page_.offsets();
+  std::stable_sort(offs.begin(), offs.end(), [this](std::size_t a, std::size_t b) {
+    return page_.at(a).key < page_.at(b).key;
+  });
+
+  KvBuffer fresh;
+  KvEmitter emitter(fresh);
+  std::vector<std::string_view> values;
+  std::size_t i = 0;
+  while (i < offs.size()) {
+    const auto head = page_.at(offs[i]);
+    values.clear();
+    values.push_back(head.value);
+    std::size_t j = i + 1;
+    while (j < offs.size()) {
+      const auto kv = page_.at(offs[j]);
+      if (kv.key != head.key) break;
+      values.push_back(kv.value);
+      ++j;
+    }
+    fn(head.key, std::span<const std::string_view>(values.data(), values.size()), emitter);
+    i = j;
+  }
+  page_ = std::move(fresh);
+}
+
+void MapReduce::local_sort(
+    const std::function<bool(const KvPair&, const KvPair&)>& less) {
+  auto offs = page_.offsets();
+  std::stable_sort(offs.begin(), offs.end(), [&](std::size_t a, std::size_t b) {
+    return less(page_.at(a), page_.at(b));
+  });
+  page_.reorder(offs);
+}
+
+void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
+                                SplitterMethod method, int oversample,
+                                bool tie_break_bytes) {
+  const int p = comm_->size();
+  // Work with a monotone transform so the routing logic is ascending-only.
+  auto directed = [&proj, ascending](const KvPair& kv) {
+    const std::uint64_t x = proj(kv.key, kv.value);
+    return ascending ? x : ~x;
+  };
+
+  std::vector<std::uint64_t> splitters;  // p-1 boundaries
+  if (p > 1) {
+    if (method == SplitterMethod::kSampled) {
+      // Evenly spaced local sample of up to oversample*p projections.
+      std::vector<std::uint64_t> local;
+      const auto offs = page_.offsets();
+      const std::size_t want =
+          std::min<std::size_t>(offs.size(), static_cast<std::size_t>(oversample) *
+                                                 static_cast<std::size_t>(p));
+      if (want > 0) {
+        local.reserve(want);
+        for (std::size_t i = 0; i < want; ++i) {
+          const std::size_t idx = i * offs.size() / want;
+          local.push_back(directed(page_.at(offs[idx])));
+        }
+      }
+      ByteWriter w;
+      for (auto x : local) w.put(x);
+      auto all = comm_->allgather(w.take());
+      std::vector<std::uint64_t> sample;
+      for (const auto& part : all) {
+        ByteReader r(part);
+        while (!r.done()) sample.push_back(r.get<std::uint64_t>());
+      }
+      std::sort(sample.begin(), sample.end());
+      splitters.reserve(static_cast<std::size_t>(p - 1));
+      for (int i = 1; i < p; ++i) {
+        if (sample.empty()) {
+          splitters.push_back(std::numeric_limits<std::uint64_t>::max());
+        } else {
+          splitters.push_back(
+              sample[static_cast<std::size_t>(i) * sample.size() / static_cast<std::size_t>(p)]);
+        }
+      }
+    } else {
+      // Naive: interpolate between the global extremes.
+      std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+      std::uint64_t hi = 0;
+      page_.for_each([&](std::string_view k, std::string_view v) {
+        const std::uint64_t x = directed(KvPair{k, v});
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      });
+      lo = comm_->allreduce(std::vector<std::uint64_t>{lo},
+                            [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); })[0];
+      hi = comm_->allreduce(std::vector<std::uint64_t>{hi},
+                            [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); })[0];
+      if (lo > hi) {  // no records anywhere
+        lo = 0;
+        hi = 0;
+      }
+      const double span = static_cast<double>(hi - lo);
+      for (int i = 1; i < p; ++i) {
+        splitters.push_back(lo + static_cast<std::uint64_t>(span * i / p));
+      }
+    }
+
+    shuffle_by([&](const KvPair& kv) {
+      const std::uint64_t x = directed(kv);
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), x);
+      return static_cast<int>(it - splitters.begin());
+    });
+  }
+
+  // Final stable local sort by the directed projection (full-byte
+  // tie-break makes the order total when requested).
+  auto offs = page_.offsets();
+  std::stable_sort(offs.begin(), offs.end(), [&](std::size_t a, std::size_t b) {
+    const auto ka = page_.at(a);
+    const auto kb = page_.at(b);
+    const std::uint64_t pa = directed(ka);
+    const std::uint64_t pb = directed(kb);
+    if (pa != pb) return pa < pb;
+    if (!tie_break_bytes) return false;
+    if (ka.key != kb.key) return ka.key < kb.key;
+    return ka.value < kb.value;
+  });
+  page_.reorder(offs);
+}
+
+void MapReduce::gather(int root) {
+  auto page = page_.take_bytes();
+  page_.clear();
+  auto parts = comm_->gather(root, page);
+  if (comm_->rank() == root) {
+    for (const auto& part : parts) page_.append_page(part.data(), part.size());
+  }
+}
+
+std::uint64_t MapReduce::global_count() {
+  return comm_->allreduce_sum<std::uint64_t>(page_.count());
+}
+
+std::vector<std::uint64_t> MapReduce::rank_counts() {
+  ByteWriter w;
+  w.put<std::uint64_t>(page_.count());
+  auto all = comm_->allgather(w.take());
+  std::vector<std::uint64_t> counts;
+  counts.reserve(all.size());
+  for (const auto& part : all) {
+    ByteReader r(part);
+    counts.push_back(r.get<std::uint64_t>());
+  }
+  return counts;
+}
+
+}  // namespace papar::mr

@@ -1,0 +1,119 @@
+// MapReduce engine over the simulated message-passing runtime.
+//
+// A from-scratch reimplementation of the MR-MPI programming model the paper
+// maps PaPar onto: each rank holds one KvBuffer page; `map` populates it,
+// `aggregate` shuffles records to reducers through one alltoallv, `reduce`
+// groups local records by key and folds each group, and `sample_sort_u64`
+// performs a sampling-based global sort (the paper's §III-D "Data Sampling"
+// balancing technique, with a naive range-splitting mode kept for the
+// ablation bench).
+//
+// All operations are collectives: every rank of the communicator must call
+// them in the same order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/kvbuffer.hpp"
+#include "mpsim/comm.hpp"
+
+namespace papar::mr {
+
+/// How sample_sort_u64 chooses reducer range splitters.
+enum class SplitterMethod {
+  /// Sample keys on every rank and allgather (the paper's approach,
+  /// after Gufler et al. [9]).
+  kSampled,
+  /// Linear interpolation between the global min and max key. Cheap but
+  /// badly imbalanced on skewed distributions; kept for the ablation.
+  kNaive,
+};
+
+class MapReduce {
+ public:
+  using MapTaskFn = std::function<void(int itask, KvEmitter&)>;
+  using MapKvFn = std::function<void(std::string_view key, std::string_view value, KvEmitter&)>;
+  using ReduceFn = std::function<void(std::string_view key,
+                                      std::span<const std::string_view> values, KvEmitter&)>;
+  using PartitionFn = std::function<int(std::string_view key, std::string_view value)>;
+  /// Projects a record's sort key to an integer; sorting is by this value.
+  using KeyProjection = std::function<std::uint64_t(std::string_view key, std::string_view value)>;
+
+  explicit MapReduce(mp::Comm& comm) : comm_(&comm) {}
+
+  mp::Comm& comm() { return *comm_; }
+
+  // -- Populate ------------------------------------------------------------
+
+  /// Runs `nmap` map tasks; task i executes on rank i % P. Emitted records
+  /// land in this rank's page.
+  void map(int nmap, const MapTaskFn& fn);
+
+  /// Rewrites every local record through `fn` (record-parallel transform).
+  void map_kv(const MapKvFn& fn);
+
+  // -- Shuffle -------------------------------------------------------------
+
+  /// Routes every record to rank hash(key) % P. One alltoallv.
+  void aggregate();
+
+  /// Routes every record to the rank chosen by `part`.
+  void aggregate(const PartitionFn& part);
+
+  // -- Group / fold --------------------------------------------------------
+
+  /// Groups local records by exact key bytes (stable: values keep page
+  /// order) and calls `fn` once per group; emitted records replace the page.
+  /// This is MR-MPI's convert+reduce.
+  void reduce(const ReduceFn& fn);
+
+  /// MR-MPI's `compress`: a purely local convert+reduce used as a combiner
+  /// before aggregate() — pre-fold duplicate keys on the producing rank so
+  /// the shuffle moves one record per (rank, key) instead of one per
+  /// emission. Semantically identical to reduce() but named for its role.
+  void local_combine(const ReduceFn& fn) { reduce(fn); }
+
+  // -- Sort ----------------------------------------------------------------
+
+  /// Stable local sort by a caller-provided comparison on (key, value).
+  void local_sort(
+      const std::function<bool(const KvPair&, const KvPair&)>& less);
+
+  /// Global sort: after the call, records are ordered by `proj` within each
+  /// rank and ranges are ordered across ranks (rank 0 holds the smallest
+  /// keys when ascending). `method` controls splitter selection. With
+  /// `tie_break_bytes`, equal projections are ordered by raw (key, value)
+  /// bytes, making the global order total and backend-independent — PaPar's
+  /// partition-identity guarantee relies on this.
+  void sample_sort_u64(const KeyProjection& proj, bool ascending = true,
+                       SplitterMethod method = SplitterMethod::kSampled,
+                       int oversample = 32, bool tie_break_bytes = false);
+
+  // -- Movement / inspection ----------------------------------------------
+
+  /// Concentrates all records on `root` (pages from other ranks append in
+  /// rank order).
+  void gather(int root);
+
+  /// Total records across ranks.
+  std::uint64_t global_count();
+
+  /// Per-rank record counts (same vector on every rank) — used by the
+  /// sampling ablation to measure reducer imbalance.
+  std::vector<std::uint64_t> rank_counts();
+
+  const KvBuffer& local() const { return page_; }
+  KvBuffer& mutable_local() { return page_; }
+
+ private:
+  void shuffle_by(const std::function<int(const KvPair&)>& route);
+
+  mp::Comm* comm_;
+  KvBuffer page_;
+};
+
+}  // namespace papar::mr

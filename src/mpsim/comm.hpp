@@ -1,0 +1,191 @@
+// Communicator handed to each simulated rank.
+//
+// The API mirrors the MPI subset the paper's backends use: blocking
+// send/recv, nonblocking isend/irecv completed by Request::wait (the paper's
+// MPI backend uses Isend/Irecv/Wait for the data shuffle), and the
+// collectives MR-MPI needs (barrier, bcast, gather(v), alltoallv, allreduce,
+// allgather). Ranks are threads; payloads move through per-rank mailboxes.
+//
+// Virtual time: every rank carries a clock. Compute is charged from the
+// thread's CPU-time counter (CLOCK_THREAD_CPUTIME_ID) each time the rank
+// enters the runtime, so only cycles this rank actually executed count even
+// when all ranks share one core. Messages are stamped with
+// sender-clock + network cost; a receive advances the receiver's clock to at
+// least the stamp (Lamport propagation). The run's makespan is the maximum
+// final clock over ranks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpsim/network.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace papar::mp {
+
+namespace detail {
+struct Shared;
+}
+
+/// Wildcard source for recv/irecv, like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+
+/// Payload of a received message.
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  std::vector<unsigned char> payload;
+};
+
+class Comm;
+
+/// Handle for a nonblocking operation. A default-constructed Request is
+/// complete. Send requests complete immediately (sends are buffered, as with
+/// an eager MPI protocol); receive requests perform the matching receive in
+/// wait().
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the operation finishes; for receives, returns the message.
+  Envelope wait();
+
+  /// True if wait() would not block.
+  bool test() const;
+
+ private:
+  friend class Comm;
+  Request(Comm* comm, int source, int tag) : comm_(comm), source_(source), tag_(tag) {}
+
+  Comm* comm_ = nullptr;  // nullptr => already complete / send request
+  int source_ = kAnySource;
+  int tag_ = 0;
+};
+
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  const NetworkModel& network() const;
+
+  // -- Point-to-point ------------------------------------------------------
+
+  /// Blocking buffered send (never deadlocks; mailboxes are unbounded).
+  void send(int dest, int tag, const void* data, std::size_t n);
+  void send(int dest, int tag, const std::vector<unsigned char>& bytes) {
+    send(dest, tag, bytes.data(), bytes.size());
+  }
+  void send(int dest, int tag, const ByteWriter& w) { send(dest, tag, w.data(), w.size()); }
+
+  /// Blocking receive of the next message matching (source, tag).
+  Envelope recv(int source, int tag);
+
+  /// Nonblocking send; the returned request is already complete.
+  Request isend(int dest, int tag, const void* data, std::size_t n);
+  Request isend(int dest, int tag, const std::vector<unsigned char>& bytes) {
+    return isend(dest, tag, bytes.data(), bytes.size());
+  }
+
+  /// Nonblocking receive; completed by Request::wait().
+  Request irecv(int source, int tag);
+
+  /// True if a matching message is already queued.
+  bool probe(int source, int tag);
+
+  // -- Collectives ---------------------------------------------------------
+
+  /// Synchronizes all ranks; clocks advance to the global maximum plus a
+  /// log2(P)-deep latency term.
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte buffer from `root`.
+  std::vector<unsigned char> bcast(int root, std::vector<unsigned char> bytes);
+
+  /// Gathers each rank's buffer at `root` (empty result elsewhere),
+  /// indexed by rank.
+  std::vector<std::vector<unsigned char>> gather(int root,
+                                                 const std::vector<unsigned char>& bytes);
+
+  /// All ranks receive every rank's buffer, indexed by rank.
+  std::vector<std::vector<unsigned char>> allgather(const std::vector<unsigned char>& bytes);
+
+  /// Personalized all-to-all: send_bufs[i] goes to rank i; returns the
+  /// buffers received, indexed by source rank. This is the shuffle primitive.
+  std::vector<std::vector<unsigned char>> alltoallv(
+      std::vector<std::vector<unsigned char>> send_bufs);
+
+  /// Element-wise all-reduce over a POD vector with a binary combiner.
+  /// Reduction order is fixed (by rank), so results are deterministic.
+  template <typename T, typename BinaryOp>
+  std::vector<T> allreduce(const std::vector<T>& local, BinaryOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<unsigned char> mine(sizeof(T) * local.size());
+    std::memcpy(mine.data(), local.data(), mine.size());
+    auto all = allgather(mine);
+    std::vector<T> acc = local;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      PAPAR_CHECK_MSG(all[r].size() == mine.size(), "allreduce length mismatch");
+      const T* other = reinterpret_cast<const T*>(all[r].data());
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], other[i]);
+    }
+    return acc;
+  }
+
+  /// Convenience sum-all-reduce of one value.
+  template <typename T>
+  T allreduce_sum(T value) {
+    std::vector<T> v{value};
+    return allreduce(v, [](T a, T b) { return a + b; })[0];
+  }
+
+  /// Convenience max-all-reduce of one value.
+  template <typename T>
+  T allreduce_max(T value) {
+    std::vector<T> v{value};
+    return allreduce(v, [](T a, T b) { return a < b ? b : a; })[0];
+  }
+
+  // -- Virtual time --------------------------------------------------------
+
+  /// This rank's current virtual clock, in seconds.
+  double vtime();
+
+  /// Adds explicitly modeled work (seconds) to the clock. Used where a
+  /// baseline's cost is analytic rather than executed (e.g. PowerLyra's
+  /// per-vertex scoring overhead).
+  void charge_modeled(double seconds);
+
+  /// Scale factor applied to measured CPU seconds before they enter the
+  /// clock (1.0 = charge real CPU time).
+  void set_compute_scale(double scale) { compute_scale_ = scale; }
+
+  /// Fabric traffic accumulated so far in this run (shared across ranks).
+  /// Lets callers snapshot counters at a phase boundary — e.g. to exclude
+  /// the final output write, which the paper's timings also exclude.
+  std::uint64_t remote_bytes_so_far() const;
+  std::uint64_t remote_messages_so_far() const;
+
+ private:
+  friend struct detail::Shared;
+  friend class Runtime;
+  friend class Request;
+
+  Comm(detail::Shared* shared, int rank);
+
+  /// Folds CPU time burned since the last runtime entry into the clock.
+  void charge_compute();
+
+  void deliver(int dest, int tag, const void* data, std::size_t n);
+
+  detail::Shared* shared_;
+  int rank_;
+  double vtime_ = 0.0;
+  double last_cpu_ = 0.0;
+  double compute_scale_ = 1.0;
+};
+
+}  // namespace papar::mp

@@ -1,0 +1,382 @@
+#include "mpsim/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace papar::mp {
+
+namespace detail {
+
+namespace {
+// Internal tags; user tags must be >= 0.
+constexpr int kBcastTag = -2;
+constexpr int kGatherTag = -3;
+constexpr int kAlltoallTag = -4;
+
+struct Message {
+  int source;
+  int tag;
+  double arrival;  // virtual time at which the payload is available
+  std::vector<unsigned char> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+}  // namespace
+
+struct Shared {
+  explicit Shared(int nranks, NetworkModel net)
+      : size(nranks), network(net), mailboxes(static_cast<std::size_t>(nranks)) {}
+
+  const int size;
+  const NetworkModel network;
+  std::vector<Mailbox> mailboxes;
+
+  // Generation-counting barrier that also resolves the post-barrier clock.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+  double barrier_pending_max = 0.0;
+  double barrier_resolved_time = 0.0;
+
+  std::atomic<std::uint64_t> remote_messages{0};
+  std::atomic<std::uint64_t> remote_bytes{0};
+
+  void reset_for_run() {
+    barrier_count = 0;
+    barrier_pending_max = 0.0;
+    remote_messages.store(0);
+    remote_bytes.store(0);
+    for (auto& mb : mailboxes) {
+      std::lock_guard<std::mutex> lock(mb.mutex);
+      mb.queue.clear();
+    }
+  }
+
+  /// Latency of a log2(P)-deep synchronization tree.
+  double tree_latency() const {
+    int depth = 0;
+    for (int p = 1; p < size; p <<= 1) ++depth;
+    return network.latency * depth;
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Request
+
+Envelope Request::wait() {
+  if (comm_ == nullptr) return {};
+  Comm* c = comm_;
+  comm_ = nullptr;
+  return c->recv(source_, tag_);
+}
+
+bool Request::test() const {
+  if (comm_ == nullptr) return true;
+  return comm_->probe(source_, tag_);
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+
+Comm::Comm(detail::Shared* shared, int rank) : shared_(shared), rank_(rank) {}
+
+int Comm::size() const { return shared_->size; }
+
+const NetworkModel& Comm::network() const { return shared_->network; }
+
+void Comm::charge_compute() {
+  const double now = thread_cpu_seconds();
+  if (last_cpu_ > 0.0) {
+    const double delta = now - last_cpu_;
+    if (delta > 0.0) vtime_ += delta * compute_scale_;
+  }
+  last_cpu_ = now;
+}
+
+double Comm::vtime() {
+  charge_compute();
+  return vtime_;
+}
+
+std::uint64_t Comm::remote_bytes_so_far() const {
+  return shared_->remote_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Comm::remote_messages_so_far() const {
+  return shared_->remote_messages.load(std::memory_order_relaxed);
+}
+
+void Comm::charge_modeled(double seconds) {
+  charge_compute();
+  PAPAR_CHECK_MSG(seconds >= 0.0, "modeled charge must be nonnegative");
+  vtime_ += seconds;
+}
+
+void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
+  PAPAR_CHECK_MSG(dest >= 0 && dest < size(), "send destination out of range");
+  const bool remote = dest != rank_;
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  if (remote) {
+    // LogGP-style: the sender's NIC serializes the payload (occupying the
+    // sender for bytes/bandwidth), then the wire adds its latency. The
+    // receiving NIC charges its own bytes/bandwidth at recv time.
+    vtime_ += static_cast<double>(n) / shared_->network.bandwidth;
+    msg.arrival = vtime_ + shared_->network.latency;
+  } else {
+    msg.arrival = vtime_ + shared_->network.local_cost(n);
+  }
+  msg.payload.resize(n);
+  if (n != 0) std::memcpy(msg.payload.data(), data, n);
+  if (remote) {
+    shared_->remote_messages.fetch_add(1, std::memory_order_relaxed);
+    shared_->remote_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  auto& mb = shared_->mailboxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+void Comm::send(int dest, int tag, const void* data, std::size_t n) {
+  PAPAR_CHECK_MSG(tag >= 0, "user tags must be nonnegative");
+  charge_compute();
+  deliver(dest, tag, data, n);
+}
+
+Request Comm::isend(int dest, int tag, const void* data, std::size_t n) {
+  // Buffered eager protocol: the payload is copied out immediately, so the
+  // request is born complete (matching how MR-MPI uses Isend for shuffles).
+  send(dest, tag, data, n);
+  return Request();
+}
+
+Request Comm::irecv(int source, int tag) { return Request(this, source, tag); }
+
+namespace {
+bool matches(const detail::Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) && m.tag == tag;
+}
+}  // namespace
+
+Envelope Comm::recv(int source, int tag) {
+  charge_compute();
+  auto& mb = shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Envelope env;
+        env.source = it->source;
+        env.tag = it->tag;
+        env.payload = std::move(it->payload);
+        // The payload is usable once it has arrived and the receiving NIC
+        // has clocked it in.
+        vtime_ = std::max(vtime_, it->arrival);
+        if (env.source != rank_) {
+          vtime_ += static_cast<double>(env.payload.size()) / shared_->network.bandwidth;
+        }
+        mb.queue.erase(it);
+        return env;
+      }
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+bool Comm::probe(int source, int tag) {
+  charge_compute();
+  auto& mb = shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  for (const auto& m : mb.queue) {
+    if (matches(m, source, tag)) return true;
+  }
+  return false;
+}
+
+void Comm::barrier() {
+  charge_compute();
+  auto* s = shared_;
+  std::unique_lock<std::mutex> lock(s->barrier_mutex);
+  s->barrier_pending_max = std::max(s->barrier_pending_max, vtime_);
+  const std::uint64_t my_generation = s->barrier_generation;
+  if (++s->barrier_count == s->size) {
+    s->barrier_resolved_time = s->barrier_pending_max + s->tree_latency();
+    s->barrier_count = 0;
+    s->barrier_pending_max = 0.0;
+    ++s->barrier_generation;
+    s->barrier_cv.notify_all();
+  } else {
+    s->barrier_cv.wait(lock, [&] { return s->barrier_generation != my_generation; });
+  }
+  vtime_ = std::max(vtime_, s->barrier_resolved_time);
+  // The wait itself burned negligible CPU; resynchronize the CPU mark so
+  // scheduler noise during the wait is not charged as compute.
+  last_cpu_ = thread_cpu_seconds();
+}
+
+std::vector<unsigned char> Comm::bcast(int root, std::vector<unsigned char> bytes) {
+  charge_compute();
+  const int p = size();
+  if (p == 1) return bytes;
+  const int relative = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      int src = rank_ - mask;
+      if (src < 0) src += p;
+      bytes = recv(src, detail::kBcastTag).payload;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      int dst = rank_ + mask;
+      if (dst >= p) dst -= p;
+      deliver(dst, detail::kBcastTag, bytes.data(), bytes.size());
+    }
+    mask >>= 1;
+  }
+  return bytes;
+}
+
+std::vector<std::vector<unsigned char>> Comm::gather(
+    int root, const std::vector<unsigned char>& bytes) {
+  charge_compute();
+  std::vector<std::vector<unsigned char>> out;
+  if (rank_ != root) {
+    deliver(root, detail::kGatherTag, bytes.data(), bytes.size());
+    return out;
+  }
+  out.resize(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] = bytes;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] = recv(r, detail::kGatherTag).payload;
+  }
+  return out;
+}
+
+std::vector<std::vector<unsigned char>> Comm::allgather(
+    const std::vector<unsigned char>& bytes) {
+  // Gather at rank 0, then broadcast the concatenation down the tree.
+  auto gathered = gather(0, bytes);
+  std::vector<unsigned char> packed;
+  if (rank_ == 0) {
+    ByteWriter w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(gathered.size()));
+    for (const auto& g : gathered) {
+      w.put<std::uint64_t>(g.size());
+      w.put_bytes(g.data(), g.size());
+    }
+    packed = w.take();
+  }
+  packed = bcast(0, std::move(packed));
+  ByteReader r(packed);
+  const auto count = r.get<std::uint32_t>();
+  std::vector<std::vector<unsigned char>> out(count);
+  for (auto& part : out) {
+    const auto len = r.get<std::uint64_t>();
+    auto view = r.get_bytes(len);
+    part.assign(view.begin(), view.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<unsigned char>> Comm::alltoallv(
+    std::vector<std::vector<unsigned char>> send_bufs) {
+  charge_compute();
+  const int p = size();
+  PAPAR_CHECK_MSG(static_cast<int>(send_bufs.size()) == p,
+                  "alltoallv requires one buffer per rank");
+  // Post all sends (buffered), staggering destinations so every rank does
+  // not hammer rank 0 first, then drain one message from each source.
+  for (int step = 0; step < p; ++step) {
+    const int dest = (rank_ + step) % p;
+    const auto& buf = send_bufs[static_cast<std::size_t>(dest)];
+    deliver(dest, detail::kAlltoallTag, buf.data(), buf.size());
+  }
+  std::vector<std::vector<unsigned char>> out(static_cast<std::size_t>(p));
+  for (int step = 0; step < p; ++step) {
+    const int src = (rank_ - step + p) % p;
+    out[static_cast<std::size_t>(src)] = recv(src, detail::kAlltoallTag).payload;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(int nranks, NetworkModel network) : nranks_(nranks) {
+  PAPAR_CHECK_MSG(nranks >= 1, "runtime needs at least one rank");
+  shared_ = std::make_unique<detail::Shared>(nranks, network);
+}
+
+Runtime::~Runtime() = default;
+
+const NetworkModel& Runtime::network() const { return shared_->network; }
+
+RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
+  shared_->reset_for_run();
+
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    Comm comm(shared_.get(), r);
+    comm.compute_scale_ = shared_->network.compute_scale;
+    comms.push_back(comm);
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm& comm = comms[static_cast<std::size_t>(r)];
+      comm.last_cpu_ = thread_cpu_seconds();
+      try {
+        fn(comm);
+        comm.charge_compute();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  RunStats stats;
+  stats.rank_time.reserve(comms.size());
+  for (auto& c : comms) {
+    stats.rank_time.push_back(c.vtime_);
+    stats.makespan = std::max(stats.makespan, c.vtime_);
+  }
+  stats.remote_messages = shared_->remote_messages.load();
+  stats.remote_bytes = shared_->remote_bytes.load();
+  return stats;
+}
+
+}  // namespace papar::mp

@@ -1,0 +1,53 @@
+// Runtime: spawns N simulated ranks and reports run statistics.
+//
+// Substitution for the paper's 16-node cluster (see DESIGN.md §2): each rank
+// is an OS thread with its own mailbox and virtual clock. `run` blocks until
+// every rank's function returns, then reports per-rank virtual times, the
+// makespan, and fabric traffic totals. Exceptions thrown inside a rank are
+// re-thrown from run() after all ranks are joined.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "mpsim/network.hpp"
+
+namespace papar::mp {
+
+struct RunStats {
+  /// Final virtual clock of each rank, in seconds.
+  std::vector<double> rank_time;
+  /// max(rank_time): the simulated parallel completion time.
+  double makespan = 0.0;
+  /// Total messages and payload bytes that crossed the fabric
+  /// (rank-local transfers excluded).
+  std::uint64_t remote_messages = 0;
+  std::uint64_t remote_bytes = 0;
+};
+
+class Runtime {
+ public:
+  /// A runtime for `nranks` simulated ranks over the given fabric.
+  explicit Runtime(int nranks, NetworkModel network = NetworkModel::rdma());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const { return nranks_; }
+  const NetworkModel& network() const;
+
+  /// Runs `fn(comm)` on every rank concurrently and returns the stats.
+  /// May be called repeatedly; each call is an independent "job step"
+  /// with fresh clocks.
+  RunStats run(const std::function<void(Comm&)>& fn);
+
+ private:
+  int nranks_;
+  std::unique_ptr<detail::Shared> shared_;
+};
+
+}  // namespace papar::mp

@@ -1,0 +1,315 @@
+#include "schema/input_format.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace papar::schema {
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open input file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// -- Binary reader -----------------------------------------------------------
+
+class BinaryRecordReader : public RecordReader {
+ public:
+  BinaryRecordReader(const Schema& schema, const char* base, std::size_t begin,
+                     std::size_t end, std::size_t width)
+      : schema_(&schema), base_(base), pos_(begin), end_(end), width_(width) {}
+
+  bool next(Record& out) override {
+    if (pos_ + width_ > end_) return false;
+    ByteReader r(base_ + pos_, width_);
+    out = Record::decode(*schema_, r);
+    pos_ += width_;
+    return true;
+  }
+
+ private:
+  const Schema* schema_;
+  const char* base_;
+  std::size_t pos_;
+  std::size_t end_;
+  std::size_t width_;
+};
+
+// -- Text reader --------------------------------------------------------------
+
+Value parse_text_value(const Field& field, std::string_view token) {
+  switch (field.type) {
+    case FieldType::kString:
+      return std::string(token);
+    case FieldType::kInt32: {
+      std::int32_t v = 0;
+      auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+      if (ec != std::errc() || p != token.end()) {
+        throw DataError("bad int32 token `" + std::string(token) + "` for field `" +
+                        field.name + "`");
+      }
+      return v;
+    }
+    case FieldType::kInt64: {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+      if (ec != std::errc() || p != token.end()) {
+        throw DataError("bad int64 token `" + std::string(token) + "` for field `" +
+                        field.name + "`");
+      }
+      return v;
+    }
+    case FieldType::kFloat64: {
+      // std::from_chars<double> is available in libstdc++ 11+.
+      double v = 0;
+      auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+      if (ec != std::errc() || p != token.end()) {
+        throw DataError("bad double token `" + std::string(token) + "` for field `" +
+                        field.name + "`");
+      }
+      return v;
+    }
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+class TextRecordReader : public RecordReader {
+ public:
+  TextRecordReader(const Schema& schema, std::string_view content, std::size_t begin,
+                   std::size_t end)
+      : schema_(&schema), content_(content), pos_(begin), end_(end) {}
+
+  bool next(Record& out) override {
+    // Records that *start* before end_ belong to this reader.
+    if (pos_ >= end_ || pos_ >= content_.size()) return false;
+    std::vector<Value> values;
+    values.reserve(schema_->field_count());
+    for (std::size_t i = 0; i < schema_->field_count(); ++i) {
+      const Field& field = schema_->field(i);
+      PAPAR_CHECK_MSG(!field.delimiter.empty(),
+                      "text schema field lacks a delimiter");
+      const auto at = content_.find(field.delimiter, pos_);
+      if (at == std::string_view::npos) {
+        throw DataError("unterminated field `" + field.name + "` in text input");
+      }
+      values.push_back(parse_text_value(field, content_.substr(pos_, at - pos_)));
+      pos_ = at + field.delimiter.size();
+    }
+    out = Record(std::move(values));
+    return true;
+  }
+
+ private:
+  const Schema* schema_;
+  std::string_view content_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+}  // namespace
+
+void InputFormat::for_each_wire(
+    const FileSplit& split, const std::function<void(std::string_view)>& fn) const {
+  auto rec_reader = reader(split);
+  Record rec;
+  ByteWriter w;
+  while (rec_reader->next(rec)) {
+    w.clear();
+    rec.encode(schema_, w);
+    fn(std::string_view(reinterpret_cast<const char*>(w.data()), w.size()));
+  }
+}
+
+// -- BinaryFixedInput ---------------------------------------------------------
+
+BinaryFixedInput::BinaryFixedInput(Schema schema, std::string content,
+                                   std::size_t start_position)
+    : InputFormat(std::move(schema)),
+      content_(std::move(content)),
+      start_(start_position) {
+  if (!schema_.fixed_width()) {
+    throw ConfigError("binary input requires a fixed-width schema");
+  }
+  width_ = schema_.record_width();
+  PAPAR_CHECK_MSG(width_ > 0, "empty binary schema");
+  if (content_.size() < start_) {
+    throw DataError("binary input shorter than its start_position");
+  }
+  if ((content_.size() - start_) % width_ != 0) {
+    throw DataError("binary input size is not a whole number of records");
+  }
+}
+
+std::unique_ptr<BinaryFixedInput> BinaryFixedInput::from_file(
+    Schema schema, const std::string& path, std::size_t start_position) {
+  return std::make_unique<BinaryFixedInput>(std::move(schema), slurp(path),
+                                            start_position);
+}
+
+std::size_t BinaryFixedInput::record_count() const {
+  return (content_.size() - start_) / width_;
+}
+
+std::vector<FileSplit> BinaryFixedInput::splits(int nsplits) const {
+  PAPAR_CHECK_MSG(nsplits >= 1, "nsplits must be positive");
+  const std::size_t n = record_count();
+  const auto s = static_cast<std::size_t>(nsplits);
+  std::vector<FileSplit> out;
+  out.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t lo = start_ + (i * n / s) * width_;
+    const std::size_t hi = start_ + ((i + 1) * n / s) * width_;
+    out.push_back(FileSplit{lo, hi});
+  }
+  return out;
+}
+
+std::unique_ptr<RecordReader> BinaryFixedInput::reader(const FileSplit& split) const {
+  return std::make_unique<BinaryRecordReader>(schema_, content_.data(), split.begin,
+                                              split.end, width_);
+}
+
+void BinaryFixedInput::for_each_wire(
+    const FileSplit& split, const std::function<void(std::string_view)>& fn) const {
+  // The on-disk layout *is* the wire layout for fixed-width schemas:
+  // hand out zero-copy slices.
+  for (std::size_t pos = split.begin; pos + width_ <= split.end; pos += width_) {
+    fn(std::string_view(content_.data() + pos, width_));
+  }
+}
+
+// -- TextDelimitedInput -------------------------------------------------------
+
+TextDelimitedInput::TextDelimitedInput(Schema schema, std::string content)
+    : InputFormat(std::move(schema)), content_(std::move(content)) {
+  for (const auto& f : schema_.fields()) {
+    if (f.delimiter.empty()) {
+      throw ConfigError("text schema field `" + f.name + "` lacks a delimiter");
+    }
+  }
+}
+
+std::unique_ptr<TextDelimitedInput> TextDelimitedInput::from_file(
+    Schema schema, const std::string& path) {
+  return std::make_unique<TextDelimitedInput>(std::move(schema), slurp(path));
+}
+
+std::size_t TextDelimitedInput::record_count() const {
+  // A record ends with the final field's delimiter.
+  const std::string& terminator = schema_.fields().back().delimiter;
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while ((pos = content_.find(terminator, pos)) != std::string::npos) {
+    ++n;
+    pos += terminator.size();
+  }
+  return n;
+}
+
+std::vector<FileSplit> TextDelimitedInput::splits(int nsplits) const {
+  PAPAR_CHECK_MSG(nsplits >= 1, "nsplits must be positive");
+  // Hadoop semantics: cut at equal byte offsets, then advance each cut to
+  // the next record boundary so every record starts in exactly one split.
+  const std::string& terminator = schema_.fields().back().delimiter;
+  const auto s = static_cast<std::size_t>(nsplits);
+  std::vector<std::size_t> cuts;
+  cuts.reserve(s + 1);
+  cuts.push_back(0);
+  for (std::size_t i = 1; i < s; ++i) {
+    std::size_t target = i * content_.size() / s;
+    if (target <= cuts.back()) {
+      cuts.push_back(cuts.back());
+      continue;
+    }
+    // Scan forward from target to the end of the current record.
+    const auto at = content_.find(terminator, target);
+    const std::size_t boundary =
+        at == std::string::npos ? content_.size() : at + terminator.size();
+    cuts.push_back(std::max(boundary, cuts.back()));
+  }
+  cuts.push_back(content_.size());
+  std::vector<FileSplit> out;
+  out.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    out.push_back(FileSplit{cuts[i], cuts[i + 1]});
+  }
+  return out;
+}
+
+std::unique_ptr<RecordReader> TextDelimitedInput::reader(const FileSplit& split) const {
+  return std::make_unique<TextRecordReader>(schema_, content_, split.begin, split.end);
+}
+
+// -- Writers ------------------------------------------------------------------
+
+void write_binary_file(const std::string& path, const Schema& schema,
+                       const std::vector<Record>& records, std::size_t start_position,
+                       const std::string& header) {
+  if (!schema.fixed_width()) {
+    throw ConfigError("binary output requires a fixed-width schema");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw DataError("cannot open output file: " + path);
+  std::string head = header;
+  head.resize(start_position, '\0');
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  ByteWriter w;
+  for (const auto& rec : records) rec.encode(schema, w);
+  out.write(reinterpret_cast<const char*>(w.data()),
+            static_cast<std::streamsize>(w.size()));
+  if (!out) throw DataError("write failed: " + path);
+}
+
+std::string format_text_record(const Schema& schema, const Record& record) {
+  if (record.size() != schema.field_count()) {
+    throw DataError("record arity does not match schema");
+  }
+  std::string line;
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    const Field& field = schema.field(i);
+    const Value& v = record.value(i);
+    switch (field.type) {
+      case FieldType::kString: line += std::get<std::string>(v); break;
+      case FieldType::kInt32: line += std::to_string(std::get<std::int32_t>(v)); break;
+      case FieldType::kInt64: line += std::to_string(std::get<std::int64_t>(v)); break;
+      case FieldType::kFloat64: {
+        std::ostringstream os;
+        os << std::get<double>(v);
+        line += os.str();
+        break;
+      }
+    }
+    line += field.delimiter;
+  }
+  return line;
+}
+
+void write_text_file(const std::string& path, const Schema& schema,
+                     const std::vector<Record>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw DataError("cannot open output file: " + path);
+  for (const auto& rec : records) {
+    const std::string line = format_text_record(schema, rec);
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+  if (!out) throw DataError("write failed: " + path);
+}
+
+std::vector<Record> read_all(const InputFormat& input) {
+  std::vector<Record> out;
+  out.reserve(input.record_count());
+  for (const auto& split : input.splits(1)) {
+    auto reader = input.reader(split);
+    Record rec;
+    while (reader->next(rec)) out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace papar::schema

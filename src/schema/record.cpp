@@ -1,0 +1,135 @@
+#include "schema/record.hpp"
+
+namespace papar::schema {
+
+namespace {
+
+void encode_one(const Field& field, const Value& v, ByteWriter& out) {
+  switch (field.type) {
+    case FieldType::kInt32: {
+      if (!std::holds_alternative<std::int32_t>(v)) {
+        throw DataError("value for field `" + field.name + "` is not int32");
+      }
+      out.put(std::get<std::int32_t>(v));
+      return;
+    }
+    case FieldType::kInt64: {
+      if (!std::holds_alternative<std::int64_t>(v)) {
+        throw DataError("value for field `" + field.name + "` is not int64");
+      }
+      out.put(std::get<std::int64_t>(v));
+      return;
+    }
+    case FieldType::kFloat64: {
+      if (!std::holds_alternative<double>(v)) {
+        throw DataError("value for field `" + field.name + "` is not double");
+      }
+      out.put(std::get<double>(v));
+      return;
+    }
+    case FieldType::kString: {
+      if (!std::holds_alternative<std::string>(v)) {
+        throw DataError("value for field `" + field.name + "` is not a string");
+      }
+      out.put_string(std::get<std::string>(v));
+      return;
+    }
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+Value decode_one(const Field& field, ByteReader& in) {
+  switch (field.type) {
+    case FieldType::kInt32: return in.get<std::int32_t>();
+    case FieldType::kInt64: return in.get<std::int64_t>();
+    case FieldType::kFloat64: return in.get<double>();
+    case FieldType::kString: return in.get_string();
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+}  // namespace
+
+void Record::encode(const Schema& schema, ByteWriter& out) const {
+  if (values_.size() != schema.field_count()) {
+    throw DataError("record arity does not match schema");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    encode_one(schema.field(i), values_[i], out);
+  }
+}
+
+std::string Record::encode(const Schema& schema) const {
+  ByteWriter w;
+  encode(schema, w);
+  auto bytes = w.take();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+Record Record::decode(const Schema& schema, ByteReader& in) {
+  std::vector<Value> values;
+  values.reserve(schema.field_count());
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    values.push_back(decode_one(schema.field(i), in));
+  }
+  return Record(std::move(values));
+}
+
+Record Record::decode(const Schema& schema, std::string_view bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  Record rec = decode(schema, r);
+  if (!r.done()) throw DataError("trailing bytes after record");
+  return rec;
+}
+
+namespace {
+
+/// Walks the wire encoding to the start of field `index`; returns the byte
+/// offset. Stops early (O(index) work, skipping string bodies by length).
+std::size_t wire_offset(const Schema& schema, std::string_view wire, std::size_t index) {
+  ByteReader r(wire.data(), wire.size());
+  for (std::size_t i = 0; i < index; ++i) {
+    switch (schema.field(i).type) {
+      case FieldType::kInt32: (void)r.get<std::int32_t>(); break;
+      case FieldType::kInt64: (void)r.get<std::int64_t>(); break;
+      case FieldType::kFloat64: (void)r.get<double>(); break;
+      case FieldType::kString: {
+        const auto len = r.get<std::uint32_t>();
+        (void)r.get_bytes(len);
+        break;
+      }
+    }
+  }
+  return r.position();
+}
+
+}  // namespace
+
+std::uint64_t project_field(const Schema& schema, std::string_view wire,
+                            std::size_t index) {
+  const std::size_t off = wire_offset(schema, wire, index);
+  ByteReader r(wire.data() + off, wire.size() - off);
+  switch (schema.field(index).type) {
+    case FieldType::kInt32: return project_i64(r.get<std::int32_t>());
+    case FieldType::kInt64: return project_i64(r.get<std::int64_t>());
+    case FieldType::kFloat64: return project_f64(r.get<double>());
+    case FieldType::kString: {
+      const auto len = r.get<std::uint32_t>();
+      return project_string(r.get_bytes(len));
+    }
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+std::string_view wire_string_field(const Schema& schema, std::string_view wire,
+                                   std::size_t index) {
+  if (schema.field(index).type != FieldType::kString) {
+    throw DataError("field `" + schema.field(index).name + "` is not a string");
+  }
+  const std::size_t off = wire_offset(schema, wire, index);
+  ByteReader r(wire.data() + off, wire.size() - off);
+  const auto len = r.get<std::uint32_t>();
+  return r.get_bytes(len);
+}
+
+}  // namespace papar::schema

@@ -1,0 +1,66 @@
+// Decoded records and their wire encoding.
+//
+// Records travel through the MapReduce shuffle as byte strings. The wire
+// encoding is schema-directed: fixed-width fields are written raw in field
+// order; string fields are u32-length-prefixed. For an all-numeric schema
+// the wire form is identical to the binary file layout (so a BLAST index
+// entry needs no transcoding between disk and shuffle).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema.hpp"
+#include "util/bytes.hpp"
+
+namespace papar::schema {
+
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t size() const { return values_.size(); }
+  const Value& value(std::size_t i) const { return values_.at(i); }
+  Value& value(std::size_t i) { return values_.at(i); }
+  const std::vector<Value>& values() const { return values_; }
+
+  void push(Value v) { values_.push_back(std::move(v)); }
+
+  std::int64_t as_int(std::size_t i) const { return value_as_int(values_.at(i)); }
+  double as_double(std::size_t i) const { return value_as_double(values_.at(i)); }
+  const std::string& as_string(std::size_t i) const {
+    return value_as_string(values_.at(i));
+  }
+
+  /// Serializes under `schema` (values must match field types).
+  void encode(const Schema& schema, ByteWriter& out) const;
+
+  /// Wire form as a standalone string (convenience for KV emission).
+  std::string encode(const Schema& schema) const;
+
+  /// Decodes one record from the reader position.
+  static Record decode(const Schema& schema, ByteReader& in);
+
+  /// Decodes one record that occupies the whole byte range.
+  static Record decode(const Schema& schema, std::string_view bytes);
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Order-preserving u64 projection of field `index` directly from a wire
+/// record, without decoding the other fields.
+std::uint64_t project_field(const Schema& schema, std::string_view wire,
+                            std::size_t index);
+
+/// Raw bytes of string field `index` from a wire record (view into `wire`).
+std::string_view wire_string_field(const Schema& schema, std::string_view wire,
+                                   std::size_t index);
+
+}  // namespace papar::schema

@@ -1,0 +1,86 @@
+#include "schema/schema.hpp"
+
+#include <algorithm>
+
+namespace papar::schema {
+
+FieldType parse_field_type(std::string_view name) {
+  if (name == "integer" || name == "int" || name == "int32") return FieldType::kInt32;
+  if (name == "long" || name == "int64") return FieldType::kInt64;
+  if (name == "double" || name == "float64") return FieldType::kFloat64;
+  if (name == "String" || name == "string") return FieldType::kString;
+  throw ConfigError("unknown field type `" + std::string(name) + "`");
+}
+
+std::string_view field_type_name(FieldType type) {
+  switch (type) {
+    case FieldType::kInt32: return "integer";
+    case FieldType::kInt64: return "long";
+    case FieldType::kFloat64: return "double";
+    case FieldType::kString: return "String";
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+std::size_t field_width(FieldType type) {
+  switch (type) {
+    case FieldType::kInt32: return 4;
+    case FieldType::kInt64: return 8;
+    case FieldType::kFloat64: return 8;
+    case FieldType::kString: throw DataError("String fields have no fixed width");
+  }
+  throw InternalError("corrupt FieldType");
+}
+
+Schema& Schema::add_field(std::string name, FieldType type, std::string delimiter) {
+  if (index_of(name)) {
+    throw ConfigError("duplicate field name `" + name + "` in schema");
+  }
+  fields_.push_back(Field{std::move(name), type, std::move(delimiter)});
+  return *this;
+}
+
+std::optional<std::size_t> Schema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::required_index(std::string_view name) const {
+  auto i = index_of(name);
+  if (!i) throw ConfigError("schema has no field named `" + std::string(name) + "`");
+  return *i;
+}
+
+bool Schema::fixed_width() const {
+  return std::all_of(fields_.begin(), fields_.end(),
+                     [](const Field& f) { return f.type != FieldType::kString; });
+}
+
+std::size_t Schema::record_width() const {
+  std::size_t w = 0;
+  for (const auto& f : fields_) w += field_width(f.type);
+  return w;
+}
+
+std::size_t Schema::field_offset(std::size_t i) const {
+  PAPAR_CHECK_MSG(i < fields_.size(), "field index out of range");
+  std::size_t off = 0;
+  for (std::size_t j = 0; j < i; ++j) off += field_width(fields_[j].type);
+  return off;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (std::size_t i = 0; i < a.fields_.size(); ++i) {
+    const auto& fa = a.fields_[i];
+    const auto& fb = b.fields_[i];
+    if (fa.name != fb.name || fa.type != fb.type || fa.delimiter != fb.delimiter) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace papar::schema

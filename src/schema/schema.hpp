@@ -1,0 +1,61 @@
+// Record schema: an ordered list of named, typed fields.
+//
+// A schema describes one "element" of an InputData configuration (paper
+// Figs. 4 and 5): the BLAST index is four int32 fields in a binary file; a
+// graph edge is two string fields with '\t' and '\n' delimiters in a text
+// file. Schemas also describe intermediate data: add-on operators extend a
+// schema with new fields (e.g. `indegree`), format operators wrap it in a
+// packed representation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/types.hpp"
+
+namespace papar::schema {
+
+struct Field {
+  std::string name;
+  FieldType type;
+  /// Text format only: the delimiter that terminates this field
+  /// (e.g. "\t" between fields, "\n" after the last one).
+  std::string delimiter;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a field; names must be unique within a schema.
+  Schema& add_field(std::string name, FieldType type, std::string delimiter = "");
+
+  std::size_t field_count() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_.at(i); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or nullopt.
+  std::optional<std::size_t> index_of(std::string_view name) const;
+
+  /// Index of the named field; throws ConfigError if absent.
+  std::size_t required_index(std::string_view name) const;
+
+  /// True when every field has a fixed serialized width (no strings).
+  bool fixed_width() const;
+
+  /// Total serialized bytes per record; requires fixed_width().
+  std::size_t record_width() const;
+
+  /// Byte offset of field i within a fixed-width record.
+  std::size_t field_offset(std::size_t i) const;
+
+  /// Schema equality (names, types, and delimiters).
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace papar::schema

@@ -1,0 +1,94 @@
+// Field types and order-preserving integer projections.
+//
+// PaPar's shuffle routes records by an unsigned 64-bit projection of the
+// sort/group key. The projections here are strictly monotone with respect to
+// the natural ordering of each field type, so range splitters computed on
+// projections induce the same global order as the typed comparison:
+//   - signed integers: bias by 2^63,
+//   - doubles: the IEEE-754 total-order bit trick,
+//   - strings: first eight bytes, big-endian (prefix-monotone; records with
+//     equal projections always land on one rank and are fully compared there).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace papar::schema {
+
+enum class FieldType { kInt32, kInt64, kFloat64, kString };
+
+/// Parses the type names used in InputData configuration files
+/// ("integer", "long", "double", "String").
+FieldType parse_field_type(std::string_view name);
+
+/// Canonical config-file name of a type.
+std::string_view field_type_name(FieldType type);
+
+/// Serialized width of a fixed-size field; throws for kString.
+std::size_t field_width(FieldType type);
+
+/// A decoded field value.
+using Value = std::variant<std::int32_t, std::int64_t, double, std::string>;
+
+/// Order-preserving projection of a signed 64-bit value.
+inline std::uint64_t project_i64(std::int64_t x) {
+  return static_cast<std::uint64_t>(x) ^ (std::uint64_t{1} << 63);
+}
+
+/// Order-preserving projection of a double (IEEE-754 total order).
+inline std::uint64_t project_f64(double x) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  // Negative values reverse order; flip all bits. Positive: set the sign bit.
+  if (bits & (std::uint64_t{1} << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (std::uint64_t{1} << 63);
+  }
+  return bits;
+}
+
+/// Prefix-monotone projection of a string (first 8 bytes, big-endian).
+inline std::uint64_t project_string(std::string_view s) {
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    x = (x << 8) | (i < s.size() ? static_cast<unsigned char>(s[i]) : 0);
+  }
+  return x;
+}
+
+/// Projection of any Value.
+inline std::uint64_t project_value(const Value& v) {
+  switch (v.index()) {
+    case 0: return project_i64(std::get<std::int32_t>(v));
+    case 1: return project_i64(std::get<std::int64_t>(v));
+    case 2: return project_f64(std::get<double>(v));
+    case 3: return project_string(std::get<std::string>(v));
+  }
+  throw InternalError("corrupt Value variant");
+}
+
+/// Numeric read of a Value (int32/int64 only).
+inline std::int64_t value_as_int(const Value& v) {
+  if (const auto* p = std::get_if<std::int32_t>(&v)) return *p;
+  if (const auto* p = std::get_if<std::int64_t>(&v)) return *p;
+  throw DataError("field is not an integer");
+}
+
+inline double value_as_double(const Value& v) {
+  if (const auto* p = std::get_if<double>(&v)) return *p;
+  return static_cast<double>(value_as_int(v));
+}
+
+inline const std::string& value_as_string(const Value& v) {
+  if (const auto* p = std::get_if<std::string>(&v)) return *p;
+  throw DataError("field is not a string");
+}
+
+}  // namespace papar::schema

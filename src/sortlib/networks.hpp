@@ -1,0 +1,63 @@
+// Branch-free sorting networks for small fixed block sizes.
+//
+// ASPaS [Hou, Wang, Feng, ICS'15] builds its mergesort from SIMD sorting
+// networks; this library plays the same role with scalar compare-exchange
+// networks the compiler can turn into conditional moves. The 8-input network
+// is Batcher's odd-even construction (19 compare-exchanges, depth 6).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace papar::sortlib {
+
+/// Compare-exchange: after the call, !(less(b, a)) holds.
+template <typename T, typename Less>
+inline void cmp_exchange(T& a, T& b, Less&& less) {
+  if (less(b, a)) std::swap(a, b);
+}
+
+/// Sorts exactly 8 elements with Batcher's odd-even network.
+template <typename T, typename Less>
+inline void sort8(T* a, Less&& less) {
+  cmp_exchange(a[0], a[1], less);
+  cmp_exchange(a[2], a[3], less);
+  cmp_exchange(a[4], a[5], less);
+  cmp_exchange(a[6], a[7], less);
+  cmp_exchange(a[0], a[2], less);
+  cmp_exchange(a[1], a[3], less);
+  cmp_exchange(a[4], a[6], less);
+  cmp_exchange(a[5], a[7], less);
+  cmp_exchange(a[1], a[2], less);
+  cmp_exchange(a[5], a[6], less);
+  cmp_exchange(a[0], a[4], less);
+  cmp_exchange(a[3], a[7], less);
+  cmp_exchange(a[1], a[5], less);
+  cmp_exchange(a[2], a[6], less);
+  cmp_exchange(a[1], a[4], less);
+  cmp_exchange(a[3], a[6], less);
+  cmp_exchange(a[2], a[4], less);
+  cmp_exchange(a[3], a[5], less);
+  cmp_exchange(a[3], a[4], less);
+}
+
+/// Sorts n <= 8 elements: the full network for n == 8, insertion sort for
+/// shorter tails (they occur only once per input).
+template <typename T, typename Less>
+inline void sort_small(T* a, std::size_t n, Less&& less) {
+  if (n == 8) {
+    sort8(a, less);
+    return;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    T v = std::move(a[i]);
+    std::size_t j = i;
+    while (j > 0 && less(v, a[j - 1])) {
+      a[j] = std::move(a[j - 1]);
+      --j;
+    }
+    a[j] = std::move(v);
+  }
+}
+
+}  // namespace papar::sortlib

@@ -1,0 +1,14 @@
+// sortlib is header-only; this translation unit pins the library target and
+// instantiates the common configurations once so client builds stay fast.
+#include "sortlib/sort.hpp"
+
+#include <cstdint>
+
+namespace papar::sortlib {
+
+template void merge_sort<std::uint64_t>(std::span<std::uint64_t>,
+                                        std::less<std::uint64_t>);
+template void merge_sort<std::uint32_t>(std::span<std::uint32_t>,
+                                        std::less<std::uint32_t>);
+
+}  // namespace papar::sortlib

@@ -1,0 +1,91 @@
+// Mergesort built from sorting networks, plus a parallel front end.
+//
+// Serves the role ASPaS [12] plays in the paper's sort operator: a highly
+// optimized mergesort on multicore processors. Leaves of the mergesort are
+// 8-element sorting networks (branch-free), runs are merged bottom-up with a
+// ping-pong scratch buffer, and the parallel variant sorts per-thread chunks
+// concurrently before a loser-tree k-way merge.
+//
+// Stability: merge_sort and parallel_sort are stable as long as `less` is a
+// strict weak ordering, EXCEPT inside the initial 8-element networks (which
+// are not stable). PaPar's partition-identity guarantee therefore never
+// relies on stability: callers sort with a total order (key, tie-broken by
+// full record bytes) so equal elements are indistinguishable.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sortlib/merge.hpp"
+#include "sortlib/networks.hpp"
+#include "util/thread_pool.hpp"
+
+namespace papar::sortlib {
+
+inline constexpr std::size_t kNetworkBlock = 8;
+
+/// Iterative bottom-up mergesort. O(n log n), ~n extra memory.
+template <typename T, typename Less>
+void merge_sort(std::span<T> data, Less less) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // Pass 0: sort each 8-element block with the network.
+  for (std::size_t i = 0; i < n; i += kNetworkBlock) {
+    sort_small(data.data() + i, std::min(kNetworkBlock, n - i), less);
+  }
+
+  std::vector<T> scratch(data.begin(), data.end());
+  T* src = data.data();
+  T* dst = scratch.data();
+  for (std::size_t width = kNetworkBlock; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      merge_runs(src + lo, src + mid, src + hi, dst + lo, less);
+    }
+    std::swap(src, dst);
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+/// Parallel mergesort: the pool sorts equal chunks concurrently, then a
+/// loser tree merges the k sorted runs.
+template <typename T, typename Less>
+void parallel_sort(std::span<T> data, Less less, ThreadPool& pool) {
+  const std::size_t n = data.size();
+  if (n <= 4 * kNetworkBlock || pool.size() == 1) {
+    merge_sort(data, less);
+    return;
+  }
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(pool.size(), n / (2 * kNetworkBlock)));
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ranges[c] = {c * n / chunks, (c + 1) * n / chunks};
+  }
+  pool.parallel_for(chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t c = begin; c < end; ++c) {
+      auto [lo, hi] = ranges[c];
+      merge_sort(std::span<T>(data.data() + lo, hi - lo), less);
+    }
+  });
+
+  std::vector<std::span<const T>> runs;
+  for (auto [begin, end] : ranges) {
+    if (end > begin) runs.emplace_back(data.data() + begin, end - begin);
+  }
+  if (runs.size() <= 1) return;
+
+  std::vector<T> merged;
+  merged.reserve(n);
+  LoserTree<T, Less> tree(std::move(runs), less);
+  while (!tree.empty()) merged.push_back(tree.pop());
+  std::copy(merged.begin(), merged.end(), data.begin());
+}
+
+}  // namespace papar::sortlib

@@ -1,0 +1,2 @@
+// bytes.hpp is header-only; this translation unit pins the library target.
+#include "util/bytes.hpp"

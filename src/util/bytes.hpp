@@ -1,0 +1,105 @@
+// Byte-buffer serialization helpers.
+//
+// ByteWriter appends POD values and length-prefixed strings to a growable
+// buffer; ByteReader consumes them in the same order. All multi-byte values
+// use the host's native byte order — buffers never leave the process (the
+// simulated fabric moves them between rank threads), so no swapping is done.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace papar {
+
+/// Growable append-only byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "put() requires a POD type");
+    const auto* p = reinterpret_cast<const unsigned char*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Writes a u32 length prefix followed by the string bytes.
+  void put_string(std::string_view s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  const unsigned char* data() const { return buf_.data(); }
+
+  std::vector<unsigned char> take() { return std::move(buf_); }
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Sequential reader over a byte range produced by ByteWriter.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t n)
+      : p_(static_cast<const unsigned char*>(data)), n_(n) {}
+
+  explicit ByteReader(const std::vector<unsigned char>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>, "get() requires a POD type");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, p_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    auto len = get<std::uint32_t>();
+    require(len);
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Returns a view of `n` raw bytes and advances past them.
+  std::string_view get_bytes(std::size_t n) {
+    require(n);
+    std::string_view v(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return v;
+  }
+
+  std::size_t remaining() const { return n_ - pos_; }
+  bool done() const { return pos_ == n_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > n_) throw DataError("byte reader overrun");
+  }
+
+  const unsigned char* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace papar

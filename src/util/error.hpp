@@ -1,0 +1,66 @@
+// Error types shared across the PaPar libraries.
+//
+// All recoverable failures (bad configuration, malformed input files,
+// misuse of the runtime API) are reported as exceptions derived from
+// papar::Error so callers can catch a single base type. Programming
+// errors (violated preconditions inside the library) use PAPAR_CHECK,
+// which throws papar::InternalError with file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace papar {
+
+/// Base class of all exceptions thrown by PaPar libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or inconsistent configuration (InputData / Workflow files).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Malformed input data (binary records, edge lists, BLAST databases).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error("data error: " + what) {}
+};
+
+/// Misuse of the message-passing or MapReduce runtime.
+class RuntimeApiError : public Error {
+ public:
+  explicit RuntimeApiError(const std::string& what) : Error("runtime error: " + what) {}
+};
+
+/// Violated internal invariant; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string s = std::string("check `") + expr + "` failed at " + file + ":" +
+                  std::to_string(line);
+  if (!msg.empty()) s += ": " + msg;
+  throw InternalError(s);
+}
+}  // namespace detail
+
+}  // namespace papar
+
+/// Precondition / invariant check that survives release builds.
+#define PAPAR_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) ::papar::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PAPAR_CHECK_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::papar::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,40 @@
+// Hash functions used for key partitioning in the shuffle.
+//
+// The MapReduce aggregate step routes each key to a reducer by hashing the
+// key bytes; FNV-1a plus a strong finalizer keeps power-of-two and modulo
+// reductions well distributed even for short integer keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace papar {
+
+/// FNV-1a over a byte range.
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) { return fnv1a(s.data(), s.size()); }
+
+/// Strong 64-bit finalizer (murmur3 fmix64).
+inline std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Hash of a key's bytes, suitable for reducer selection.
+inline std::uint64_t key_hash(std::string_view key) { return mix64(fnv1a(key)); }
+
+}  // namespace papar

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The libraries log sparingly (workflow planning decisions, job launch
+// boundaries, sampling summaries). Output goes to stderr; the level is a
+// process-wide atomic so tests and benches can silence it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace papar::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted. Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Emits one line at `level` (no-op when below the configured level).
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, detail::format(args...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, detail::format(args...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, detail::format(args...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError) write(Level::kError, detail::format(args...));
+}
+
+}  // namespace papar::log

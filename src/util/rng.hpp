@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data (BLAST databases, graphs, query batches) is produced
+// from fixed seeds through these generators so every test and bench run is
+// reproducible. SplitMix64 seeds Xoshiro256**, the main generator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace papar {
+
+/// SplitMix64: tiny generator used to expand one seed into many.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Standard exponential variate with the given rate.
+  double next_exponential(double rate) {
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto (power-law) variate with minimum xm and shape alpha.
+  double next_pareto(double xm, double alpha) {
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Zipf-like rank in [0, n) with exponent s, via inverse-CDF on the
+  /// continuous approximation (good enough for workload generation).
+  std::uint64_t next_zipf(std::uint64_t n, double s) {
+    if (n <= 1) return 0;
+    double u = next_double();
+    double exp = 1.0 - s;
+    double v;
+    if (std::abs(exp) < 1e-9) {
+      v = std::pow(static_cast<double>(n), u);
+    } else {
+      v = std::pow(u * (std::pow(static_cast<double>(n), exp) - 1.0) + 1.0, 1.0 / exp);
+    }
+    auto r = static_cast<std::uint64_t>(v) - (v >= 1.0 ? 1 : 0);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace papar

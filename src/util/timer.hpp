@@ -1,0 +1,51 @@
+// Wall-clock and per-thread CPU timers.
+//
+// ThreadCpuTimer reads CLOCK_THREAD_CPUTIME_ID, which advances only while
+// the calling thread is scheduled. The message-passing runtime charges
+// compute time from it, so virtual makespans stay meaningful even when many
+// simulated ranks share one core.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace papar {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Seconds of CPU time consumed by the calling thread so far.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Stopwatch over the calling thread's CPU time.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(thread_cpu_seconds()) {}
+
+  void reset() { start_ = thread_cpu_seconds(); }
+
+  double seconds() const { return thread_cpu_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace papar

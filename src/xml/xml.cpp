@@ -1,0 +1,321 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace papar::xml {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Recursive-descent parser over the raw document text.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Node parse_document() {
+    skip_prolog();
+    Node root = parse_element();
+    skip_misc();
+    if (!done()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') { ++line; col = 1; } else { ++col; }
+    }
+    throw ParseError(what + " at line " + std::to_string(line) + ", column " +
+                     std::to_string(col));
+  }
+
+  bool done() const { return pos_ >= in_.size(); }
+  char peek() const { return done() ? '\0' : in_[pos_]; }
+  char take() {
+    if (done()) fail("unexpected end of input");
+    return in_[pos_++];
+  }
+
+  bool starts_with(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+
+  void expect(std::string_view s) {
+    if (!starts_with(s)) fail("expected `" + std::string(s) + "`");
+    pos_ += s.size();
+  }
+
+  void skip_space() {
+    while (!done() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    const auto end = in_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_space();
+    if (starts_with("<?xml")) {
+      const auto end = in_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+    if (starts_with("<!DOCTYPE")) {
+      const auto end = in_.find('>', pos_);
+      if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+      pos_ = end + 1;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_space();
+      if (starts_with("<!--")) skip_comment();
+      else return;
+    }
+  }
+
+  std::string parse_name() {
+    if (done() || !is_name_start(peek())) fail("expected a name");
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (!done() && is_name_char(in_[pos_])) ++pos_;
+    return std::string(in_.substr(begin, pos_ - begin));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity reference");
+      const auto ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "amp") out += '&';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else if (!ent.empty() && ent[0] == '#') {
+        const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+        const auto digits = std::string(ent.substr(hex ? 2 : 1));
+        const long code = std::strtol(digits.c_str(), nullptr, hex ? 16 : 10);
+        if (code <= 0 || code > 0x10FFFF) fail("bad character reference");
+        // Encode as UTF-8.
+        const auto c = static_cast<unsigned long>(code);
+        if (c < 0x80) {
+          out += static_cast<char>(c);
+        } else if (c < 0x800) {
+          out += static_cast<char>(0xC0 | (c >> 6));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        } else if (c < 0x10000) {
+          out += static_cast<char>(0xE0 | (c >> 12));
+          out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (c >> 18));
+          out += static_cast<char>(0x80 | ((c >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        }
+      } else {
+        fail("unknown entity `&" + std::string(ent) + ";`");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = take();
+    if (quote != '"' && quote != '\'') fail("expected a quoted attribute value");
+    const std::size_t begin = pos_;
+    while (!done() && in_[pos_] != quote) {
+      if (in_[pos_] == '<') fail("`<` in attribute value");
+      ++pos_;
+    }
+    if (done()) fail("unterminated attribute value");
+    auto raw = in_.substr(begin, pos_ - begin);
+    ++pos_;  // closing quote
+    return decode_entities(raw);
+  }
+
+  Node parse_element() {
+    expect("<");
+    Node node;
+    node.name = parse_name();
+    for (;;) {
+      skip_space();
+      if (starts_with("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key = parse_name();
+      skip_space();
+      expect("=");
+      skip_space();
+      node.attributes.emplace_back(std::move(key), parse_attribute_value());
+    }
+    // Content: interleaved character data, child elements, comments.
+    std::string text;
+    for (;;) {
+      if (done()) fail("unterminated element <" + node.name + ">");
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node.name) {
+          fail("mismatched closing tag </" + closing + "> for <" + node.name + ">");
+        }
+        skip_space();
+        expect(">");
+        node.text = trim(decode_entities(text));
+        return node;
+      } else if (peek() == '<') {
+        node.children.push_back(parse_element());
+      } else {
+        text += take();
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+void append_indented(const Node& node, int depth, std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent + "<" + node.name;
+  for (const auto& [k, v] : node.attributes) {
+    out += " " + k + "=\"";
+    for (char c : v) {
+      switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out += c;
+      }
+    }
+    out += "\"";
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (!node.text.empty()) {
+    for (char c : node.text) {
+      switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        default: out += c;
+      }
+    }
+  }
+  if (!node.children.empty()) {
+    out += "\n";
+    for (const auto& child : node.children) append_indented(child, depth + 1, out);
+    out += indent;
+  }
+  out += "</" + node.name + ">\n";
+}
+
+}  // namespace
+
+std::optional<std::string_view> Node::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::string_view Node::required_attribute(std::string_view key) const {
+  auto v = attribute(key);
+  if (!v) {
+    throw ConfigError("element <" + name + "> is missing attribute `" +
+                      std::string(key) + "`");
+  }
+  return *v;
+}
+
+std::string Node::attribute_or(std::string_view key, std::string_view fallback) const {
+  auto v = attribute(key);
+  return std::string(v.value_or(fallback));
+}
+
+const Node* Node::child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c.name == tag) return &c;
+  }
+  return nullptr;
+}
+
+const Node& Node::required_child(std::string_view tag) const {
+  const Node* c = child(tag);
+  if (!c) {
+    throw ConfigError("element <" + name + "> is missing child <" +
+                      std::string(tag) + ">");
+  }
+  return *c;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view tag) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children) {
+    if (c.name == tag) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string_view Node::child_text(std::string_view tag) const {
+  return required_child(tag).text;
+}
+
+Node parse(std::string_view input) { return Parser(input).parse_document(); }
+
+Node parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open XML file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string to_string(const Node& node) {
+  std::string out;
+  append_indented(node, 0, out);
+  return out;
+}
+
+}  // namespace papar::xml

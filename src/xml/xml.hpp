@@ -1,0 +1,70 @@
+// Minimal DOM XML parser.
+//
+// PaPar's two user-facing interfaces — the InputData configuration and the
+// Workflow configuration — are XML documents (paper Figs. 4, 5, 7, 8, 10).
+// This parser supports exactly what those files need: elements, attributes
+// (single- or double-quoted), character data, self-closing tags, comments,
+// XML declarations, and the five predefined entities. It has no external
+// dependencies and rejects malformed input with xml::ParseError.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace papar::xml {
+
+/// Raised on malformed XML; the message includes line/column.
+class ParseError : public ConfigError {
+ public:
+  explicit ParseError(const std::string& what) : ConfigError("xml: " + what) {}
+};
+
+/// One element node. Character data of an element is concatenated into
+/// `text` (with surrounding whitespace trimmed); child elements are kept in
+/// document order.
+class Node {
+ public:
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;
+  std::vector<Node> children;
+
+  /// First attribute value with the given name, if present.
+  std::optional<std::string_view> attribute(std::string_view key) const;
+
+  /// Attribute value that must exist; throws ConfigError otherwise.
+  std::string_view required_attribute(std::string_view key) const;
+
+  /// Attribute value or a fallback.
+  std::string attribute_or(std::string_view key, std::string_view fallback) const;
+
+  /// First child element with the given tag name, if present.
+  const Node* child(std::string_view tag) const;
+
+  /// Child element that must exist; throws ConfigError otherwise.
+  const Node& required_child(std::string_view tag) const;
+
+  /// All child elements with the given tag name, in document order.
+  std::vector<const Node*> children_named(std::string_view tag) const;
+
+  /// Trimmed text of a required child element (e.g. <start_position>32</...>).
+  std::string_view child_text(std::string_view tag) const;
+};
+
+/// Parses a complete document and returns its root element.
+Node parse(std::string_view input);
+
+/// Reads the file and parses it; throws ConfigError if unreadable.
+Node parse_file(const std::string& path);
+
+/// Serializes a node tree back to indented XML (used by tests and by the
+/// workflow round-trip utilities).
+std::string to_string(const Node& node);
+
+}  // namespace papar::xml

@@ -1,0 +1,266 @@
+// Tests for the BLAST substrate: database format, synthetic generator,
+// baseline and PaPar partitioners (including the partition-identity
+// correctness claim), and the search-cost simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "blast/db.hpp"
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "blast/search_sim.hpp"
+
+namespace papar::blast {
+namespace {
+
+Database small_db(std::size_t n = 500, std::uint64_t seed = 3) {
+  GeneratorOptions opt;
+  opt.sequence_count = n;
+  opt.seed = seed;
+  return generate_database(opt);
+}
+
+TEST(BlastDb, IndexImageRoundTrip) {
+  const Database db = small_db(100);
+  const std::string image = index_file_image(db);
+  EXPECT_EQ(image.size(), kHeaderSize + 100 * sizeof(IndexEntry));
+  EXPECT_EQ(parse_index_image(image), db.index);
+}
+
+TEST(BlastDb, IndexImageStartsAtByte32) {
+  // The Fig. 4 configuration says "index data starts at 32 bytes"; the
+  // format must honor it so the InputData config applies unchanged.
+  const Database db = small_db(10);
+  const std::string image = index_file_image(db);
+  IndexEntry first;
+  std::memcpy(&first, image.data() + 32, sizeof(first));
+  EXPECT_EQ(first, db.index[0]);
+}
+
+TEST(BlastDb, ParseRejectsCorruptImages) {
+  const Database db = small_db(5);
+  std::string image = index_file_image(db);
+  EXPECT_THROW(parse_index_image(image.substr(0, 16)), DataError);
+  EXPECT_THROW(parse_index_image(image + "x"), DataError);
+  std::string bad_magic = image;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(parse_index_image(bad_magic), DataError);
+}
+
+TEST(BlastDb, DiskRoundTripWithPayload) {
+  GeneratorOptions opt;
+  opt.sequence_count = 50;
+  opt.seed = 5;
+  opt.with_payload = true;
+  const Database db = generate_database(opt);
+  const std::string path = ::testing::TempDir() + "/test_blast_db";
+  write_database(path, db);
+  const Database back = read_database(path);
+  EXPECT_EQ(back.index, db.index);
+  EXPECT_EQ(back.sequence_data, db.sequence_data);
+  EXPECT_EQ(back.description_data, db.description_data);
+}
+
+TEST(BlastDb, RecalculatePointersTiles) {
+  const Database db = small_db(100);
+  // Take an arbitrary subset (every third entry) and recalculate.
+  std::vector<IndexEntry> subset;
+  for (std::size_t i = 0; i < db.index.size(); i += 3) subset.push_back(db.index[i]);
+  const auto recalced = recalculate_pointers(subset);
+  std::int32_t seq_cursor = 0, desc_cursor = 0;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(recalced[i].seq_start, seq_cursor);
+    EXPECT_EQ(recalced[i].desc_start, desc_cursor);
+    EXPECT_EQ(recalced[i].seq_size, subset[i].seq_size);
+    EXPECT_EQ(recalced[i].desc_size, subset[i].desc_size);
+    seq_cursor += subset[i].seq_size;
+    desc_cursor += subset[i].desc_size;
+  }
+}
+
+TEST(BlastDb, ExtractPartitionSlicesPayload) {
+  GeneratorOptions opt;
+  opt.sequence_count = 30;
+  opt.seed = 9;
+  opt.with_payload = true;
+  const Database db = generate_database(opt);
+  std::vector<IndexEntry> subset{db.index[3], db.index[17], db.index[4]};
+  const Database part = extract_partition(db, subset);
+  part.validate();
+  ASSERT_EQ(part.index.size(), 3u);
+  // Payload slices must match the source bytes.
+  EXPECT_EQ(part.sequence_data.substr(0, static_cast<std::size_t>(subset[0].seq_size)),
+            db.sequence_data.substr(static_cast<std::size_t>(subset[0].seq_start),
+                                    static_cast<std::size_t>(subset[0].seq_size)));
+}
+
+TEST(BlastGenerator, DeterministicAndTiled) {
+  const Database a = small_db(1000, 11);
+  const Database b = small_db(1000, 11);
+  EXPECT_EQ(a.index, b.index);
+  a.validate();
+}
+
+TEST(BlastGenerator, LengthShapeMatchesProteinDatabases) {
+  // "Most of the sequences in two databases are less than 100 letters",
+  // with a heavy tail of long proteins.
+  GeneratorOptions opt = env_nr_like();
+  opt.sequence_count = 20000;
+  const Database db = generate_database(opt);
+  std::size_t under100 = 0;
+  std::int32_t longest = 0;
+  for (const auto& e : db.index) {
+    under100 += e.seq_size < 100;
+    longest = std::max(longest, e.seq_size);
+  }
+  EXPECT_GT(under100, db.index.size() / 2);
+  EXPECT_GT(longest, 500);  // the tail exists
+  EXPECT_LE(longest, opt.max_length);
+}
+
+TEST(BlastGenerator, LengthsAreAutocorrelated) {
+  // Family clustering: adjacent entries correlate far more than distant
+  // ones (the property that makes block partitions skew).
+  const Database db = small_db(20000, 13);
+  auto len = [&](std::size_t i) { return static_cast<double>(db.index[i].seq_size); };
+  double mean = 0;
+  for (std::size_t i = 0; i < db.index.size(); ++i) mean += len(i);
+  mean /= static_cast<double>(db.index.size());
+  double num_adjacent = 0, num_far = 0, denom = 0;
+  const std::size_t far = db.index.size() / 2;
+  for (std::size_t i = 0; i + far < db.index.size(); ++i) {
+    num_adjacent += (len(i) - mean) * (len(i + 1) - mean);
+    num_far += (len(i) - mean) * (len(i + far) - mean);
+    denom += (len(i) - mean) * (len(i) - mean);
+  }
+  EXPECT_GT(num_adjacent / denom, 0.5);               // strong lag-1 correlation
+  EXPECT_LT(std::abs(num_far / denom), 0.2);          // none at long range
+}
+
+TEST(BlastGenerator, QueryBatchesHonorCaps) {
+  const Database db = small_db(5000, 17);
+  for (auto q : make_query_batch(db, QueryBatch::k100, 1)) EXPECT_LE(q, 100);
+  for (auto q : make_query_batch(db, QueryBatch::k500, 1)) EXPECT_LE(q, 500);
+  EXPECT_EQ(make_query_batch(db, QueryBatch::kMixed, 1).size(), 100u);
+  EXPECT_EQ(make_query_batch(db, QueryBatch::kMixed, 1, 250).size(), 250u);
+}
+
+TEST(BlastPartitioner, ReferenceCyclicProperties) {
+  const Database db = small_db(997);
+  const auto parts = partition_reference(db.index, 16, Policy::kCyclic);
+  EXPECT_EQ(parts.total_sequences(), 997u);
+  // Counts within one of each other.
+  for (const auto& p : parts.partitions) {
+    EXPECT_GE(p.size(), 997u / 16);
+    EXPECT_LE(p.size(), 997u / 16 + 1);
+  }
+  // Each partition's entries ascend in seq_size (subsequence of the sorted
+  // order).
+  for (const auto& p : parts.partitions) {
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      EXPECT_LE(p[i - 1].seq_size, p[i].seq_size);
+    }
+  }
+}
+
+TEST(BlastPartitioner, ReferenceBlockKeepsInputOrder) {
+  const Database db = small_db(100);
+  const auto parts = partition_reference(db.index, 4, Policy::kBlock);
+  std::vector<IndexEntry> flat;
+  for (const auto& p : parts.partitions) flat.insert(flat.end(), p.begin(), p.end());
+  EXPECT_EQ(flat, db.index);
+}
+
+class BaselineThreads : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Threads, BaselineThreads, ::testing::Values(1, 2, 4));
+
+TEST_P(BaselineThreads, BaselineMatchesReference) {
+  const Database db = small_db(3001);
+  ThreadPool pool(GetParam());
+  for (auto policy : {Policy::kCyclic, Policy::kBlock}) {
+    const auto expected = partition_reference(db.index, 8, policy);
+    const auto actual = partition_baseline(db.index, 8, policy, pool);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+class PaparRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, PaparRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(PaparRanks, PaparProducesSamePartitionsAsApplication) {
+  // The paper's §IV-B correctness claim: PaPar's partitions equal the
+  // muBLASTP partitioner's, for both policies and any node count.
+  const Database db = small_db(600, 23);
+  for (auto policy : {Policy::kCyclic, Policy::kBlock}) {
+    const auto expected = partition_reference(db.index, 6, policy);
+    const auto papar = partition_with_papar(db, GetParam(), 6, policy);
+    EXPECT_EQ(papar.partitions, expected)
+        << "policy=" << (policy == Policy::kCyclic ? "cyclic" : "block");
+  }
+}
+
+TEST(BlastPartitioner, RecalculatedPartitionsValidate) {
+  const Database db = small_db(200);
+  const auto parts = partition_reference(db.index, 4, Policy::kCyclic).recalculated();
+  for (const auto& p : parts.partitions) {
+    Database fake;
+    fake.index = p;
+    fake.validate();  // pointers tile each partition
+  }
+}
+
+TEST(SearchSim, CostGrowsSuperlinearlyInSubjectLength) {
+  SearchCostModel model;
+  const double c1 = model.cost(100, 100);
+  const double c2 = model.cost(100, 200);
+  EXPECT_GT(c2 - model.c0, 2.0 * (c1 - model.c0));  // superlinear
+  EXPECT_GT(model.cost(500, 100), model.cost(100, 100));
+}
+
+TEST(SearchSim, CyclicBeatsBlockOnClusteredDatabases) {
+  // The heart of Fig. 12: block partitions of a length-clustered database
+  // skew; cyclic partitions of the sorted index balance.
+  const Database db = small_db(20000, 29);
+  const auto block = partition_reference(db.index, 16, Policy::kBlock);
+  const auto cyclic = partition_reference(db.index, 16, Policy::kCyclic);
+  const auto batch = make_query_batch(db, QueryBatch::k500, 7);
+  const auto block_result = simulate_search(block, batch);
+  const auto cyclic_result = simulate_search(cyclic, batch);
+  EXPECT_LT(cyclic_result.makespan, block_result.makespan);
+  EXPECT_LT(cyclic_result.imbalance, 1.1);
+  EXPECT_GT(block_result.imbalance, 1.3);
+}
+
+TEST(SearchSim, PartitionCostsSumToSameTotal) {
+  // Both policies search the same database: total work is conserved, only
+  // its distribution changes.
+  const Database db = small_db(5000, 31);
+  const auto batch = make_query_batch(db, QueryBatch::kMixed, 3);
+  const auto block = simulate_search(partition_reference(db.index, 8, Policy::kBlock), batch);
+  const auto cyclic =
+      simulate_search(partition_reference(db.index, 8, Policy::kCyclic), batch);
+  const double block_total =
+      std::accumulate(block.partition_costs.begin(), block.partition_costs.end(), 0.0);
+  const double cyclic_total = std::accumulate(cyclic.partition_costs.begin(),
+                                              cyclic.partition_costs.end(), 0.0);
+  EXPECT_NEAR(block_total / cyclic_total, 1.0, 1e-9);
+}
+
+TEST(SearchSim, LongerBatchesSkewMore) {
+  // Fig. 12's second observation: the cyclic advantage grows with query
+  // length ("the skew is more significant for the longer queries").
+  const Database db = small_db(20000, 37);
+  const auto block = partition_reference(db.index, 16, Policy::kBlock);
+  const auto cyclic = partition_reference(db.index, 16, Policy::kCyclic);
+  auto advantage = [&](QueryBatch b) {
+    const auto batch = make_query_batch(db, b, 5);
+    return simulate_search(block, batch).makespan /
+           simulate_search(cyclic, batch).makespan;
+  };
+  EXPECT_GT(advantage(QueryBatch::k500), advantage(QueryBatch::k100));
+}
+
+}  // namespace
+}  // namespace papar::blast

@@ -1,0 +1,102 @@
+// Tests for distributed Connected Components (the paper's second GraphLab
+// workload) against the union-find reference.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/generator.hpp"
+#include "graph/partition.hpp"
+
+namespace papar::graph {
+namespace {
+
+TEST(ComponentsReference, DisjointCliquesAndIsolates) {
+  Graph g;
+  g.num_vertices = 10;
+  // Component {0,1,2}, component {3,4}, isolates 5..9.
+  g.edges = {{0, 1}, {1, 2}, {3, 4}};
+  const auto labels = components_reference(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+  for (VertexId v = 5; v < 10; ++v) EXPECT_EQ(labels[v], v);
+}
+
+TEST(ComponentsReference, DirectionIgnored) {
+  Graph g;
+  g.num_vertices = 4;
+  g.edges = {{3, 2}, {2, 1}, {1, 0}};  // all edges point "down"
+  const auto labels = components_reference(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(labels[v], 0u);
+}
+
+TEST(ComponentsReference, ChainMerging) {
+  // Unions arriving in an adversarial order still canonicalize to minima.
+  Graph g;
+  g.num_vertices = 8;
+  g.edges = {{6, 7}, {4, 5}, {2, 3}, {0, 1}, {1, 2}, {5, 6}, {3, 4}};
+  const auto labels = components_reference(g);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(labels[v], 0u);
+}
+
+class ComponentsRanksTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, ComponentsRanksTest, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ComponentsRanksTest, DistributedMatchesReferenceForEveryCut) {
+  const int p = GetParam();
+  ZipfGraphOptions opt;
+  opt.num_vertices = 600;
+  opt.num_edges = 1500;  // sparse: many components
+  opt.seed = 41;
+  const Graph g = generate_zipf(opt);
+  const auto expected = components_reference(g);
+  for (auto kind : {CutKind::kEdgeCut, CutKind::kVertexCut, CutKind::kHybridCut}) {
+    const auto parts = partition_graph(g, static_cast<std::size_t>(p), kind, 10);
+    mp::Runtime rt(p, mp::NetworkModel::zero());
+    const auto result = components_distributed(g, parts, rt);
+    EXPECT_EQ(result.labels, expected) << cut_name(kind) << " on " << p << " ranks";
+    EXPECT_GT(result.iterations, 0);
+  }
+}
+
+TEST(Components, ConvergesOnLongPath) {
+  // A path graph needs many label-propagation rounds; convergence detection
+  // must keep iterating until labels stop moving.
+  Graph g;
+  g.num_vertices = 64;
+  for (VertexId v = 0; v + 1 < g.num_vertices; ++v) g.edges.push_back({v + 1, v});
+  const auto parts = partition_graph(g, 4, CutKind::kVertexCut);
+  mp::Runtime rt(4, mp::NetworkModel::zero());
+  const auto result = components_distributed(g, parts, rt);
+  for (VertexId v = 0; v < g.num_vertices; ++v) EXPECT_EQ(result.labels[v], 0u);
+}
+
+TEST(Components, IterationCapStopsEarly) {
+  Graph g;
+  g.num_vertices = 64;
+  for (VertexId v = 0; v + 1 < g.num_vertices; ++v) g.edges.push_back({v + 1, v});
+  const auto parts = partition_graph(g, 2, CutKind::kVertexCut);
+  mp::Runtime rt(2, mp::NetworkModel::zero());
+  const auto capped = components_distributed(g, parts, rt, /*max_iterations=*/1);
+  EXPECT_EQ(capped.iterations, 1);
+}
+
+TEST(Components, HybridCutUsesLessTrafficThanEdgeCutOnSkew) {
+  ZipfGraphOptions opt;
+  opt.num_vertices = 4000;
+  opt.num_edges = 60000;
+  opt.zipf_s = 1.3;
+  const Graph g = generate_zipf(opt);
+  auto bytes_for = [&](CutKind kind) {
+    const auto parts = partition_graph(g, 8, kind, 100);
+    mp::Runtime rt(8, mp::NetworkModel::rdma());
+    return components_distributed(g, parts, rt, 5).stats.remote_bytes;
+  };
+  EXPECT_LT(bytes_for(CutKind::kHybridCut), bytes_for(CutKind::kVertexCut));
+}
+
+}  // namespace
+}  // namespace papar::graph

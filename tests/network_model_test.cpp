@@ -1,0 +1,142 @@
+// Tests for the LogGP-style fabric timing: NIC serialization at both ends,
+// compute scaling, and the virtual-clock arithmetic the figure benches
+// depend on.
+#include <gtest/gtest.h>
+
+#include "mpsim/runtime.hpp"
+
+namespace papar::mp {
+namespace {
+
+std::vector<unsigned char> payload(std::size_t n) {
+  return std::vector<unsigned char>(n, 0xAB);
+}
+
+TEST(NetworkTiming, SenderPaysSerialization) {
+  // bandwidth 1 MB/s, zero latency: sending 1 MB advances the sender's
+  // clock by ~1 s even before anyone receives.
+  NetworkModel net{0.0, 1e6, 1e300, 1.0};
+  Runtime rt(2, net);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(1'000'000));
+      EXPECT_NEAR(comm.vtime(), 1.0, 0.05);
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+}
+
+TEST(NetworkTiming, ReceiverPaysSerializationToo) {
+  NetworkModel net{0.0, 1e6, 1e300, 1.0};
+  Runtime rt(2, net);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(1'000'000));
+    } else {
+      (void)comm.recv(0, 1);
+      // ~1 s sender serialization + ~1 s receiver clock-in.
+      EXPECT_NEAR(comm.vtime(), 2.0, 0.1);
+    }
+  });
+}
+
+TEST(NetworkTiming, LatencyAddsOnTop) {
+  NetworkModel net{0.5, 1e300, 1e300, 1.0};
+  Runtime rt(2, net);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(8));
+    } else {
+      (void)comm.recv(0, 1);
+      EXPECT_GE(comm.vtime(), 0.5);
+      EXPECT_LT(comm.vtime(), 0.6);
+    }
+  });
+}
+
+TEST(NetworkTiming, LocalTransfersSkipTheNic) {
+  NetworkModel net{10.0, 1.0, 1e9, 1.0};  // brutal fabric, fast memory
+  Runtime rt(1, net);
+  rt.run([](Comm& comm) {
+    comm.send(0, 1, payload(1000));
+    (void)comm.recv(0, 1);
+    EXPECT_LT(comm.vtime(), 0.01);
+  });
+}
+
+TEST(NetworkTiming, BackToBackSendsSerialize) {
+  // Two 1 MB messages from the same rank cannot overlap on its NIC: the
+  // second arrives ~2 s in.
+  NetworkModel net{0.0, 1e6, 1e300, 1.0};
+  Runtime rt(3, net);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(1'000'000));
+      comm.send(2, 1, payload(1'000'000));
+      EXPECT_NEAR(comm.vtime(), 2.0, 0.1);
+    } else if (comm.rank() == 2) {
+      (void)comm.recv(0, 1);
+      EXPECT_GE(comm.vtime(), 2.0 - 0.05);
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+}
+
+TEST(NetworkTiming, ComputeScaleDividesMeasuredCpu) {
+  // The same spin loop charged at scale 1.0 vs 0.1 differs ~10x.
+  auto measure = [](double scale) {
+    Runtime rt(1, NetworkModel::zero().with_compute_scale(scale));
+    double t = 0;
+    rt.run([&](Comm& comm) {
+      volatile double sink = 0;
+      for (int i = 0; i < 3000000; ++i) sink += i * 0.5;
+      t = comm.vtime();
+    });
+    return t;
+  };
+  const double full = measure(1.0);
+  const double tenth = measure(0.1);
+  EXPECT_GT(full, 0.0);
+  EXPECT_NEAR(tenth / full, 0.1, 0.05);
+}
+
+TEST(NetworkTiming, ModeledChargeIgnoresComputeScale) {
+  Runtime rt(1, NetworkModel::zero().with_compute_scale(0.001));
+  rt.run([](Comm& comm) {
+    comm.charge_modeled(2.5);
+    EXPECT_GE(comm.vtime(), 2.5);
+  });
+}
+
+TEST(NetworkTiming, RdmaBeatsEthernetOnBulkTransfer) {
+  auto makespan = [](NetworkModel net) {
+    Runtime rt(2, net);
+    return rt
+        .run([](Comm& comm) {
+          if (comm.rank() == 0) comm.send(1, 1, payload(10'000'000));
+          else (void)comm.recv(0, 1);
+        })
+        .makespan;
+  };
+  EXPECT_LT(makespan(NetworkModel::rdma()), makespan(NetworkModel::ethernet()));
+}
+
+TEST(NetworkTiming, TrafficCountersVisibleMidRun) {
+  Runtime rt(2, NetworkModel::zero());
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(100));
+      comm.barrier();
+      EXPECT_EQ(comm.remote_bytes_so_far(), 100u);
+      EXPECT_EQ(comm.remote_messages_so_far(), 1u);
+    } else {
+      comm.barrier();
+      (void)comm.recv(0, 1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace papar::mp

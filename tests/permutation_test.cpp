@@ -1,0 +1,142 @@
+// Tests for stride permutations L_m^{km} and the explicit permutation
+// matrices PaPar formalizes distribution policies with (§III-B).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/permutation.hpp"
+
+namespace papar::core {
+namespace {
+
+TEST(StridePermutation, PaperFig6aCyclicL2_4) {
+  // Fig. 6(a): 4 entries, stride 2 — x0,x1,x2,x3 -> x0,x2 | x1,x3.
+  StridePermutation perm(2, 4);
+  EXPECT_EQ(perm.dest(0), 0u);
+  EXPECT_EQ(perm.dest(1), 2u);
+  EXPECT_EQ(perm.dest(2), 1u);
+  EXPECT_EQ(perm.dest(3), 3u);
+  EXPECT_EQ(perm.partition(0), 0u);
+  EXPECT_EQ(perm.partition(1), 1u);
+  EXPECT_EQ(perm.partition(2), 0u);
+  EXPECT_EQ(perm.partition(3), 1u);
+}
+
+TEST(StridePermutation, PaperFig6bBlockL4_4IsIdentity) {
+  // Fig. 6(b): the block policy is L_4^4 = identity.
+  StridePermutation perm(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(perm.dest(i), i);
+}
+
+TEST(StridePermutation, PaperFig9L3_4) {
+  // Fig. 9: each mapper holds 4 entries for 3 partitions; L_3^4 sends local
+  // entries 0 and 3 to partition 0, entry 1 to partition 1, entry 2 to 2.
+  StridePermutation perm(3, 4);
+  EXPECT_EQ(perm.partition(0), 0u);
+  EXPECT_EQ(perm.partition(1), 1u);
+  EXPECT_EQ(perm.partition(2), 2u);
+  EXPECT_EQ(perm.partition(3), 0u);
+  // Permuted layout: [x0, x3 | x1 | x2].
+  EXPECT_EQ(perm.dest(0), 0u);
+  EXPECT_EQ(perm.dest(3), 1u);
+  EXPECT_EQ(perm.dest(1), 2u);
+  EXPECT_EQ(perm.dest(2), 3u);
+}
+
+TEST(StridePermutation, L3_3DoesNotPermute) {
+  // Paper: "L_3^3 in this case happens not to permute data".
+  StridePermutation perm(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(perm.dest(i), i);
+}
+
+TEST(StridePermutation, ClosedFormWhenDivisible) {
+  // The paper writes the policy as L_N^M with N = partitions, M = entries:
+  // entry qN + r lands in partition r at its q-th slot, i.e.
+  // x_{qm+r} -> x_{rk+q} with k = M/N (the dual stride permutation; the
+  // paper's Fig. 9 assignment "entries 0,3 -> partition 0" pins this form).
+  const std::size_t m = 4, k = 3;
+  StridePermutation perm(m, m * k);
+  for (std::size_t q = 0; q < k; ++q) {
+    for (std::size_t r = 0; r < m; ++r) {
+      EXPECT_EQ(perm.dest(q * m + r), r * k + q);
+    }
+  }
+}
+
+TEST(StridePermutation, DestIsBijective) {
+  for (std::size_t m : {1u, 2u, 3u, 5u, 7u}) {
+    for (std::size_t total : {1u, 2u, 6u, 7u, 30u, 31u}) {
+      StridePermutation perm(m, total);
+      std::vector<bool> seen(total, false);
+      for (std::size_t i = 0; i < total; ++i) {
+        const auto d = perm.dest(i);
+        ASSERT_LT(d, total);
+        EXPECT_FALSE(seen[d]) << "m=" << m << " total=" << total << " i=" << i;
+        seen[d] = true;
+      }
+    }
+  }
+}
+
+TEST(StridePermutation, PartitionSizesDifferByAtMostOne) {
+  StridePermutation perm(5, 23);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < 5; ++p) {
+    const auto sz = perm.partition_size(p);
+    EXPECT_GE(sz, 23u / 5u);
+    EXPECT_LE(sz, 23u / 5u + 1u);
+    total += sz;
+  }
+  EXPECT_EQ(total, 23u);
+}
+
+TEST(StridePermutation, OffsetsArePrefixSums) {
+  StridePermutation perm(4, 18);
+  std::size_t acc = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(perm.partition_offset(p), acc);
+    acc += perm.partition_size(p);
+  }
+}
+
+TEST(PermutationMatrix, MatvecMatchesClosedForm) {
+  // The runtime applies the policy as a matrix-vector product; it must agree
+  // with the closed-form index map for every shape.
+  for (std::size_t m : {1u, 2u, 3u, 4u}) {
+    for (std::size_t total : {1u, 4u, 9u, 12u, 13u}) {
+      StridePermutation perm(m, total);
+      const auto matrix = PermutationMatrix::from_stride(perm);
+      ASSERT_TRUE(matrix.is_permutation());
+      std::vector<int> x(total);
+      std::iota(x.begin(), x.end(), 0);
+      const auto y = matrix.apply(x);
+      for (std::size_t i = 0; i < total; ++i) {
+        EXPECT_EQ(y[perm.dest(i)], static_cast<int>(i));
+      }
+    }
+  }
+}
+
+TEST(PermutationMatrix, IdentityFixesEverything) {
+  const auto id = PermutationMatrix::identity(6);
+  std::vector<int> x{5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(PermutationMatrix, TransposeInverts) {
+  StridePermutation perm(3, 10);
+  const auto matrix = PermutationMatrix::from_stride(perm);
+  const auto inverse = matrix.transpose();
+  std::vector<int> x(10);
+  std::iota(x.begin(), x.end(), 100);
+  EXPECT_EQ(inverse.apply(matrix.apply(x)), x);
+}
+
+TEST(PermutationMatrix, DimensionMismatchThrows) {
+  const auto id = PermutationMatrix::identity(3);
+  std::vector<int> x{1, 2};
+  EXPECT_THROW((void)id.apply(x), InternalError);
+}
+
+}  // namespace
+}  // namespace papar::core

@@ -1,0 +1,350 @@
+// Tests for the schema module: typed fields, wire encoding, projections,
+// binary/text InputFormats with Hadoop-style splits, and the InputData XML
+// binding from the paper's Figs. 4 and 5.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "schema/input_config.hpp"
+#include "schema/input_format.hpp"
+#include "schema/record.hpp"
+#include "schema/schema.hpp"
+#include "util/rng.hpp"
+#include "xml/xml.hpp"
+
+namespace papar::schema {
+namespace {
+
+Schema blast_schema() {
+  Schema s;
+  s.add_field("seq_start", FieldType::kInt32)
+      .add_field("seq_size", FieldType::kInt32)
+      .add_field("desc_start", FieldType::kInt32)
+      .add_field("desc_size", FieldType::kInt32);
+  return s;
+}
+
+Schema edge_schema() {
+  Schema s;
+  s.add_field("vertex_a", FieldType::kString, "\t")
+      .add_field("vertex_b", FieldType::kString, "\n");
+  return s;
+}
+
+TEST(Schema, FixedWidthAndOffsets) {
+  const Schema s = blast_schema();
+  EXPECT_TRUE(s.fixed_width());
+  EXPECT_EQ(s.record_width(), 16u);
+  EXPECT_EQ(s.field_offset(0), 0u);
+  EXPECT_EQ(s.field_offset(3), 12u);
+}
+
+TEST(Schema, StringsBreakFixedWidth) {
+  EXPECT_FALSE(edge_schema().fixed_width());
+  EXPECT_THROW((void)edge_schema().record_width(), DataError);
+}
+
+TEST(Schema, DuplicateFieldRejected) {
+  Schema s;
+  s.add_field("x", FieldType::kInt32);
+  EXPECT_THROW(s.add_field("x", FieldType::kInt64), ConfigError);
+}
+
+TEST(Schema, IndexLookup) {
+  const Schema s = blast_schema();
+  EXPECT_EQ(s.required_index("seq_size"), 1u);
+  EXPECT_FALSE(s.index_of("nope").has_value());
+  EXPECT_THROW((void)s.required_index("nope"), ConfigError);
+}
+
+TEST(Schema, TypeNamesRoundTrip) {
+  for (auto t : {FieldType::kInt32, FieldType::kInt64, FieldType::kFloat64,
+                 FieldType::kString}) {
+    EXPECT_EQ(parse_field_type(field_type_name(t)), t);
+  }
+  EXPECT_THROW(parse_field_type("quaternion"), ConfigError);
+}
+
+TEST(Projections, IntOrderPreserved) {
+  const std::vector<std::int64_t> xs{std::numeric_limits<std::int64_t>::min(), -5, -1,
+                                     0, 1, 7, std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LT(project_i64(xs[i - 1]), project_i64(xs[i]));
+  }
+}
+
+TEST(Projections, DoubleOrderPreserved) {
+  const std::vector<double> xs{-1e308, -2.5, -0.0, 0.5, 3.25, 1e308};
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LT(project_f64(xs[i - 1]), project_f64(xs[i]));
+  }
+  // -0.0 and +0.0 must not invert order with tiny positives.
+  EXPECT_LE(project_f64(-0.0), project_f64(0.0));
+}
+
+TEST(Projections, StringPrefixMonotone) {
+  EXPECT_LT(project_string("abc"), project_string("abd"));
+  EXPECT_LT(project_string("ab"), project_string("abc"));
+  EXPECT_LT(project_string(""), project_string("a"));
+  // Equal 8-byte prefixes collide (resolved by full comparison downstream).
+  EXPECT_EQ(project_string("12345678a"), project_string("12345678b"));
+}
+
+TEST(Record, EncodeDecodeFixed) {
+  const Schema s = blast_schema();
+  Record rec({std::int32_t{10}, std::int32_t{94}, std::int32_t{0}, std::int32_t{74}});
+  const std::string wire = rec.encode(s);
+  EXPECT_EQ(wire.size(), 16u);
+  const Record back = Record::decode(s, wire);
+  EXPECT_EQ(back, rec);
+  EXPECT_EQ(back.as_int(1), 94);
+}
+
+TEST(Record, EncodeDecodeStrings) {
+  const Schema s = edge_schema();
+  Record rec({std::string("alpha"), std::string("beta")});
+  const Record back = Record::decode(s, rec.encode(s));
+  EXPECT_EQ(back.as_string(0), "alpha");
+  EXPECT_EQ(back.as_string(1), "beta");
+}
+
+TEST(Record, TypeMismatchThrows) {
+  const Schema s = blast_schema();
+  Record rec({std::int32_t{1}, std::int64_t{2}, std::int32_t{3}, std::int32_t{4}});
+  ByteWriter w;
+  EXPECT_THROW(rec.encode(s, w), DataError);
+}
+
+TEST(Record, TrailingBytesRejected) {
+  const Schema s = blast_schema();
+  Record rec({std::int32_t{1}, std::int32_t{2}, std::int32_t{3}, std::int32_t{4}});
+  std::string wire = rec.encode(s);
+  wire += 'x';
+  EXPECT_THROW((void)Record::decode(s, wire), DataError);
+}
+
+TEST(Record, ProjectFieldWithoutDecode) {
+  const Schema s = blast_schema();
+  Record a({std::int32_t{0}, std::int32_t{51}, std::int32_t{0}, std::int32_t{1}});
+  Record b({std::int32_t{0}, std::int32_t{94}, std::int32_t{0}, std::int32_t{1}});
+  EXPECT_LT(project_field(s, a.encode(s), 1), project_field(s, b.encode(s), 1));
+}
+
+TEST(Record, ProjectStringField) {
+  const Schema s = edge_schema();
+  Record a({std::string("aaa"), std::string("x")});
+  Record b({std::string("bbb"), std::string("x")});
+  EXPECT_LT(project_field(s, a.encode(s), 0), project_field(s, b.encode(s), 0));
+  EXPECT_EQ(wire_string_field(s, a.encode(s), 1), "x");
+}
+
+TEST(BinaryInput, ReadsRecordsAfterHeader) {
+  const Schema s = blast_schema();
+  std::vector<Record> recs;
+  for (int i = 0; i < 10; ++i) {
+    recs.emplace_back(std::vector<Value>{std::int32_t{i * 100}, std::int32_t{50 + i},
+                                         std::int32_t{i * 10}, std::int32_t{i}});
+  }
+  ByteWriter w;
+  for (int i = 0; i < 32; ++i) w.put<char>('h');
+  for (const auto& r : recs) r.encode(s, w);
+  std::string content(reinterpret_cast<const char*>(w.data()), w.size());
+
+  BinaryFixedInput input(s, content, 32);
+  EXPECT_EQ(input.record_count(), 10u);
+  const auto all = read_all(input);
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[3].as_int(1), 53);
+}
+
+TEST(BinaryInput, RejectsRaggedFile) {
+  const Schema s = blast_schema();
+  EXPECT_THROW(BinaryFixedInput(s, std::string(31, 'x'), 32), DataError);
+  EXPECT_THROW(BinaryFixedInput(s, std::string(40, 'x'), 32), DataError);
+  EXPECT_NO_THROW(BinaryFixedInput(s, std::string(48, 'x'), 32));
+}
+
+class BinarySplits : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinarySplits, SplitsCoverEveryRecordOnce) {
+  const Schema s = blast_schema();
+  ByteWriter w;
+  const int n = 103;
+  for (int i = 0; i < n; ++i) {
+    Record({std::int32_t{i}, std::int32_t{i}, std::int32_t{i}, std::int32_t{i}})
+        .encode(s, w);
+  }
+  BinaryFixedInput input(s, std::string(reinterpret_cast<const char*>(w.data()), w.size()),
+                         0);
+  std::vector<int> seen;
+  for (const auto& split : input.splits(GetParam())) {
+    auto reader = input.reader(split);
+    Record rec;
+    while (reader->next(rec)) seen.push_back(static_cast<int>(rec.as_int(0)));
+  }
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BinarySplits, ::testing::Values(1, 2, 3, 7, 16, 103, 200));
+
+TEST(TextInput, ParsesEdgeList) {
+  const Schema s = edge_schema();
+  TextDelimitedInput input(s, "1\t2\n3\t4\n5\t6\n");
+  EXPECT_EQ(input.record_count(), 3u);
+  const auto all = read_all(input);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1].as_string(0), "3");
+  EXPECT_EQ(all[1].as_string(1), "4");
+}
+
+TEST(TextInput, ParsesNumericTextFields) {
+  Schema s;
+  s.add_field("a", FieldType::kInt64, "\t").add_field("b", FieldType::kFloat64, "\n");
+  TextDelimitedInput input(s, "42\t2.5\n-7\t0.25\n");
+  const auto all = read_all(input);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].as_int(0), 42);
+  EXPECT_DOUBLE_EQ(all[1].as_double(1), 0.25);
+}
+
+TEST(TextInput, BadNumericTokenThrows) {
+  Schema s;
+  s.add_field("a", FieldType::kInt32, "\n");
+  TextDelimitedInput input(s, "12x\n");
+  auto reader = input.reader(input.splits(1)[0]);
+  Record rec;
+  EXPECT_THROW((void)reader->next(rec), DataError);
+}
+
+TEST(TextInput, UnterminatedRecordThrows) {
+  const Schema s = edge_schema();
+  TextDelimitedInput input(s, "1\t2\n3\t4");  // missing trailing \n
+  auto splits = input.splits(1);
+  auto reader = input.reader(splits[0]);
+  Record rec;
+  EXPECT_TRUE(reader->next(rec));
+  EXPECT_THROW((void)reader->next(rec), DataError);
+}
+
+class TextSplits : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextSplits, HadoopSemanticsCoverEveryRecordOnce) {
+  const Schema s = edge_schema();
+  Rng rng(71);
+  std::string content;
+  const int n = 157;
+  for (int i = 0; i < n; ++i) {
+    // Variable-length tokens so byte cuts land mid-record.
+    content += std::to_string(rng.next_below(1000000)) + "\t" + std::to_string(i) + "\n";
+  }
+  TextDelimitedInput input(s, content);
+  std::vector<int> seen;
+  for (const auto& split : input.splits(GetParam())) {
+    auto reader = input.reader(split);
+    Record rec;
+    while (reader->next(rec)) seen.push_back(std::stoi(rec.as_string(1)));
+  }
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, TextSplits, ::testing::Values(1, 2, 3, 8, 16, 64));
+
+TEST(Writers, BinaryRoundTripThroughDisk) {
+  const Schema s = blast_schema();
+  std::vector<Record> recs;
+  for (int i = 0; i < 5; ++i) {
+    recs.emplace_back(std::vector<Value>{std::int32_t{i}, std::int32_t{i * 2},
+                                         std::int32_t{i * 3}, std::int32_t{i * 4}});
+  }
+  const std::string path = ::testing::TempDir() + "/blast_roundtrip.bin";
+  write_binary_file(path, s, recs, 32, "HDR");
+  auto input = BinaryFixedInput::from_file(s, path, 32);
+  EXPECT_EQ(read_all(*input), recs);
+}
+
+TEST(Writers, TextRoundTripThroughDisk) {
+  const Schema s = edge_schema();
+  std::vector<Record> recs{Record({std::string("1"), std::string("2")}),
+                           Record({std::string("30"), std::string("40")})};
+  const std::string path = ::testing::TempDir() + "/edges_roundtrip.txt";
+  write_text_file(path, s, recs);
+  auto input = TextDelimitedInput::from_file(s, path);
+  EXPECT_EQ(read_all(*input), recs);
+}
+
+TEST(InputConfig, ParsesPaperFig4) {
+  const auto spec = parse_input_spec(xml::parse(R"(
+    <input id="blast_db" name="BLAST Database file">
+      <input_format>binary</input_format>
+      <start_position>32</start_position>
+      <element>
+        <value name="seq_start" type="integer"/>
+        <value name="seq_size" type="integer"/>
+        <value name="desc_start" type="integer"/>
+        <value name="desc_size" type="integer"/>
+      </element>
+    </input>)"));
+  EXPECT_EQ(spec.id, "blast_db");
+  EXPECT_EQ(spec.kind, InputKind::kBinary);
+  EXPECT_EQ(spec.start_position, 32u);
+  EXPECT_EQ(spec.schema.field_count(), 4u);
+  EXPECT_EQ(spec.schema.record_width(), 16u);
+}
+
+TEST(InputConfig, ParsesPaperFig5) {
+  const auto spec = parse_input_spec(xml::parse(R"(
+    <input id="graph_edge" name="edge lists">
+      <input_format>text</input_format>
+      <element>
+        <value name="vertex_a" type="String"/>
+        <delimiter value="\t"/>
+        <value name="vertex_b" type="String"/>
+        <delimiter value="\n"/>
+      </element>
+    </input>)"));
+  EXPECT_EQ(spec.kind, InputKind::kText);
+  EXPECT_EQ(spec.schema.field(0).delimiter, "\t");
+  EXPECT_EQ(spec.schema.field(1).delimiter, "\n");
+}
+
+TEST(InputConfig, RejectsBinaryWithStrings) {
+  EXPECT_THROW(parse_input_spec(xml::parse(R"(
+    <input id="x"><input_format>binary</input_format>
+      <element><value name="s" type="String"/></element>
+    </input>)")),
+               ConfigError);
+}
+
+TEST(InputConfig, RejectsTextWithoutDelimiters) {
+  EXPECT_THROW(parse_input_spec(xml::parse(R"(
+    <input id="x"><input_format>text</input_format>
+      <element><value name="s" type="String"/></element>
+    </input>)")),
+               ConfigError);
+}
+
+TEST(InputConfig, UnescapesDelimiters) {
+  EXPECT_EQ(unescape_delimiter("\\t"), "\t");
+  EXPECT_EQ(unescape_delimiter("\\n"), "\n");
+  EXPECT_EQ(unescape_delimiter("\\\\"), "\\");
+  EXPECT_EQ(unescape_delimiter(","), ",");
+  EXPECT_THROW(unescape_delimiter("\\q"), ConfigError);
+  EXPECT_THROW(unescape_delimiter(""), ConfigError);
+}
+
+TEST(InputConfig, OpenInputFromMemoryDispatches) {
+  const auto spec = parse_input_spec(xml::parse(R"(
+    <input id="graph_edge"><input_format>text</input_format>
+      <element>
+        <value name="a" type="String"/><delimiter value="\t"/>
+        <value name="b" type="String"/><delimiter value="\n"/>
+      </element>
+    </input>)"));
+  auto input = open_input_from_memory(spec, "x\ty\n");
+  EXPECT_EQ(input->record_count(), 1u);
+}
+
+}  // namespace
+}  // namespace papar::schema

@@ -1,0 +1,194 @@
+// Tests for the database-indexed seed-and-extend search engine, including
+// the property that grounds Fig. 12's cost model: search work grows
+// superlinearly with subject length.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "blast/search.hpp"
+
+namespace papar::blast {
+namespace {
+
+/// A database with explicit sequences (payload laid out contiguously).
+Database db_from_sequences(const std::vector<std::string>& seqs) {
+  Database db;
+  std::int32_t seq_cursor = 0;
+  for (const auto& s : seqs) {
+    db.index.push_back(IndexEntry{seq_cursor, static_cast<std::int32_t>(s.size()),
+                                  seq_cursor, 0});
+    db.sequence_data += s;
+    seq_cursor += static_cast<std::int32_t>(s.size());
+  }
+  return db;
+}
+
+TEST(Search, FindsExactSubstring) {
+  const Database db = db_from_sequences({
+      "ACDEFGHIKLMNPQRSTVWY",
+      "MMMMMMMMMMMM",
+      "YYYYYYYYWWWWWWWW",
+  });
+  PartitionIndex index(db, db.index);
+  // Query = a slice of subject 0: must hit subject 0 with a full-length
+  // match and score length * match.
+  const auto hits = index.search("DEFGHIKL");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].subject, 0u);
+  EXPECT_EQ(hits[0].score, 8 * index.params().match);
+  EXPECT_EQ(hits[0].length, 8);
+  EXPECT_EQ(hits[0].subject_pos, 2);
+}
+
+TEST(Search, NoHitsForForeignQuery) {
+  const Database db = db_from_sequences({"AAAAAAAAAAAA", "CCCCCCCCCCCC"});
+  PartitionIndex index(db, db.index);
+  EXPECT_TRUE(index.search("WYWYWYWYWY").empty());
+}
+
+TEST(Search, ShortQueryYieldsNothing) {
+  const Database db = db_from_sequences({"ACDEFGHIKL"});
+  PartitionIndex index(db, db.index);
+  EXPECT_TRUE(index.search("AC").empty());  // below seed length
+}
+
+TEST(Search, ExtensionToleratesMismatches) {
+  // Subject and query agree except one residue in the middle: the X-drop
+  // extension should bridge it into one alignment.
+  const Database db = db_from_sequences({"ACDEFGHIKLMNPQRST"});
+  PartitionIndex index(db, db.index);
+  //            ACDEFGHIKLMNPQRST
+  const auto hits = index.search("ACDEFGHAKLMNPQRST");  // I -> A at offset 7
+  ASSERT_FALSE(hits.empty());
+  const auto& h = hits[0];
+  EXPECT_EQ(h.subject, 0u);
+  // 16 matches, 1 mismatch.
+  EXPECT_EQ(h.score, 16 * index.params().match + index.params().mismatch);
+  EXPECT_EQ(h.length, 17);
+}
+
+TEST(Search, BestHitPerSubjectKept) {
+  const Database db = db_from_sequences({"ACDEFGHIACDEFGHIACDEFGHI"});
+  PartitionIndex index(db, db.index);
+  const auto hits = index.search("ACDEFGHI");
+  // Multiple seed positions in one subject collapse to one (best) hit.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_GE(hits[0].score, 8 * index.params().match);
+}
+
+TEST(Search, HitsSortedByScore) {
+  const Database db = db_from_sequences({
+      "ACDEFGHIKL",            // full 10-residue match (score 20)
+      "ACDEFGHIYY",            // 8-residue prefix match (score 16 >= min)
+      "WWWWWWWWWW",            // nothing
+  });
+  PartitionIndex index(db, db.index);
+  const auto hits = index.search("ACDEFGHIKL");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].subject, 0u);
+  EXPECT_EQ(hits[1].subject, 1u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(Search, StatsCountWork) {
+  const Database db = db_from_sequences({"ACDEFGHIKLMNPQRSTVWY"});
+  PartitionIndex index(db, db.index);
+  PartitionIndex::Stats stats;
+  (void)index.search("ACDEFGHIKL", &stats);
+  EXPECT_EQ(stats.seed_lookups, 8u);  // 10 - 3 + 1
+  EXPECT_GT(stats.seed_hits, 0u);
+  EXPECT_EQ(stats.seed_hits, stats.extensions);
+}
+
+TEST(Search, IndexCoversAllSeedPositions) {
+  const Database db = db_from_sequences({"ACDEFGHIKL", "MNPQRS"});
+  PartitionIndex index(db, db.index);
+  // (10 - 2) + (6 - 2) positions with k = 3.
+  EXPECT_EQ(index.seed_positions(), 8u + 4u);
+  EXPECT_EQ(index.sequence_count(), 2u);
+}
+
+TEST(Search, RequiresPayload) {
+  GeneratorOptions opt;
+  opt.sequence_count = 5;
+  const Database db = generate_database(opt);  // no payload
+  EXPECT_THROW(PartitionIndex(db, db.index), DataError);
+}
+
+TEST(Search, WorkGrowsSuperlinearlyWithSubjectLength) {
+  // The Fig. 12 grounding: seed hits per subject grow ~linearly with
+  // subject length, and so does extension work per query — so a partition's
+  // cost is driven by its length distribution, not its sequence count.
+  GeneratorOptions opt;
+  opt.sequence_count = 300;
+  opt.seed = 77;
+  opt.with_payload = true;
+  opt.family_size_mean = 1.0;
+  const Database db = generate_database(opt);
+
+  // Two single-sequence "partitions": one short, one long subject.
+  std::vector<IndexEntry> shortest{*std::min_element(
+      db.index.begin(), db.index.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.seq_size < b.seq_size; })};
+  std::vector<IndexEntry> longest{*std::max_element(
+      db.index.begin(), db.index.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.seq_size < b.seq_size; })};
+  ASSERT_GT(longest[0].seq_size, 4 * shortest[0].seq_size);
+
+  PartitionIndex short_index(db, shortest);
+  PartitionIndex long_index(db, longest);
+  const auto queries = sample_query_strings(db, 20, 200, 5);
+  PartitionIndex::Stats short_stats, long_stats;
+  (void)search_batch(short_index, queries, &short_stats);
+  (void)search_batch(long_index, queries, &long_stats);
+  // Work at least proportional to length.
+  const double ratio = static_cast<double>(long_stats.seed_hits + 1) /
+                       static_cast<double>(short_stats.seed_hits + 1);
+  const double len_ratio = static_cast<double>(longest[0].seq_size) /
+                           static_cast<double>(shortest[0].seq_size);
+  EXPECT_GT(ratio, 0.5 * len_ratio);
+}
+
+TEST(Search, CyclicPartitionsBalanceRealSearchWork) {
+  // End-to-end grounding of Fig. 12 with the executable engine: measure
+  // real seed-hit work per partition under block vs cyclic partitioning of
+  // a length-clustered database.
+  GeneratorOptions opt;
+  opt.sequence_count = 2000;
+  opt.seed = 99;
+  opt.with_payload = true;
+  const Database db = generate_database(opt);
+  const auto queries = sample_query_strings(db, 10, 300, 9);
+
+  auto work_imbalance = [&](Policy policy) {
+    const auto parts = partition_reference(db.index, 8, policy);
+    std::vector<double> work;
+    for (const auto& part : parts.partitions) {
+      PartitionIndex index(db, part);
+      PartitionIndex::Stats stats;
+      (void)search_batch(index, queries, &stats);
+      work.push_back(static_cast<double>(stats.seed_hits + stats.extensions));
+    }
+    const double mx = *std::max_element(work.begin(), work.end());
+    const double mean = std::accumulate(work.begin(), work.end(), 0.0) /
+                        static_cast<double>(work.size());
+    return mx / mean;
+  };
+  EXPECT_LT(work_imbalance(Policy::kCyclic), work_imbalance(Policy::kBlock));
+}
+
+TEST(Search, QuerySamplingHonorsCap) {
+  GeneratorOptions opt;
+  opt.sequence_count = 500;
+  opt.with_payload = true;
+  const Database db = generate_database(opt);
+  for (const auto& q : sample_query_strings(db, 50, 100, 3)) {
+    EXPECT_LE(q.size(), 100u);
+    EXPECT_GE(q.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace papar::blast

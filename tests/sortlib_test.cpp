@@ -1,0 +1,234 @@
+// Tests for sortlib: sorting networks, two-way merge, loser tree, and the
+// full (parallel) mergesort, including property sweeps against std::sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sortlib/merge.hpp"
+#include "sortlib/networks.hpp"
+#include "sortlib/sort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace papar::sortlib {
+namespace {
+
+TEST(Networks, Sort8AllPermutationsOfDistinct) {
+  // Exhaustive: 8! = 40320 permutations.
+  std::array<int, 8> base{0, 1, 2, 3, 4, 5, 6, 7};
+  std::array<int, 8> perm = base;
+  do {
+    auto work = perm;
+    sort8(work.data(), std::less<int>());
+    EXPECT_TRUE(std::is_sorted(work.begin(), work.end()));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Networks, Sort8ZeroOnePrinciple) {
+  // The 0-1 principle: a network sorting all 2^8 bit vectors sorts
+  // everything.
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    std::array<int, 8> v;
+    for (int i = 0; i < 8; ++i) v[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    sort8(v.data(), std::less<int>());
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end())) << "mask=" << mask;
+  }
+}
+
+TEST(Networks, SortSmallHandlesAllLengths) {
+  Rng rng(17);
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::uint64_t> v(n);
+      for (auto& x : v) x = rng.next_below(100);
+      sort_small(v.data(), n, std::less<std::uint64_t>());
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    }
+  }
+}
+
+TEST(Merge, MergeRunsBasic) {
+  std::vector<int> data{1, 3, 5, 2, 4, 6};
+  std::vector<int> out(6);
+  merge_runs(data.data(), data.data() + 3, data.data() + 6, out.data(),
+             std::less<int>());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Merge, MergeRunsEmptySides) {
+  std::vector<int> data{1, 2, 3};
+  std::vector<int> out(3);
+  merge_runs(data.data(), data.data() + 3, data.data() + 3, out.data(),
+             std::less<int>());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  merge_runs(data.data(), data.data(), data.data() + 3, out.data(), std::less<int>());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Merge, MergeRunsTiesTakeLeft) {
+  // Equal keys: left run's element must come first (stability).
+  std::vector<std::pair<int, char>> data{{1, 'L'}, {2, 'L'}, {1, 'R'}, {2, 'R'}};
+  std::vector<std::pair<int, char>> out(4);
+  auto less = [](const auto& a, const auto& b) { return a.first < b.first; };
+  merge_runs(data.data(), data.data() + 2, data.data() + 4, out.data(), less);
+  EXPECT_EQ(out[0].second, 'L');
+  EXPECT_EQ(out[1].second, 'R');
+  EXPECT_EQ(out[2].second, 'L');
+  EXPECT_EQ(out[3].second, 'R');
+}
+
+TEST(LoserTree, MergesSortedRuns) {
+  std::vector<std::vector<int>> runs{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}};
+  std::vector<std::span<const int>> spans(runs.begin(), runs.end());
+  LoserTree<int, std::less<int>> tree(spans, std::less<int>());
+  std::vector<int> out;
+  while (!tree.empty()) out.push_back(tree.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(LoserTree, HandlesEmptyRuns) {
+  std::vector<std::vector<int>> runs{{}, {5}, {}, {1, 9}, {}};
+  std::vector<std::span<const int>> spans(runs.begin(), runs.end());
+  LoserTree<int, std::less<int>> tree(spans, std::less<int>());
+  std::vector<int> out;
+  while (!tree.empty()) out.push_back(tree.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(LoserTree, AllRunsEmpty) {
+  std::vector<std::vector<int>> runs{{}, {}};
+  std::vector<std::span<const int>> spans(runs.begin(), runs.end());
+  LoserTree<int, std::less<int>> tree(spans, std::less<int>());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(LoserTree, SingleRun) {
+  std::vector<int> run{2, 4, 6};
+  std::vector<std::span<const int>> spans{run};
+  LoserTree<int, std::less<int>> tree(spans, std::less<int>());
+  std::vector<int> out;
+  while (!tree.empty()) out.push_back(tree.pop());
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
+}
+
+TEST(LoserTree, TiesResolveToLowerRunIndex) {
+  std::vector<std::vector<std::pair<int, int>>> runs{{{5, 0}}, {{5, 1}}, {{5, 2}}};
+  auto less = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::vector<std::span<const std::pair<int, int>>> spans(runs.begin(), runs.end());
+  LoserTree<std::pair<int, int>, decltype(less)> tree(spans, less);
+  EXPECT_EQ(tree.pop().second, 0);
+  EXPECT_EQ(tree.pop().second, 1);
+  EXPECT_EQ(tree.pop().second, 2);
+}
+
+TEST(LoserTree, RandomizedAgainstStdMerge) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t k = 1 + rng.next_below(9);
+    std::vector<std::vector<std::uint64_t>> runs(k);
+    std::vector<std::uint64_t> expected;
+    for (auto& run : runs) {
+      const std::size_t n = rng.next_below(50);
+      for (std::size_t i = 0; i < n; ++i) run.push_back(rng.next_below(100));
+      std::sort(run.begin(), run.end());
+      expected.insert(expected.end(), run.begin(), run.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::span<const std::uint64_t>> spans(runs.begin(), runs.end());
+    LoserTree<std::uint64_t, std::less<std::uint64_t>> tree(
+        spans, std::less<std::uint64_t>());
+    std::vector<std::uint64_t> out;
+    while (!tree.empty()) out.push_back(tree.pop());
+    EXPECT_EQ(out, expected);
+  }
+}
+
+class MergeSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeSortSizes, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  Rng rng(31 + n);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(1000);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  merge_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>());
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSortSizes,
+                         ::testing::Values(0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100,
+                                           1000, 4097, 65536));
+
+TEST(MergeSort, AlreadySortedAndReversed) {
+  std::vector<std::uint64_t> v(5000);
+  std::iota(v.begin(), v.end(), 0);
+  auto expected = v;
+  merge_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>());
+  EXPECT_EQ(v, expected);
+  std::reverse(v.begin(), v.end());
+  merge_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(MergeSort, AllEqualKeys) {
+  std::vector<std::uint64_t> v(1000, 42);
+  merge_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>());
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](auto x) { return x == 42; }));
+}
+
+TEST(MergeSort, CustomComparatorDescending) {
+  Rng rng(41);
+  std::vector<std::uint64_t> v(3000);
+  for (auto& x : v) x = rng.next_u64();
+  merge_sort(std::span<std::uint64_t>(v), std::greater<std::uint64_t>());
+  EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+class ParallelSortThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelSortThreads, MatchesStdSort) {
+  ThreadPool pool(GetParam());
+  Rng rng(51);
+  std::vector<std::uint64_t> v(20000);
+  for (auto& x : v) x = rng.next_below(1 << 20);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSortThreads, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelSort, TinyInputFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> v{3, 1, 2};
+  parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ParallelSort, SortsStructsByKey) {
+  struct Entry {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  ThreadPool pool(2);
+  Rng rng(61);
+  std::vector<Entry> v(5000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = Entry{static_cast<std::uint32_t>(rng.next_below(100)),
+                 static_cast<std::uint32_t>(i)};
+  }
+  parallel_sort(std::span<Entry>(v),
+                [](const Entry& a, const Entry& b) { return a.key < b.key; }, pool);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), [](const Entry& a, const Entry& b) {
+    return a.key < b.key;
+  }));
+}
+
+}  // namespace
+}  // namespace papar::sortlib

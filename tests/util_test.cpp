@@ -1,0 +1,203 @@
+// Unit tests for src/util: byte serialization, RNG determinism and
+// distributions, hashing, thread pool, timers, error machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace papar {
+namespace {
+
+TEST(Bytes, RoundTripPods) {
+  ByteWriter w;
+  w.put<std::int32_t>(-7);
+  w.put<std::uint64_t>(123456789ULL);
+  w.put<double>(3.25);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_EQ(r.get<std::uint64_t>(), 123456789ULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RoundTripStrings) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_string(std::string(10000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string(10000, 'x'));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, OverrunThrows) {
+  ByteWriter w;
+  w.put<std::int32_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.get<std::int32_t>();
+  EXPECT_THROW((void)r.get<std::int32_t>(), DataError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put<std::uint32_t>(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get_string(), DataError);
+}
+
+TEST(Bytes, GetBytesViews) {
+  ByteWriter w;
+  w.put_bytes("abcdef", 6);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_bytes(3), "abc");
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.get_bytes(3), "def");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.next_pareto(5.0, 2.0), 5.0);
+}
+
+TEST(Rng, ZipfWithinRangeAndSkewed) {
+  Rng rng(13);
+  const std::uint64_t n = 1000;
+  std::uint64_t low = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto r = rng.next_zipf(n, 1.2);
+    ASSERT_LT(r, n);
+    low += r < 10;
+  }
+  // A zipf(1.2) over 1000 ranks concentrates heavily on the smallest ranks.
+  EXPECT_GT(low, draws / 4);
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty input is the offset basis.
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Hash, KeyHashSpreadsShortIntegers) {
+  // Hash of sequential little-endian integers should spread across buckets.
+  std::set<std::uint64_t> buckets;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::string key(reinterpret_cast<const char*>(&i), sizeof(i));
+    buckets.insert(key_hash(key) % 16);
+  }
+  EXPECT_EQ(buckets.size(), 16u);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e, std::size_t) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Timer, ThreadCpuAdvancesUnderWork) {
+  ThreadCpuTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(Error, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(PAPAR_CHECK_MSG(false, "boom"), InternalError);
+  EXPECT_NO_THROW(PAPAR_CHECK(true));
+}
+
+TEST(Error, HierarchyCatchableAsBase) {
+  try {
+    throw ConfigError("x");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("config error"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace papar

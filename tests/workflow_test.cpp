@@ -1,0 +1,142 @@
+// Tests for workflow configuration parsing, including the paper's two
+// workflow files (Figs. 8 and 10) essentially verbatim.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "xml/xml.hpp"
+
+namespace papar::core {
+namespace {
+
+const char* kBlastWorkflow = R"(
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="3">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>)";
+
+const char* kHybridWorkflow = R"(
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree, /tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy"
+             value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>)";
+
+TEST(Workflow, ParsesBlastWorkflow) {
+  const auto wf = parse_workflow(xml::parse(kBlastWorkflow));
+  EXPECT_EQ(wf.id, "blast_partition");
+  ASSERT_EQ(wf.arguments.size(), 4u);
+  EXPECT_EQ(wf.arguments[0].format, "blast_db");
+  EXPECT_EQ(wf.argument("num_reducers")->value, "3");
+  ASSERT_EQ(wf.operators.size(), 2u);
+  EXPECT_EQ(wf.operators[0].op, "Sort");
+  EXPECT_EQ(wf.operators[0].num_reducers, 3);
+  // The paper's "ouputPath" spelling resolves through output_path_param().
+  ASSERT_NE(wf.operators[0].output_path_param(), nullptr);
+  EXPECT_EQ(wf.operators[0].output_path_param()->value, "/user/sort_output");
+  EXPECT_EQ(wf.operators[1].param("distrPolicy")->value, "roundRobin");
+}
+
+TEST(Workflow, ParsesHybridWorkflow) {
+  const auto wf = parse_workflow(xml::parse(kHybridWorkflow));
+  ASSERT_EQ(wf.operators.size(), 3u);
+  const auto& group = wf.operators[0];
+  ASSERT_EQ(group.addons.size(), 1u);
+  EXPECT_EQ(group.addons[0].op, "count");
+  EXPECT_EQ(group.addons[0].attr, "indegree");
+  EXPECT_EQ(group.output_path_param()->format, "pack");
+  const auto& split = wf.operators[1];
+  EXPECT_EQ(split.param("key")->value, "$group.$indegree");
+  EXPECT_EQ(split.param("policy")->value, "{>=, $threshold},{<,$threshold}");
+}
+
+TEST(Workflow, DuplicateOperatorIdRejected) {
+  EXPECT_THROW(parse_workflow(xml::parse(R"(
+    <workflow id="w"><operators>
+      <operator id="a" operator="Sort"/>
+      <operator id="a" operator="Sort"/>
+    </operators></workflow>)")),
+               ConfigError);
+}
+
+TEST(Workflow, EmptyOperatorsRejected) {
+  EXPECT_THROW(parse_workflow(xml::parse(
+                   "<workflow id=\"w\"><operators/></workflow>")),
+               ConfigError);
+}
+
+TEST(Workflow, LookupHelpers) {
+  const auto wf = parse_workflow(xml::parse(kBlastWorkflow));
+  EXPECT_NE(wf.operator_by_id("sort"), nullptr);
+  EXPECT_EQ(wf.operator_by_id("nope"), nullptr);
+  EXPECT_NE(wf.argument("input_path"), nullptr);
+  EXPECT_EQ(wf.argument("nope"), nullptr);
+}
+
+TEST(Workflow, SplitListTrims) {
+  EXPECT_EQ(split_list("a, b ,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list(" single "), (std::vector<std::string>{"single"}));
+  EXPECT_TRUE(split_list("").empty());
+}
+
+TEST(Workflow, SplitPolicyTerms) {
+  const auto terms = split_policy_terms("{>=, 4},{<,4}");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "{>=, 4}");
+  EXPECT_EQ(terms[1], "{<,4}");
+  EXPECT_THROW(split_policy_terms("no terms"), ConfigError);
+  EXPECT_THROW(split_policy_terms("{unterminated"), ConfigError);
+}
+
+TEST(Workflow, UnexpectedChildRejected) {
+  EXPECT_THROW(parse_workflow(xml::parse(R"(
+    <workflow id="w"><operators>
+      <operator id="a" operator="Sort"><bogus/></operator>
+    </operators></workflow>)")),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace papar::core

@@ -1,0 +1,139 @@
+// Unit tests for the XML config parser, including round-trips of the exact
+// configuration shapes the paper uses (Figs. 4, 5, 7, 8, 10).
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace papar::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const Node root = parse("<a><b>text</b></a>");
+  EXPECT_EQ(root.name, "a");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "b");
+  EXPECT_EQ(root.children[0].text, "text");
+}
+
+TEST(Xml, ParsesAttributes) {
+  const Node root = parse(R"(<op id="sort" name='MapReduce sort'/>)");
+  EXPECT_EQ(root.attribute("id").value(), "sort");
+  EXPECT_EQ(root.attribute("name").value(), "MapReduce sort");
+  EXPECT_FALSE(root.attribute("missing").has_value());
+}
+
+TEST(Xml, RequiredAttributeThrows) {
+  const Node root = parse("<a/>");
+  EXPECT_THROW((void)root.required_attribute("x"), papar::ConfigError);
+}
+
+TEST(Xml, SelfClosingAndNested) {
+  const Node root = parse("<a><b/><c><d/></c><b/></a>");
+  EXPECT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children_named("b").size(), 2u);
+  EXPECT_EQ(root.required_child("c").children.size(), 1u);
+}
+
+TEST(Xml, DecodesEntities) {
+  const Node root = parse("<a v=\"&lt;&gt;&amp;&quot;&apos;\">x &amp; y</a>");
+  EXPECT_EQ(root.attribute("v").value(), "<>&\"'");
+  EXPECT_EQ(root.text, "x & y");
+}
+
+TEST(Xml, DecodesNumericEntities) {
+  const Node root = parse("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(root.text, "AB");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  const Node root = parse(
+      "<?xml version=\"1.0\"?><!-- header --><a><!-- inner -->"
+      "<b/><!-- tail --></a>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(Xml, TrimsWhitespaceInText) {
+  const Node root = parse("<a>\n   32  \n</a>");
+  EXPECT_EQ(root.text, "32");
+}
+
+TEST(Xml, MismatchedTagThrows) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(Xml, UnterminatedThrows) {
+  EXPECT_THROW(parse("<a><b>"), ParseError);
+  EXPECT_THROW(parse("<a attr=\"x>"), ParseError);
+}
+
+TEST(Xml, TrailingContentThrows) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(Xml, UnknownEntityThrows) {
+  EXPECT_THROW(parse("<a>&bogus;</a>"), ParseError);
+}
+
+TEST(Xml, ErrorsCarryLineNumbers) {
+  try {
+    parse("<a>\n\n<b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Xml, ParsesPaperFig4BlastInput) {
+  const Node root = parse(R"(
+    <input id="blast_db" name="BLAST Database file">
+      <input_format>binary</input_format>
+      <start_position>32</start_position>
+      <element>
+        <value name="seq_start" type="integer"/>
+        <value name="seq_size" type="integer"/>
+        <value name="desc_start" type="integer"/>
+        <value name="desc_size" type="integer"/>
+      </element>
+    </input>)");
+  EXPECT_EQ(root.child_text("input_format"), "binary");
+  EXPECT_EQ(root.child_text("start_position"), "32");
+  EXPECT_EQ(root.required_child("element").children_named("value").size(), 4u);
+}
+
+TEST(Xml, ParsesPaperFig5GraphInput) {
+  const Node root = parse(R"(
+    <input id="graph_edge" name="edge lists">
+      <input_format>text</input_format>
+      <element>
+        <value name="vertex_a" type="String"/>
+        <delimiter value="\t"/>
+        <value name="vertex_b" type="String"/>
+        <delimiter value="\n"/>
+      </element>
+    </input>)");
+  const auto& element = root.required_child("element");
+  EXPECT_EQ(element.children.size(), 4u);
+  EXPECT_EQ(element.children[1].attribute("value").value(), "\\t");
+}
+
+TEST(Xml, RoundTripSerialization) {
+  const std::string doc =
+      "<workflow id=\"w\">\n"
+      "  <param name=\"x\" value=\"1\"/>\n"
+      "</workflow>\n";
+  const Node a = parse(doc);
+  const Node b = parse(to_string(a));
+  EXPECT_EQ(b.name, a.name);
+  ASSERT_EQ(b.children.size(), a.children.size());
+  EXPECT_EQ(b.children[0].attributes, a.children[0].attributes);
+}
+
+TEST(Xml, AttributeOrFallback) {
+  const Node root = parse("<a x=\"1\"/>");
+  EXPECT_EQ(root.attribute_or("x", "z"), "1");
+  EXPECT_EQ(root.attribute_or("y", "z"), "z");
+}
+
+}  // namespace
+}  // namespace papar::xml

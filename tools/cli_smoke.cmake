@@ -1,0 +1,43 @@
+# CTest script: run the papar CLI end to end on the shipped configurations.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# A small deterministic edge list.
+set(edges "")
+foreach(i RANGE 0 499)
+  math(EXPR src "(${i} * 37 + 11) % 97")
+  math(EXPR dst "(${i} * 13 + 5) % 23")
+  string(APPEND edges "${src}\t${dst}\n")
+endforeach()
+file(WRITE "${WORK_DIR}/edges.txt" "${edges}")
+
+execute_process(
+  COMMAND "${PAPAR_CLI}"
+          --input-config "${CONFIG_DIR}/graph_edge.xml"
+          --workflow "${CONFIG_DIR}/hybrid_cut.xml"
+          --arg input_file=edges.txt
+          --arg output_path=${WORK_DIR}/parts/graph
+          --arg num_partitions=4
+          --arg threshold=15
+          --file edges.txt=${WORK_DIR}/edges.txt
+          --nodes 4 --stats
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "papar CLI failed (${rc}): ${out} ${err}")
+endif()
+
+# Every input edge must land in exactly one partition file.
+set(total 0)
+foreach(p RANGE 0 3)
+  if(NOT EXISTS "${WORK_DIR}/parts/graph.${p}")
+    message(FATAL_ERROR "missing partition file graph.${p}")
+  endif()
+  file(STRINGS "${WORK_DIR}/parts/graph.${p}" lines)
+  list(LENGTH lines n)
+  math(EXPR total "${total} + ${n}")
+endforeach()
+if(NOT total EQUAL 500)
+  message(FATAL_ERROR "partitions hold ${total} edges, expected 500")
+endif()
