@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sortlib.dir/ablation_sortlib.cpp.o"
+  "CMakeFiles/ablation_sortlib.dir/ablation_sortlib.cpp.o.d"
+  "ablation_sortlib"
+  "ablation_sortlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sortlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correctness_partitions.dir/correctness_partitions.cpp.o"
+  "CMakeFiles/correctness_partitions.dir/correctness_partitions.cpp.o.d"
+  "correctness_partitions"
+  "correctness_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correctness_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_blast_exec.dir/fig12_blast_exec.cpp.o"
+  "CMakeFiles/fig12_blast_exec.dir/fig12_blast_exec.cpp.o.d"
+  "fig12_blast_exec"
+  "fig12_blast_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_blast_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_blast_parttime.dir/fig13a_blast_parttime.cpp.o"
+  "CMakeFiles/fig13a_blast_parttime.dir/fig13a_blast_parttime.cpp.o.d"
+  "fig13a_blast_parttime"
+  "fig13a_blast_parttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_blast_parttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

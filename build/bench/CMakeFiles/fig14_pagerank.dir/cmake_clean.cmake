@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pagerank.dir/fig14_pagerank.cpp.o"
+  "CMakeFiles/fig14_pagerank.dir/fig14_pagerank.cpp.o.d"
+  "fig14_pagerank"
+  "fig14_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

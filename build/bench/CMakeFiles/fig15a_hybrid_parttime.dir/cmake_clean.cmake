@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_hybrid_parttime.dir/fig15a_hybrid_parttime.cpp.o"
+  "CMakeFiles/fig15a_hybrid_parttime.dir/fig15a_hybrid_parttime.cpp.o.d"
+  "fig15a_hybrid_parttime"
+  "fig15a_hybrid_parttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_hybrid_parttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

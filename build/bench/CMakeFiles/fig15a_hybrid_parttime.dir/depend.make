@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15a_hybrid_parttime.
+# This may be replaced when dependencies are built.

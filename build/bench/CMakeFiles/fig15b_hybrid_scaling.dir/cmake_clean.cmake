@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_hybrid_scaling.dir/fig15b_hybrid_scaling.cpp.o"
+  "CMakeFiles/fig15b_hybrid_scaling.dir/fig15b_hybrid_scaling.cpp.o.d"
+  "fig15b_hybrid_scaling"
+  "fig15b_hybrid_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_hybrid_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_partition.dir/blast_partition.cpp.o"
+  "CMakeFiles/blast_partition.dir/blast_partition.cpp.o.d"
+  "blast_partition"
+  "blast_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

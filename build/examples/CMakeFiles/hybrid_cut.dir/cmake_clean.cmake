@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_cut.dir/hybrid_cut.cpp.o"
+  "CMakeFiles/hybrid_cut.dir/hybrid_cut.cpp.o.d"
+  "hybrid_cut"
+  "hybrid_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

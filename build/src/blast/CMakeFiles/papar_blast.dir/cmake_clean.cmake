@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_blast.dir/db.cpp.o"
+  "CMakeFiles/papar_blast.dir/db.cpp.o.d"
+  "CMakeFiles/papar_blast.dir/generator.cpp.o"
+  "CMakeFiles/papar_blast.dir/generator.cpp.o.d"
+  "CMakeFiles/papar_blast.dir/partitioner.cpp.o"
+  "CMakeFiles/papar_blast.dir/partitioner.cpp.o.d"
+  "CMakeFiles/papar_blast.dir/search.cpp.o"
+  "CMakeFiles/papar_blast.dir/search.cpp.o.d"
+  "CMakeFiles/papar_blast.dir/search_sim.cpp.o"
+  "CMakeFiles/papar_blast.dir/search_sim.cpp.o.d"
+  "libpapar_blast.a"
+  "libpapar_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

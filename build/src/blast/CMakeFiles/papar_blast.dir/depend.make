@@ -1,0 +1,2 @@
+# Empty dependencies file for papar_blast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/papar_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/core/CMakeFiles/papar_core.dir/operators.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/operators.cpp.o.d"
+  "/root/repo/src/core/pack.cpp" "src/core/CMakeFiles/papar_core.dir/pack.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/pack.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/core/CMakeFiles/papar_core.dir/permutation.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/permutation.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/papar_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/rebalance.cpp" "src/core/CMakeFiles/papar_core.dir/rebalance.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/rebalance.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/papar_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/papar_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/papar_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/papar_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/papar_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/papar_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sortlib/CMakeFiles/papar_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/papar_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/papar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

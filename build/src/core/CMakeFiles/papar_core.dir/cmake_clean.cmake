@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_core.dir/engine.cpp.o"
+  "CMakeFiles/papar_core.dir/engine.cpp.o.d"
+  "CMakeFiles/papar_core.dir/operators.cpp.o"
+  "CMakeFiles/papar_core.dir/operators.cpp.o.d"
+  "CMakeFiles/papar_core.dir/pack.cpp.o"
+  "CMakeFiles/papar_core.dir/pack.cpp.o.d"
+  "CMakeFiles/papar_core.dir/permutation.cpp.o"
+  "CMakeFiles/papar_core.dir/permutation.cpp.o.d"
+  "CMakeFiles/papar_core.dir/policy.cpp.o"
+  "CMakeFiles/papar_core.dir/policy.cpp.o.d"
+  "CMakeFiles/papar_core.dir/rebalance.cpp.o"
+  "CMakeFiles/papar_core.dir/rebalance.cpp.o.d"
+  "CMakeFiles/papar_core.dir/registry.cpp.o"
+  "CMakeFiles/papar_core.dir/registry.cpp.o.d"
+  "CMakeFiles/papar_core.dir/workflow.cpp.o"
+  "CMakeFiles/papar_core.dir/workflow.cpp.o.d"
+  "libpapar_core.a"
+  "libpapar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

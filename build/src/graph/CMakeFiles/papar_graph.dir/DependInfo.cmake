@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/papar_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/graph/CMakeFiles/papar_graph.dir/generator.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/generator.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/papar_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/papar_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/graph/CMakeFiles/papar_graph.dir/pagerank.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/pagerank.cpp.o.d"
+  "/root/repo/src/graph/papar_hybrid.cpp" "src/graph/CMakeFiles/papar_graph.dir/papar_hybrid.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/papar_hybrid.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/papar_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/powerlyra.cpp" "src/graph/CMakeFiles/papar_graph.dir/powerlyra.cpp.o" "gcc" "src/graph/CMakeFiles/papar_graph.dir/powerlyra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/papar_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/papar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/papar_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/papar_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sortlib/CMakeFiles/papar_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/papar_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

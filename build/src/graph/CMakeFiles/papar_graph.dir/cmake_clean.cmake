@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_graph.dir/components.cpp.o"
+  "CMakeFiles/papar_graph.dir/components.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/generator.cpp.o"
+  "CMakeFiles/papar_graph.dir/generator.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/graph.cpp.o"
+  "CMakeFiles/papar_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/metrics.cpp.o"
+  "CMakeFiles/papar_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/papar_graph.dir/pagerank.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/papar_hybrid.cpp.o"
+  "CMakeFiles/papar_graph.dir/papar_hybrid.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/partition.cpp.o"
+  "CMakeFiles/papar_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/papar_graph.dir/powerlyra.cpp.o"
+  "CMakeFiles/papar_graph.dir/powerlyra.cpp.o.d"
+  "libpapar_graph.a"
+  "libpapar_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/kvbuffer.cpp" "src/mapreduce/CMakeFiles/papar_mapreduce.dir/kvbuffer.cpp.o" "gcc" "src/mapreduce/CMakeFiles/papar_mapreduce.dir/kvbuffer.cpp.o.d"
+  "/root/repo/src/mapreduce/mapreduce.cpp" "src/mapreduce/CMakeFiles/papar_mapreduce.dir/mapreduce.cpp.o" "gcc" "src/mapreduce/CMakeFiles/papar_mapreduce.dir/mapreduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpsim/CMakeFiles/papar_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/papar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

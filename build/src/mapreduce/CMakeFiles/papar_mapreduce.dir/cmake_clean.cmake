@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_mapreduce.dir/kvbuffer.cpp.o"
+  "CMakeFiles/papar_mapreduce.dir/kvbuffer.cpp.o.d"
+  "CMakeFiles/papar_mapreduce.dir/mapreduce.cpp.o"
+  "CMakeFiles/papar_mapreduce.dir/mapreduce.cpp.o.d"
+  "libpapar_mapreduce.a"
+  "libpapar_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_mpsim.dir/runtime.cpp.o"
+  "CMakeFiles/papar_mpsim.dir/runtime.cpp.o.d"
+  "libpapar_mpsim.a"
+  "libpapar_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

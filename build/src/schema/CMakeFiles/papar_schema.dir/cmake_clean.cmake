@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_schema.dir/input_config.cpp.o"
+  "CMakeFiles/papar_schema.dir/input_config.cpp.o.d"
+  "CMakeFiles/papar_schema.dir/input_format.cpp.o"
+  "CMakeFiles/papar_schema.dir/input_format.cpp.o.d"
+  "CMakeFiles/papar_schema.dir/record.cpp.o"
+  "CMakeFiles/papar_schema.dir/record.cpp.o.d"
+  "CMakeFiles/papar_schema.dir/schema.cpp.o"
+  "CMakeFiles/papar_schema.dir/schema.cpp.o.d"
+  "libpapar_schema.a"
+  "libpapar_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

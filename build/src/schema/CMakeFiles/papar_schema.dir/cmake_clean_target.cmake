@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpapar_schema.a"
+)

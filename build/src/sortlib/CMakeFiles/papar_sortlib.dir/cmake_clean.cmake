@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_sortlib.dir/sort.cpp.o"
+  "CMakeFiles/papar_sortlib.dir/sort.cpp.o.d"
+  "libpapar_sortlib.a"
+  "libpapar_sortlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_sortlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_util.dir/bytes.cpp.o"
+  "CMakeFiles/papar_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/papar_util.dir/log.cpp.o"
+  "CMakeFiles/papar_util.dir/log.cpp.o.d"
+  "CMakeFiles/papar_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/papar_util.dir/thread_pool.cpp.o.d"
+  "libpapar_util.a"
+  "libpapar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

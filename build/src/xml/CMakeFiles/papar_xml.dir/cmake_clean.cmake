@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_xml.dir/xml.cpp.o"
+  "CMakeFiles/papar_xml.dir/xml.cpp.o.d"
+  "libpapar_xml.a"
+  "libpapar_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blast_test.cpp" "tests/CMakeFiles/blast_test.dir/blast_test.cpp.o" "gcc" "tests/CMakeFiles/blast_test.dir/blast_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/papar_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/papar_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/papar_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sortlib/CMakeFiles/papar_sortlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/papar_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/papar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/papar_blast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

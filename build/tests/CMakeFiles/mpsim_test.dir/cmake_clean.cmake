@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_test.dir/mpsim_test.cpp.o"
+  "CMakeFiles/mpsim_test.dir/mpsim_test.cpp.o.d"
+  "mpsim_test"
+  "mpsim_test.pdb"
+  "mpsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_stream_test.dir/pack_stream_test.cpp.o"
+  "CMakeFiles/pack_stream_test.dir/pack_stream_test.cpp.o.d"
+  "pack_stream_test"
+  "pack_stream_test.pdb"
+  "pack_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sortlib_test.dir/sortlib_test.cpp.o"
+  "CMakeFiles/sortlib_test.dir/sortlib_test.cpp.o.d"
+  "sortlib_test"
+  "sortlib_test.pdb"
+  "sortlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sortlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

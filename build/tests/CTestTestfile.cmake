@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/mpsim_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/sortlib_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/pack_test[1]_include.cmake")
+include("/root/repo/build/tests/pack_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/network_model_test[1]_include.cmake")
+include("/root/repo/build/tests/permutation_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/rebalance_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_extra_test[1]_include.cmake")

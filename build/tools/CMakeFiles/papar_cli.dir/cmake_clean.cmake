@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papar_cli.dir/papar_cli.cpp.o"
+  "CMakeFiles/papar_cli.dir/papar_cli.cpp.o.d"
+  "papar"
+  "papar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(papar_cli_help "/root/repo/build/tools/papar" "--help")
+set_tests_properties(papar_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(papar_cli_hybrid_smoke "/usr/bin/cmake" "-DPAPAR_CLI=/root/repo/build/tools/papar" "-DCONFIG_DIR=/root/repo/configs" "-DWORK_DIR=/root/repo/build/tools/cli_smoke" "-P" "/root/repo/tools/cli_smoke.cmake")
+set_tests_properties(papar_cli_hybrid_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
