@@ -6,6 +6,7 @@
 // We run the hybrid-cut workflow with compression off and on and report
 // shuffle bytes and simulated partitioning time.
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 #include "graph/generator.hpp"
@@ -47,6 +48,8 @@ int main() {
                                    static_cast<double>(a.stats.remote_bytes)),
                 a.stats.makespan, b.stats.makespan,
                 a.stats.makespan / b.stats.makespan);
+    bench::print_stage_table((std::string(name) + " (plain)").c_str(), a.report);
+    bench::print_stage_table((std::string(name) + " (csc)").c_str(), b.report);
   };
   for (const auto& c : graphs) run_case(c.name, c.g);
   {

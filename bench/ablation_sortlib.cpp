@@ -72,12 +72,21 @@ BENCHMARK(BM_SortlibMergeSortU64)->Arg(1 << 14)->Arg(1 << 18);
 void BM_SortlibParallelSortU64(benchmark::State& state) {
   const auto base = random_u64(1 << 18, 1);
   papar::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  double chunk_s = 0.0;
+  double merge_s = 0.0;
   for (auto _ : state) {
     auto v = base;
+    papar::sortlib::SortBreakdown breakdown;
     papar::sortlib::parallel_sort(std::span<std::uint64_t>(v),
-                                  std::less<std::uint64_t>(), pool);
+                                  std::less<std::uint64_t>(), pool, &breakdown);
+    chunk_s += breakdown.chunk_sort_seconds;
+    merge_s += breakdown.merge_seconds;
     benchmark::DoNotOptimize(v.data());
   }
+  state.counters["chunk_sort_s"] =
+      benchmark::Counter(chunk_s, benchmark::Counter::kAvgIterations);
+  state.counters["merge_s"] =
+      benchmark::Counter(merge_s, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_SortlibParallelSortU64)->Arg(1)->Arg(2)->Arg(4);
 

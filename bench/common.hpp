@@ -20,6 +20,7 @@
 #include <string>
 
 #include "mpsim/network.hpp"
+#include "obs/obs.hpp"
 
 namespace papar::bench {
 
@@ -47,6 +48,14 @@ inline double scale_factor() {
 
 inline std::size_t scaled(std::size_t n) {
   return static_cast<std::size_t>(static_cast<double>(n) * scale_factor());
+}
+
+/// Prints one workflow run's per-operator stage breakdown under a caption.
+/// PAPAR_BENCH_STAGES=0 silences the tables for terse runs.
+inline void print_stage_table(const char* caption, const obs::StageReport& report) {
+  if (const char* s = std::getenv("PAPAR_BENCH_STAGES"); s != nullptr && *s == '0') return;
+  std::printf("-- stage breakdown: %s --\n", caption);
+  report.print(stdout);
 }
 
 inline void print_header(const char* experiment, const char* paper_summary) {

@@ -65,6 +65,7 @@ int main() {
     std::printf("%-12s %-12zu %-14.4f %-14.4f %-10.2f %-10.1f\n", c.name,
                 db.sequence_count(), baseline, papar.stats.makespan, speedup,
                 c.paper_speedup);
+    bench::print_stage_table(c.name, papar.report);
   }
   std::printf("\nshape to check: PaPar wins on both databases and the larger "
               "database shows the larger speedup.\n");

@@ -3,6 +3,7 @@
 //
 // The paper reports 14.3x (env_nr) and 7.9x (nr) at 16 nodes.
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 #include "blast/generator.hpp"
@@ -33,6 +34,10 @@ int main() {
       if (nodes == 1) t1 = papar.stats.makespan;
       std::printf("%-12s %-6d %-12.4f %-10.2f\n", c.name, nodes, papar.stats.makespan,
                   t1 / papar.stats.makespan);
+      if (nodes == 16) {
+        bench::print_stage_table((std::string(c.name) + " @ 16 nodes").c_str(),
+                                 papar.report);
+      }
     }
     std::printf("  (paper at 16 nodes: %.1fx)\n", c.paper_16);
   }

@@ -53,6 +53,7 @@ int main() {
     std::printf("%-18s %-12zu %-14.4f %-14.4f %-16.2f %s\n", c.name, c.g.num_edges(),
                 papar.stats.makespan, pl.stats.makespan,
                 pl.stats.makespan / papar.stats.makespan, c.paper);
+    bench::print_stage_table(c.name, papar.report);
   }
   std::printf("\nshape to check: PaPar speedup < 1 on the two smaller graphs, "
               "> 1 on livejournal-like.\n");

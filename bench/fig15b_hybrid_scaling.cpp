@@ -5,6 +5,7 @@
 // scales to 8 nodes on Pokec and 16 on LiveJournal but not at all on the
 // small Google graph (socket latency swamps the little work there is).
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 #include "graph/generator.hpp"
@@ -55,6 +56,10 @@ int main() {
       std::printf("%-18s %-6d %-14.4f %-14.2f %-14.4f %-14.2f\n", c.name, nodes,
                   papar.stats.makespan, papar_t1 / papar.stats.makespan,
                   pl.stats.makespan, pl_t1 / pl.stats.makespan);
+      if (nodes == 16) {
+        bench::print_stage_table((std::string(c.name) + " @ 16 nodes").c_str(),
+                                 papar.report);
+      }
     }
   }
   std::printf("\nshape to check: PaPar's speedup column rises through 16 nodes on "

@@ -144,6 +144,7 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
 
   PaparBlastResult out;
   out.stats = result.stats;
+  out.report = result.report;
   out.partitions.partitions.resize(num_partitions);
   for (std::size_t p = 0; p < result.partitions.size(); ++p) {
     auto& dest = out.partitions.partitions[p];

@@ -61,6 +61,8 @@ PartitionedIndex partition_baseline(std::vector<IndexEntry> index,
 struct PaparBlastResult {
   PartitionedIndex partitions;
   mp::RunStats stats;
+  /// Per-operator stage breakdown of the workflow run.
+  obs::StageReport report;
 };
 
 /// Runs the paper's Fig. 8 workflow (sort + cyclic distribute, or a single

@@ -334,11 +334,60 @@ PartitionResult WorkflowEngine::run(
   // sequence, before the output write (the paper's measurements exclude
   // I/O time).
   std::vector<double> job_times(static_cast<std::size_t>(nranks), 0.0);
-  std::uint64_t job_bytes = 0;
-  std::uint64_t job_messages = 0;
+
+  // Per-stage observability. Boundary i is the job barrier opening step i
+  // (boundary nsteps closes the last step); rank 0 snapshots the shared
+  // traffic counters and the barrier-resolved clock inside a two-barrier
+  // sandwich, so no rank can be mid-send during the read. Consecutive
+  // boundary deltas therefore attribute every fabric byte of the run to
+  // exactly one stage.
+  const std::size_t nsteps = steps.size();
+  std::vector<double> boundary_time(nsteps + 1, 0.0);
+  std::vector<std::uint64_t> boundary_bytes(nsteps + 1, 0);
+  std::vector<std::uint64_t> boundary_messages(nsteps + 1, 0);
+  std::vector<std::uint64_t> stage_in(nsteps, 0);
+  std::vector<std::uint64_t> stage_out(nsteps, 0);
+  std::vector<double> stage_skew(nsteps, 0.0);
 
   auto body = [&](mp::Comm& comm) {
     std::map<std::string, Dataset> datasets;
+
+    auto job_boundary = [&](std::size_t idx) {
+      comm.barrier();
+      if (comm.rank() == 0) {
+        boundary_bytes[idx] = comm.remote_bytes_so_far();
+        boundary_messages[idx] = comm.remote_messages_so_far();
+        boundary_time[idx] = comm.vtime();
+      }
+      comm.barrier();
+    };
+
+    // Allgathers per-rank entry counts; rank 0 folds them into the stage
+    // tallies. Runs before the closing boundary so its own traffic stays
+    // inside the stage it measures.
+    auto close_stage = [&](std::size_t s, std::uint64_t in_count, std::uint64_t out_count) {
+      ByteWriter w;
+      w.put<std::uint64_t>(in_count);
+      w.put<std::uint64_t>(out_count);
+      auto all = comm.allgather(w.take());
+      if (comm.rank() == 0) {
+        std::uint64_t total_in = 0;
+        std::uint64_t total_out = 0;
+        std::uint64_t max_out = 0;
+        for (const auto& part : all) {
+          ByteReader r(part);
+          const auto in_r = r.get<std::uint64_t>();
+          const auto out_r = r.get<std::uint64_t>();
+          total_in += in_r;
+          total_out += out_r;
+          max_out = std::max(max_out, out_r);
+        }
+        stage_in[s] = total_in;
+        stage_out[s] = total_out;
+        const double mean = static_cast<double>(total_out) / static_cast<double>(nranks);
+        stage_skew[s] = mean > 0.0 ? static_cast<double>(max_out) / mean : 0.0;
+      }
+    };
 
     auto take_dataset = [&](const std::string& path) -> Dataset {
       if (auto it = datasets.find(path); it != datasets.end()) {
@@ -362,25 +411,35 @@ PartitionResult WorkflowEngine::run(
     std::optional<DistributedDataset> final_dist;
     std::string final_path;
 
-    for (const auto& step : steps) {
-      comm.barrier();  // job boundary
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      const auto& step = steps[s];
+      job_boundary(s);
+      const double stage_open = comm.vtime();
+      std::uint64_t in_count = 0;
+      std::uint64_t out_count = 0;
       switch (step.kind) {
         case StepKind::kSort: {
           Dataset ds = take_dataset(step.input_path);
+          in_count = ds.local_record_count();
           sort_op(comm, ds, step.sort);
+          out_count = ds.local_record_count();
           datasets[step.output_paths[0]] = std::move(ds);
           break;
         }
         case StepKind::kGroup: {
           Dataset ds = take_dataset(step.input_path);
+          in_count = ds.local_record_count();
           group_op(comm, ds, step.group);
+          out_count = ds.local_record_count();
           datasets[step.output_paths[0]] = std::move(ds);
           break;
         }
         case StepKind::kSplit: {
           Dataset ds = take_dataset(step.input_path);
+          in_count = ds.local_record_count();
           auto outs = split_op(comm, std::move(ds), step.split);
           for (std::size_t i = 0; i < outs.size(); ++i) {
+            out_count += outs[i].local_record_count();
             datasets[step.output_paths[i]] = std::move(outs[i]);
           }
           break;
@@ -398,31 +457,36 @@ PartitionResult WorkflowEngine::run(
           if (owned.empty()) owned.push_back(take_dataset(step.input_path));
           std::vector<Dataset*> inputs;
           inputs.reserve(owned.size());
-          for (auto& ds : owned) inputs.push_back(&ds);
+          for (auto& ds : owned) {
+            in_count += ds.local_record_count();
+            inputs.push_back(&ds);
+          }
           final_dist = distribute_op(comm, inputs, step.dist);
+          out_count = final_dist->page.count();
           final_path = step.output_paths[0];
           break;
         }
         case StepKind::kCustom: {
           Dataset ds = take_dataset(step.input_path);
+          in_count = ds.local_record_count();
           custom_ops.at(step.decl->id)[static_cast<std::size_t>(comm.rank())]->execute(
               comm, ds);
+          out_count = ds.local_record_count();
           datasets[step.output_paths[0]] = std::move(ds);
           break;
         }
       }
+      close_stage(s, in_count, out_count);
+      comm.record_span("job:" + step.decl->id, "engine", stage_open);
     }
 
-    // Snapshot per-rank completion time and fabric traffic BEFORE the
-    // barrier: no rank can have started the (untimed) output write yet, and
-    // the final shuffle's alltoallv semantics guarantee every job send is
-    // already counted when any rank reaches this point.
+    // Snapshot per-rank completion time BEFORE the closing boundary (no
+    // rank can have started the untimed output write yet), then let the
+    // boundary read the final traffic counters — after its first barrier
+    // every job send, including the stage-accounting allgathers, is
+    // counted, so stage deltas sum exactly to the run totals.
     job_times[static_cast<std::size_t>(comm.rank())] = comm.vtime();
-    if (comm.rank() == 0) {
-      job_bytes = comm.remote_bytes_so_far();
-      job_messages = comm.remote_messages_so_far();
-    }
-    comm.barrier();
+    job_boundary(nsteps);
 
     std::vector<std::vector<std::string>> partitions;
     schema::Schema out_schema;
@@ -458,9 +522,26 @@ PartitionResult WorkflowEngine::run(
   // Replace the run totals with the pre-output-write snapshot.
   result.stats.rank_time = job_times;
   result.stats.makespan = *std::max_element(job_times.begin(), job_times.end());
-  result.stats.remote_bytes = job_bytes;
-  result.stats.remote_messages = job_messages;
+  result.stats.remote_bytes = boundary_bytes[nsteps];
+  result.stats.remote_messages = boundary_messages[nsteps];
   PAPAR_CHECK_MSG(have_result_schema, "workflow produced no result");
+
+  result.report.makespan = result.stats.makespan;
+  result.report.remote_bytes = result.stats.remote_bytes;
+  result.report.remote_messages = result.stats.remote_messages;
+  result.report.stages.reserve(nsteps);
+  for (std::size_t s = 0; s < nsteps; ++s) {
+    obs::StageRecord rec;
+    rec.id = steps[s].decl->id;
+    rec.op = steps[s].decl->op;
+    rec.seconds = boundary_time[s + 1] - boundary_time[s];
+    rec.shuffle_bytes = boundary_bytes[s + 1] - boundary_bytes[s];
+    rec.shuffle_messages = boundary_messages[s + 1] - boundary_messages[s];
+    rec.records_in = stage_in[s];
+    rec.records_out = stage_out[s];
+    rec.reducer_skew = stage_skew[s];
+    result.report.stages.push_back(std::move(rec));
+  }
   return result;
 }
 

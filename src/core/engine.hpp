@@ -23,6 +23,7 @@
 #include "core/registry.hpp"
 #include "core/workflow.hpp"
 #include "mpsim/runtime.hpp"
+#include "obs/obs.hpp"
 #include "schema/input_config.hpp"
 
 namespace papar::core {
@@ -40,6 +41,10 @@ struct PartitionResult {
   /// partitions[p] = wire-encoded records of partition p, in output order.
   std::vector<std::vector<std::string>> partitions;
   mp::RunStats stats;
+  /// Per-operator stage breakdown: one record per workflow job, measured
+  /// between job barriers. Stage shuffle bytes/messages sum exactly to
+  /// stats.remote_bytes/remote_messages.
+  obs::StageReport report;
 
   std::size_t total_records() const;
   std::vector<std::vector<schema::Record>> decode() const;

@@ -77,6 +77,7 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
   // edge -> partition map. Duplicate edges are matched by multiplicity.
   PaparHybridResult out;
   out.stats = result.stats;
+  out.report = result.report;
   out.partitioning.kind = CutKind::kHybridCut;
   out.partitioning.num_partitions = num_partitions;
   out.partitioning.edge_partition.assign(g.edges.size(), 0);

@@ -19,6 +19,8 @@ namespace papar::graph {
 struct PaparHybridResult {
   GraphPartitioning partitioning;
   mp::RunStats stats;
+  /// Per-operator stage breakdown of the workflow run.
+  obs::StageReport report;
 };
 
 /// Runs the Fig. 10 workflow on `nranks` simulated nodes with

@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <string>
 
 #include "util/hash.hpp"
 
 namespace papar::mr {
 
+namespace {
+
+/// Records one virtual-time span per rank for a MapReduce phase. Costs one
+/// vtime() read at each end when a recorder is attached, nothing otherwise.
+class PhaseSpan {
+ public:
+  PhaseSpan(mp::Comm* comm, const char* name) : comm_(comm), name_(name) {
+    if (comm_->recorder() != nullptr) {
+      active_ = true;
+      begin_ = comm_->vtime();
+    }
+  }
+  ~PhaseSpan() {
+    if (active_) comm_->record_span(name_, "mr", begin_);
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  mp::Comm* comm_;
+  const char* name_;
+  bool active_ = false;
+  double begin_ = 0.0;
+};
+
+}  // namespace
+
 void MapReduce::map(int nmap, const MapTaskFn& fn) {
+  PhaseSpan span(comm_, "mr.map");
   KvEmitter emitter(page_);
   for (int itask = comm_->rank(); itask < nmap; itask += comm_->size()) {
     fn(itask, emitter);
@@ -16,6 +46,7 @@ void MapReduce::map(int nmap, const MapTaskFn& fn) {
 }
 
 void MapReduce::map_kv(const MapKvFn& fn) {
+  PhaseSpan span(comm_, "mr.map_kv");
   KvBuffer fresh;
   KvEmitter emitter(fresh);
   page_.for_each([&](std::string_view k, std::string_view v) { fn(k, v, emitter); });
@@ -23,7 +54,9 @@ void MapReduce::map_kv(const MapKvFn& fn) {
 }
 
 void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
+  PhaseSpan span(comm_, "mr.shuffle");
   const int p = comm_->size();
+  const std::uint64_t routed = page_.count();
   std::vector<KvBuffer> outgoing(static_cast<std::size_t>(p));
   page_.for_each([&](std::string_view k, std::string_view v) {
     const int dest = route(KvPair{k, v});
@@ -34,6 +67,12 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
   std::vector<std::vector<unsigned char>> send;
   send.reserve(static_cast<std::size_t>(p));
   for (auto& buf : outgoing) send.push_back(buf.take_bytes());
+  if (obs::Recorder* rec = comm_->recorder()) {
+    std::uint64_t bytes = 0;
+    for (const auto& b : send) bytes += b.size();
+    rec->add_counter("mr.shuffle.records", routed);
+    rec->add_counter("mr.shuffle.bytes", bytes);
+  }
   auto received = comm_->alltoallv(std::move(send));
   for (const auto& part : received) page_.append_page(part.data(), part.size());
 }
@@ -50,6 +89,7 @@ void MapReduce::aggregate(const PartitionFn& part) {
 }
 
 void MapReduce::reduce(const ReduceFn& fn) {
+  PhaseSpan span(comm_, "mr.reduce");
   // Stable sort record offsets by key bytes so equal keys are adjacent and
   // values keep their page order within each group.
   auto offs = page_.offsets();
@@ -87,9 +127,47 @@ void MapReduce::local_sort(
   page_.reorder(offs);
 }
 
+namespace {
+
+/// Splitter for sample_sort_u64 carrying the full record alongside the
+/// projection, so duplicate projections still split by byte order.
+struct CompositeSplitter {
+  std::uint64_t proj = 0;
+  std::string key;
+  std::string value;
+};
+
+bool composite_less(const CompositeSplitter& a, const CompositeSplitter& b) {
+  if (a.proj != b.proj) return a.proj < b.proj;
+  if (a.key != b.key) return a.key < b.key;
+  return a.value < b.value;
+}
+
+/// View-side record for heterogeneous lower/upper_bound against splitters.
+struct RecordView {
+  std::uint64_t proj = 0;
+  std::string_view key;
+  std::string_view value;
+};
+
+bool splitter_less_record(const CompositeSplitter& s, const RecordView& r) {
+  if (s.proj != r.proj) return s.proj < r.proj;
+  if (std::string_view(s.key) != r.key) return std::string_view(s.key) < r.key;
+  return std::string_view(s.value) < r.value;
+}
+
+bool record_less_splitter(const RecordView& r, const CompositeSplitter& s) {
+  if (r.proj != s.proj) return r.proj < s.proj;
+  if (r.key != std::string_view(s.key)) return r.key < std::string_view(s.key);
+  return r.value < std::string_view(s.value);
+}
+
+}  // namespace
+
 void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
                                 SplitterMethod method, int oversample,
                                 bool tie_break_bytes) {
+  PhaseSpan phase(comm_, "mr.sample_sort");
   const int p = comm_->size();
   // Work with a monotone transform so the routing logic is ascending-only.
   auto directed = [&proj, ascending](const KvPair& kv) {
@@ -97,39 +175,78 @@ void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
     return ascending ? x : ~x;
   };
 
-  std::vector<std::uint64_t> splitters;  // p-1 boundaries
+  // Degenerate-key handling: with heavy key duplication the sorted sample is
+  // a run of equal values, so adjacent splitters coincide and a plain
+  // upper_bound routes every duplicate to the highest rank of the run — in
+  // the all-equal extreme, the whole dataset lands on rank p-1 and p-1 ranks
+  // receive nothing. Two complementary fixes below:
+  //   * tie_break_bytes + kSampled uses composite splitters (projection, key
+  //     bytes, value bytes): duplicate projections still split by bytes, and
+  //     only fully identical records — interchangeable under the promised
+  //     total order — remain tied.
+  //   * records that compare equal to a run of coinciding splitters are
+  //     spread round-robin across the run's ranks instead of all landing on
+  //     the last one. Global sortedness is preserved because every boundary
+  //     in the run equals the record.
+  // The naive splitter with tie_break_bytes keeps the deterministic
+  // upper_bound: interpolated boundaries cannot see byte order, and the mode
+  // exists as the ablation's imbalanced baseline.
   if (p > 1) {
+    const bool composite = method == SplitterMethod::kSampled && tie_break_bytes;
+    std::vector<std::uint64_t> splitters;            // p-1 boundaries (plain)
+    std::vector<CompositeSplitter> csplitters;       // p-1 boundaries (composite)
     if (method == SplitterMethod::kSampled) {
-      // Evenly spaced local sample of up to oversample*p projections.
-      std::vector<std::uint64_t> local;
+      // Evenly spaced local sample of up to oversample*p records.
       const auto offs = page_.offsets();
       const std::size_t want =
           std::min<std::size_t>(offs.size(), static_cast<std::size_t>(oversample) *
                                                  static_cast<std::size_t>(p));
-      if (want > 0) {
-        local.reserve(want);
-        for (std::size_t i = 0; i < want; ++i) {
-          const std::size_t idx = i * offs.size() / want;
-          local.push_back(directed(page_.at(offs[idx])));
+      ByteWriter w;
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t idx = i * offs.size() / want;
+        const auto kv = page_.at(offs[idx]);
+        w.put<std::uint64_t>(directed(kv));
+        if (composite) {
+          w.put<std::uint64_t>(kv.key.size());
+          w.put_bytes(kv.key.data(), kv.key.size());
+          w.put<std::uint64_t>(kv.value.size());
+          w.put_bytes(kv.value.data(), kv.value.size());
         }
       }
-      ByteWriter w;
-      for (auto x : local) w.put(x);
       auto all = comm_->allgather(w.take());
-      std::vector<std::uint64_t> sample;
+      std::vector<CompositeSplitter> sample;
       for (const auto& part : all) {
         ByteReader r(part);
-        while (!r.done()) sample.push_back(r.get<std::uint64_t>());
+        while (!r.done()) {
+          CompositeSplitter c;
+          c.proj = r.get<std::uint64_t>();
+          if (composite) {
+            const auto klen = r.get<std::uint64_t>();
+            const auto kview = r.get_bytes(klen);
+            c.key.assign(kview.begin(), kview.end());
+            const auto vlen = r.get<std::uint64_t>();
+            const auto vview = r.get_bytes(vlen);
+            c.value.assign(vview.begin(), vview.end());
+          }
+          sample.push_back(std::move(c));
+        }
       }
-      std::sort(sample.begin(), sample.end());
-      splitters.reserve(static_cast<std::size_t>(p - 1));
+      std::sort(sample.begin(), sample.end(), composite_less);
       for (int i = 1; i < p; ++i) {
         if (sample.empty()) {
-          splitters.push_back(std::numeric_limits<std::uint64_t>::max());
+          // No records anywhere; the boundary value is never consulted.
+          CompositeSplitter c;
+          c.proj = std::numeric_limits<std::uint64_t>::max();
+          csplitters.push_back(std::move(c));
         } else {
-          splitters.push_back(
+          csplitters.push_back(
               sample[static_cast<std::size_t>(i) * sample.size() / static_cast<std::size_t>(p)]);
         }
+      }
+      if (!composite) {
+        splitters.reserve(csplitters.size());
+        for (const auto& c : csplitters) splitters.push_back(c.proj);
+        csplitters.clear();
       }
     } else {
       // Naive: interpolate between the global extremes.
@@ -154,10 +271,44 @@ void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
       }
     }
 
+    // Splitters must be non-decreasing or routing would break sortedness.
+    if (composite) {
+      for (std::size_t i = 1; i < csplitters.size(); ++i) {
+        PAPAR_CHECK_MSG(!composite_less(csplitters[i], csplitters[i - 1]),
+                        "sample-sort splitters must be non-decreasing");
+      }
+    } else {
+      for (std::size_t i = 1; i < splitters.size(); ++i) {
+        PAPAR_CHECK_MSG(splitters[i - 1] <= splitters[i],
+                        "sample-sort splitters must be non-decreasing");
+      }
+    }
+
+    // Records equal to coinciding splitters may go to any rank of the run;
+    // spread them unless byte order must stay deterministic (naive +
+    // tie_break_bytes, see above).
+    const bool spread_ties = composite || !tie_break_bytes;
+    std::size_t spread = 0;
     shuffle_by([&](const KvPair& kv) {
       const std::uint64_t x = directed(kv);
-      const auto it = std::upper_bound(splitters.begin(), splitters.end(), x);
-      return static_cast<int>(it - splitters.begin());
+      std::size_t lo_idx;
+      std::size_t hi_idx;
+      if (composite) {
+        const RecordView r{x, kv.key, kv.value};
+        lo_idx = static_cast<std::size_t>(
+            std::lower_bound(csplitters.begin(), csplitters.end(), r, splitter_less_record) -
+            csplitters.begin());
+        hi_idx = static_cast<std::size_t>(
+            std::upper_bound(csplitters.begin(), csplitters.end(), r, record_less_splitter) -
+            csplitters.begin());
+      } else {
+        lo_idx = static_cast<std::size_t>(
+            std::lower_bound(splitters.begin(), splitters.end(), x) - splitters.begin());
+        hi_idx = static_cast<std::size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), x) - splitters.begin());
+      }
+      if (lo_idx == hi_idx || !spread_ties) return static_cast<int>(hi_idx);
+      return static_cast<int>(lo_idx + spread++ % (hi_idx - lo_idx + 1));
     });
   }
 

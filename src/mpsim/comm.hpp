@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mpsim/network.hpp"
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -168,6 +169,16 @@ class Comm {
   /// the final output write, which the paper's timings also exclude.
   std::uint64_t remote_bytes_so_far() const;
   std::uint64_t remote_messages_so_far() const;
+
+  // -- Observability -------------------------------------------------------
+
+  /// The recorder attached to the runtime (nullptr when tracing is off).
+  /// Shared across ranks; Recorder is thread-safe.
+  obs::Recorder* recorder() const;
+
+  /// Records a virtual-time span for this rank ending "now" (tid = rank).
+  /// No-op without a recorder.
+  void record_span(std::string name, std::string category, double begin_vtime);
 
  private:
   friend struct detail::Shared;

@@ -55,6 +55,20 @@ struct Shared {
   std::atomic<std::uint64_t> remote_messages{0};
   std::atomic<std::uint64_t> remote_bytes{0};
 
+  /// Attached observability sink (nullptr = tracing off). Recorder is
+  /// thread-safe, so ranks write to it directly.
+  obs::Recorder* recorder = nullptr;
+
+  /// Counter name for the remote traffic of a message tag.
+  static const char* traffic_counter(int tag) {
+    switch (tag) {
+      case kBcastTag: return "mpsim.bytes.bcast";
+      case kGatherTag: return "mpsim.bytes.gather";
+      case kAlltoallTag: return "mpsim.bytes.alltoall";
+      default: return "mpsim.bytes.p2p";
+    }
+  }
+
   void reset_for_run() {
     barrier_count = 0;
     barrier_pending_max = 0.0;
@@ -122,6 +136,20 @@ std::uint64_t Comm::remote_messages_so_far() const {
   return shared_->remote_messages.load(std::memory_order_relaxed);
 }
 
+obs::Recorder* Comm::recorder() const { return shared_->recorder; }
+
+void Comm::record_span(std::string name, std::string category, double begin_vtime) {
+  obs::Recorder* rec = shared_->recorder;
+  if (rec == nullptr) return;
+  obs::SpanEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.tid = rank_;
+  ev.begin = begin_vtime;
+  ev.end = vtime();
+  rec->record_span(std::move(ev));
+}
+
 void Comm::charge_modeled(double seconds) {
   charge_compute();
   PAPAR_CHECK_MSG(seconds >= 0.0, "modeled charge must be nonnegative");
@@ -148,6 +176,11 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
   if (remote) {
     shared_->remote_messages.fetch_add(1, std::memory_order_relaxed);
     shared_->remote_bytes.fetch_add(n, std::memory_order_relaxed);
+    if (obs::Recorder* rec = shared_->recorder) {
+      rec->add_counter(detail::Shared::traffic_counter(tag), n);
+      rec->add_counter("mpsim.remote_messages", 1);
+      rec->add_counter("mpsim.remote_bytes", n);
+    }
   }
   auto& mb = shared_->mailboxes[static_cast<std::size_t>(dest)];
   {
@@ -337,6 +370,10 @@ Runtime::~Runtime() = default;
 
 const NetworkModel& Runtime::network() const { return shared_->network; }
 
+void Runtime::set_recorder(obs::Recorder* recorder) { shared_->recorder = recorder; }
+
+obs::Recorder* Runtime::recorder() const { return shared_->recorder; }
+
 RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   shared_->reset_for_run();
 
@@ -373,6 +410,17 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   for (auto& c : comms) {
     stats.rank_time.push_back(c.vtime_);
     stats.makespan = std::max(stats.makespan, c.vtime_);
+  }
+  if (obs::Recorder* rec = shared_->recorder) {
+    for (auto& c : comms) {
+      obs::SpanEvent ev;
+      ev.name = "rank";
+      ev.category = "mpsim";
+      ev.tid = c.rank_;
+      ev.begin = 0.0;
+      ev.end = c.vtime_;
+      rec->record_span(std::move(ev));
+    }
   }
   stats.remote_messages = shared_->remote_messages.load();
   stats.remote_bytes = shared_->remote_bytes.load();

@@ -14,6 +14,7 @@
 
 #include "mpsim/comm.hpp"
 #include "mpsim/network.hpp"
+#include "obs/obs.hpp"
 
 namespace papar::mp {
 
@@ -39,6 +40,14 @@ class Runtime {
 
   int size() const { return nranks_; }
   const NetworkModel& network() const;
+
+  /// Attaches an observability recorder: collectives bump per-kind traffic
+  /// counters, each run() records one whole-rank span per rank, and code
+  /// running on the ranks can add its own spans via Comm::record_span.
+  /// Pass nullptr to detach. The recorder must outlive the runtime (or be
+  /// detached first).
+  void set_recorder(obs::Recorder* recorder);
+  obs::Recorder* recorder() const;
 
   /// Runs `fn(comm)` on every rank concurrently and returns the stats.
   /// May be called repeatedly; each call is an independent "job step"

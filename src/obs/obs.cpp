@@ -1,0 +1,451 @@
+#include "obs/obs.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace papar::obs {
+
+// -- Recorder -----------------------------------------------------------------
+
+void Recorder::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] += delta;
+}
+
+std::uint64_t Recorder::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> Recorder::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void Recorder::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = value;
+}
+
+std::map<std::string, double> Recorder::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+void Recorder::record_span(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> Recorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Recorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  spans_.clear();
+}
+
+namespace {
+
+/// Formats a double with enough digits to round-trip through parse().
+std::string number_to_json(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Recorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(name) << ":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(name) << ":" << number_to_json(value);
+  }
+  os << "},\"spans\":[";
+  first = true;
+  for (const auto& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << json::quote(s.name) << ",\"cat\":" << json::quote(s.category)
+       << ",\"tid\":" << s.tid << ",\"begin\":" << number_to_json(s.begin)
+       << ",\"end\":" << number_to_json(s.end) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Recorder::to_trace_event_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Name each timeline once so viewers label rank rows.
+  std::map<int, bool> tids;
+  for (const auto& s : spans_) tids[s.tid] = true;
+  for (const auto& [tid, unused] : tids) {
+    (void)unused;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":" << json::quote("rank " + std::to_string(tid)) << "}}";
+  }
+  for (const auto& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << json::quote(s.name) << ",\"cat\":"
+       << json::quote(s.category.empty() ? std::string("papar") : s.category)
+       << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+       << ",\"ts\":" << number_to_json(s.begin * 1e6)
+       << ",\"dur\":" << number_to_json(s.duration() * 1e6) << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Recorder::write_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw DataError("cannot open trace file " + path);
+  const std::string body = to_trace_event_json();
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) throw DataError("trace write failed: " + path);
+}
+
+double process_seconds() {
+  static const WallTimer anchor;
+  return anchor.seconds();
+}
+
+void Span::end() {
+  if (done_) return;
+  done_ = true;
+  if (recorder_ == nullptr) return;
+  recorder_->record_span(
+      {std::move(name_), std::move(category_), tid_, begin_, process_seconds()});
+}
+
+// -- StageReport --------------------------------------------------------------
+
+std::uint64_t StageReport::stage_bytes_total() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stages) n += s.shuffle_bytes;
+  return n;
+}
+
+std::string StageReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"makespan\":" << number_to_json(makespan)
+     << ",\"remote_bytes\":" << remote_bytes
+     << ",\"remote_messages\":" << remote_messages << ",\"stages\":[";
+  bool first = true;
+  for (const auto& s : stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << json::quote(s.id) << ",\"op\":" << json::quote(s.op)
+       << ",\"seconds\":" << number_to_json(s.seconds)
+       << ",\"shuffle_bytes\":" << s.shuffle_bytes
+       << ",\"shuffle_messages\":" << s.shuffle_messages
+       << ",\"records_in\":" << s.records_in << ",\"records_out\":" << s.records_out
+       << ",\"reducer_skew\":" << number_to_json(s.reducer_skew) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+StageReport StageReport::from_json(std::string_view text) {
+  const json::Value root = json::parse(text);
+  PAPAR_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                  "stage report JSON must be an object");
+  StageReport report;
+  report.makespan = root.at("makespan").number;
+  report.remote_bytes = static_cast<std::uint64_t>(root.at("remote_bytes").number);
+  report.remote_messages = static_cast<std::uint64_t>(root.at("remote_messages").number);
+  for (const auto& v : root.at("stages").array) {
+    StageRecord s;
+    s.id = v.at("id").string;
+    s.op = v.at("op").string;
+    s.seconds = v.at("seconds").number;
+    s.shuffle_bytes = static_cast<std::uint64_t>(v.at("shuffle_bytes").number);
+    s.shuffle_messages = static_cast<std::uint64_t>(v.at("shuffle_messages").number);
+    s.records_in = static_cast<std::uint64_t>(v.at("records_in").number);
+    s.records_out = static_cast<std::uint64_t>(v.at("records_out").number);
+    s.reducer_skew = v.at("reducer_skew").number;
+    report.stages.push_back(std::move(s));
+  }
+  return report;
+}
+
+void StageReport::print(std::FILE* out) const {
+  std::fprintf(out, "%-14s %-12s %12s %14s %10s %12s %12s %8s\n", "stage", "op",
+               "time (s)", "shuffle (B)", "msgs", "in", "out", "skew");
+  for (const auto& s : stages) {
+    std::fprintf(out, "%-14s %-12s %12.6f %14llu %10llu %12llu %12llu %8.2f\n",
+                 s.id.c_str(), s.op.c_str(), s.seconds,
+                 static_cast<unsigned long long>(s.shuffle_bytes),
+                 static_cast<unsigned long long>(s.shuffle_messages),
+                 static_cast<unsigned long long>(s.records_in),
+                 static_cast<unsigned long long>(s.records_out), s.reducer_skew);
+  }
+  std::fprintf(out, "%-14s %-12s %12.6f %14llu %10llu\n", "total", "", makespan,
+               static_cast<unsigned long long>(remote_bytes),
+               static_cast<unsigned long long>(remote_messages));
+}
+
+// -- JSON ---------------------------------------------------------------------
+
+namespace json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  PAPAR_CHECK_MSG(v != nullptr, "JSON object lacks key `" + std::string(key) + "`");
+  return *v;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw DataError("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected `") + c + "`");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_word("true")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (consume_word("null")) return {};
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The exporters only emit \u00XX control escapes; encode as the
+          // raw byte (sufficient for round-tripping our own output).
+          if (code > 0xff) fail("unsupported \\u escape beyond U+00FF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    if (!std::isfinite(v.number)) fail("non-finite number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace json
+
+}  // namespace papar::obs

@@ -1,0 +1,174 @@
+// Observability layer: span timers, named counters/gauges, and per-job
+// stage reports, with JSON and Chrome trace_event export.
+//
+// The paper's argument is quantitative — partition time, skew, and shuffle
+// traffic per operator (§IV) — so every layer of the pipeline reports here:
+// mpsim ranks record spans in *virtual* seconds on their simulated clocks
+// (tid = rank), single-node code records wall seconds since process start;
+// both land in the same Recorder and export to the same trace, loadable in
+// chrome://tracing / Perfetto.
+//
+// Thread safety: a Recorder may be hammered concurrently by every simulated
+// rank and every pool worker; all mutation goes through one mutex. The
+// pipeline only records at phase boundaries (not per record), so the lock
+// is far off any hot path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace papar::obs {
+
+/// One closed interval on some clock. `begin`/`end` are seconds in the
+/// recording domain (virtual rank time or wall time); `tid` names the trace
+/// timeline the span belongs to (simulated rank, pool worker, ...).
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  int tid = 0;
+  double begin = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - begin; }
+};
+
+/// Thread-safe sink for spans, monotonically increasing counters, and
+/// last-write-wins gauges.
+class Recorder {
+ public:
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;
+  std::map<std::string, std::uint64_t> counters() const;
+
+  void set_gauge(std::string_view name, double value);
+  std::map<std::string, double> gauges() const;
+
+  void record_span(SpanEvent event);
+  std::vector<SpanEvent> spans() const;
+  std::size_t span_count() const;
+
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "spans": [...]}.
+  std::string to_json() const;
+
+  /// Chrome trace_event format: {"traceEvents": [...]} with one complete
+  /// ("ph":"X") event per span, timestamps in microseconds.
+  std::string to_trace_event_json() const;
+
+  /// Writes to_trace_event_json() to `path`.
+  void write_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::vector<SpanEvent> spans_;
+};
+
+/// Seconds since process start on the steady clock — the anchor for
+/// wall-clock spans, so trace timestamps stay small and line up across
+/// threads.
+double process_seconds();
+
+/// RAII wall-clock span: opens at construction, records into the recorder
+/// when end() is called or the object dies. A null recorder makes it a
+/// no-op, so instrumented code needs no branches.
+class Span {
+ public:
+  Span(Recorder* recorder, std::string name, std::string category = {}, int tid = 0)
+      : recorder_(recorder),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        tid_(tid),
+        begin_(process_seconds()) {}
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span now (idempotent; the destructor is then a no-op).
+  void end();
+
+ private:
+  Recorder* recorder_;
+  std::string name_;
+  std::string category_;
+  int tid_;
+  double begin_;
+  bool done_ = false;
+};
+
+// -- Stage reports ------------------------------------------------------------
+
+/// One operator job of a workflow run, measured between job barriers.
+struct StageRecord {
+  std::string id;  // operator id from the workflow configuration
+  std::string op;  // operator kind ("sort", "group", ...)
+  /// Virtual seconds from this stage's opening barrier to its closing
+  /// barrier (all ranks agree on both clocks).
+  double seconds = 0.0;
+  /// Fabric traffic attributed to this stage (delta of the run counters
+  /// between the two barriers). Summing over stages reproduces the run
+  /// totals exactly.
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t shuffle_messages = 0;
+  /// Dataset entries entering and leaving the stage, summed over ranks.
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  /// max/mean output entries per reducer rank (1.0 = perfectly balanced;
+  /// 0 when the stage produced no output entries).
+  double reducer_skew = 0.0;
+};
+
+/// Per-job breakdown attached to a PartitionResult.
+struct StageReport {
+  std::vector<StageRecord> stages;
+  /// Run totals (the same quantities RunStats carries, pre-output-write).
+  double makespan = 0.0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t remote_messages = 0;
+
+  std::uint64_t stage_bytes_total() const;
+
+  std::string to_json() const;
+  /// Inverse of to_json() (round-trip safe for every field).
+  static StageReport from_json(std::string_view text);
+
+  /// Aligned per-operator table plus a totals row.
+  void print(std::FILE* out) const;
+};
+
+// -- Minimal JSON (export validation / round-trips) ---------------------------
+
+namespace json {
+
+/// A parsed JSON value. Only what the exporters emit is supported: objects,
+/// arrays, strings, finite numbers, booleans, null.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order kept
+
+  const Value* find(std::string_view key) const;
+  const Value& at(std::string_view key) const;
+};
+
+/// Parses `text` or throws papar::DataError on malformed input.
+Value parse(std::string_view text);
+
+/// Escapes `s` into a double-quoted JSON string literal.
+std::string quote(std::string_view s);
+
+}  // namespace json
+
+}  // namespace papar::obs

@@ -21,10 +21,20 @@
 #include "sortlib/merge.hpp"
 #include "sortlib/networks.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace papar::sortlib {
 
 inline constexpr std::size_t kNetworkBlock = 8;
+
+/// Wall-clock breakdown of one parallel_sort call: time the pool spent
+/// sorting per-thread chunks vs. time the loser-tree k-way merge took.
+/// Filled by parallel_sort when a non-null pointer is passed.
+struct SortBreakdown {
+  double chunk_sort_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::size_t chunks = 0;
+};
 
 /// Iterative bottom-up mergesort. O(n log n), ~n extra memory.
 template <typename T, typename Less>
@@ -54,12 +64,21 @@ void merge_sort(std::span<T> data, Less less) {
 }
 
 /// Parallel mergesort: the pool sorts equal chunks concurrently, then a
-/// loser tree merges the k sorted runs.
+/// loser tree merges the k sorted runs. When `breakdown` is non-null it
+/// receives the chunk-sort vs. merge wall-time split (the single-chunk
+/// fallback counts entirely as chunk sorting).
 template <typename T, typename Less>
-void parallel_sort(std::span<T> data, Less less, ThreadPool& pool) {
+void parallel_sort(std::span<T> data, Less less, ThreadPool& pool,
+                   SortBreakdown* breakdown = nullptr) {
+  WallTimer timer;
   const std::size_t n = data.size();
   if (n <= 4 * kNetworkBlock || pool.size() == 1) {
     merge_sort(data, less);
+    if (breakdown != nullptr) {
+      breakdown->chunk_sort_seconds = timer.seconds();
+      breakdown->merge_seconds = 0.0;
+      breakdown->chunks = 1;
+    }
     return;
   }
   const std::size_t chunks =
@@ -74,18 +93,24 @@ void parallel_sort(std::span<T> data, Less less, ThreadPool& pool) {
       merge_sort(std::span<T>(data.data() + lo, hi - lo), less);
     }
   });
+  const double chunk_seconds = timer.seconds();
 
   std::vector<std::span<const T>> runs;
   for (auto [begin, end] : ranges) {
     if (end > begin) runs.emplace_back(data.data() + begin, end - begin);
   }
-  if (runs.size() <= 1) return;
-
-  std::vector<T> merged;
-  merged.reserve(n);
-  LoserTree<T, Less> tree(std::move(runs), less);
-  while (!tree.empty()) merged.push_back(tree.pop());
-  std::copy(merged.begin(), merged.end(), data.begin());
+  if (runs.size() > 1) {
+    std::vector<T> merged;
+    merged.reserve(n);
+    LoserTree<T, Less> tree(std::move(runs), less);
+    while (!tree.empty()) merged.push_back(tree.pop());
+    std::copy(merged.begin(), merged.end(), data.begin());
+  }
+  if (breakdown != nullptr) {
+    breakdown->chunk_sort_seconds = chunk_seconds;
+    breakdown->merge_seconds = timer.seconds() - chunk_seconds;
+    breakdown->chunks = chunks;
+  }
 }
 
 }  // namespace papar::sortlib

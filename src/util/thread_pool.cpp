@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <exception>
+
 #include "util/error.hpp"
 
 namespace papar {
@@ -42,14 +44,34 @@ void ThreadPool::parallel_for(
   const std::size_t chunks = std::min(n, workers_.size());
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
+
+  // First exception thrown by any chunk; re-thrown on the calling thread
+  // after every chunk has drained (so no chunk outlives the rethrow and
+  // touches dead caller state). Later chunks skip their body once a failure
+  // is recorded.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
   std::size_t begin = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t len = base + (c < extra ? 1 : 0);
     const std::size_t end = begin + len;
-    submit([&body, begin, end, c] { body(begin, end, c); });
+    submit([&body, &error_mutex, &error, begin, end, c] {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (error) return;
+      }
+      try {
+        body(begin, end, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
     begin = end;
   }
   wait_idle();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {

@@ -35,6 +35,9 @@ class ThreadPool {
 
   /// Splits [0, n) into roughly equal chunks and runs
   /// body(begin, end, chunk_index) on the pool, blocking until done.
+  /// If a chunk throws, the first exception is re-thrown here after all
+  /// chunks finish (chunks that have not started yet skip their body), and
+  /// the pool remains usable.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
  private:

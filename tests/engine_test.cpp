@@ -510,5 +510,98 @@ TEST(Engine, SingleOperatorWorkflowGathersOnePartition) {
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
 }
 
+TEST(Engine, StageReportCoversEveryOperator) {
+  // The hybrid workflow has three operators: group, split, distr.
+  const auto result = run_hybrid(4, 8, 20, make_edge_content(60, 800, 11));
+  ASSERT_EQ(result.report.stages.size(), 3u);
+  EXPECT_EQ(result.report.stages[0].id, "group");
+  EXPECT_EQ(result.report.stages[1].id, "split");
+  EXPECT_EQ(result.report.stages[2].id, "distr");
+  for (const auto& stage : result.report.stages) {
+    EXPECT_GE(stage.seconds, 0.0);
+    EXPECT_GT(stage.records_in, 0u);
+    EXPECT_GT(stage.records_out, 0u);
+    EXPECT_GE(stage.reducer_skew, 1.0) << stage.id;
+  }
+  // The first stage reads the whole edge list; split preserves entry counts.
+  EXPECT_EQ(result.report.stages[0].records_in, 800u);
+  EXPECT_EQ(result.report.stages[1].records_in, result.report.stages[1].records_out);
+}
+
+TEST(Engine, StageShuffleBytesSumToRunTotals) {
+  for (int nranks : {1, 2, 4, 8}) {
+    const auto result = run_blast(nranks, 8, make_blast_content(500, 5));
+    ASSERT_EQ(result.report.stages.size(), 2u);
+    EXPECT_EQ(result.report.stage_bytes_total(), result.stats.remote_bytes)
+        << "nranks=" << nranks;
+    std::uint64_t messages = 0;
+    double seconds = 0.0;
+    for (const auto& stage : result.report.stages) {
+      messages += stage.shuffle_messages;
+      seconds += stage.seconds;
+    }
+    EXPECT_EQ(messages, result.stats.remote_messages) << "nranks=" << nranks;
+    EXPECT_EQ(result.report.remote_bytes, result.stats.remote_bytes);
+    EXPECT_EQ(result.report.remote_messages, result.stats.remote_messages);
+    // Stage times cover the whole measured run: their sum spans from the
+    // first job barrier to past the last rank's completion, so it can fall
+    // short of the makespan only by the tiny pre-first-barrier setup time.
+    EXPECT_GE(seconds + 1e-3, result.report.makespan) << "nranks=" << nranks;
+    if (nranks == 1) {
+      EXPECT_EQ(result.stats.remote_bytes, 0u);
+      EXPECT_EQ(result.report.stage_bytes_total(), 0u);
+    } else {
+      EXPECT_GT(result.stats.remote_bytes, 0u);
+    }
+  }
+}
+
+TEST(Engine, StageReportRoundTripsThroughJson) {
+  const auto result = run_blast(4, 8, make_blast_content(200, 9));
+  const auto back = obs::StageReport::from_json(result.report.to_json());
+  ASSERT_EQ(back.stages.size(), result.report.stages.size());
+  EXPECT_EQ(back.remote_bytes, result.report.remote_bytes);
+  EXPECT_EQ(back.stage_bytes_total(), result.report.stage_bytes_total());
+  for (std::size_t i = 0; i < back.stages.size(); ++i) {
+    EXPECT_EQ(back.stages[i].id, result.report.stages[i].id);
+    EXPECT_EQ(back.stages[i].shuffle_bytes, result.report.stages[i].shuffle_bytes);
+    EXPECT_EQ(back.stages[i].records_out, result.report.stages[i].records_out);
+  }
+}
+
+TEST(Engine, RecorderCapturesJobSpansAndTraffic) {
+  WorkflowEngine engine(
+      parse_workflow(xml::parse(kBlastWorkflow)),
+      {{"blast_db", schema::parse_input_spec(xml::parse(kBlastInputSpec))}},
+      {{"input_path", "db.bin"}, {"output_path", "out"}, {"num_partitions", "4"}});
+  mp::Runtime rt(4, mp::NetworkModel::zero());
+  obs::Recorder rec;
+  rt.set_recorder(&rec);
+  const auto result = engine.run(rt, {{"db.bin", make_blast_content(300, 21)}});
+  rt.set_recorder(nullptr);
+
+  // One "job:<id>" span per operator per rank, plus one whole-run span per
+  // rank, all on virtual clocks.
+  int job_sort = 0;
+  int job_distr = 0;
+  int rank_spans = 0;
+  for (const auto& span : rec.spans()) {
+    EXPECT_GE(span.duration(), 0.0);
+    if (span.name == "job:sort") ++job_sort;
+    if (span.name == "job:distr") ++job_distr;
+    if (span.name == "rank") ++rank_spans;
+  }
+  EXPECT_EQ(job_sort, 4);
+  EXPECT_EQ(job_distr, 4);
+  EXPECT_EQ(rank_spans, 4);
+  // Counter totals cover at least the measured job traffic (the recorder
+  // also sees the output materialization after the job snapshot).
+  EXPECT_GE(rec.counter("mpsim.remote_bytes"), result.stats.remote_bytes);
+  EXPECT_GT(rec.counter("mr.shuffle.records"), 0u);
+  // The trace export is loadable by the bundled parser.
+  const auto trace = obs::json::parse(rec.to_trace_event_json());
+  EXPECT_GT(trace.at("traceEvents").array.size(), 0u);
+}
+
 }  // namespace
 }  // namespace papar::core

@@ -7,6 +7,9 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "mapreduce/mapreduce.hpp"
 #include "mpsim/runtime.hpp"
@@ -278,6 +281,103 @@ TEST(MapReduce, SampledSplittersBalanceSkewedKeys) {
   const double naive = imbalance(SplitterMethod::kNaive);
   EXPECT_LT(sampled, 1.6);  // near-even
   EXPECT_GT(naive, 4.0);    // outlier-stretched ranges collapse onto rank 0
+}
+
+TEST(MapReduce, SampleSortAllEqualKeysSpreadAcrossRanks) {
+  // Regression: when every record projects to the same key, all sampled
+  // splitters coincide. Routing by upper_bound alone sent the entire dataset
+  // to the last rank; duplicates must be spread across the run of coinciding
+  // splitters instead.
+  const int p = 4;
+  const int per_rank = 500;
+  mp::Runtime rt(p, mp::NetworkModel::zero());
+  rt.run([&](mp::Comm& comm) {
+    MapReduce mr(comm);
+    for (int i = 0; i < per_rank; ++i) {
+      mr.mutable_local().add(pod_key(42), "v" + std::to_string(i));
+    }
+    mr.sample_sort_u64(
+        [](std::string_view key, std::string_view) { return key_u64(key); });
+    auto counts = mr.rank_counts();
+    const auto total = std::accumulate(counts.begin(), counts.end(), 0ULL);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p) * per_rank);
+    const auto mx = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LT(static_cast<double>(mx),
+              1.5 * static_cast<double>(total) / static_cast<double>(p));
+    for (auto c : counts) EXPECT_GT(c, 0u);
+  });
+}
+
+TEST(MapReduce, SampleSortIdenticalRecordsSpreadWithTieBreak) {
+  // Fully identical records cannot be ordered even by raw bytes; they are the
+  // only ties left under tie_break_bytes and must still be spread, not routed
+  // wholesale to one reducer.
+  const int p = 4;
+  const int per_rank = 300;
+  mp::Runtime rt(p, mp::NetworkModel::zero());
+  rt.run([&](mp::Comm& comm) {
+    MapReduce mr(comm);
+    for (int i = 0; i < per_rank; ++i) mr.mutable_local().add(pod_key(7), "same");
+    mr.sample_sort_u64(
+        [](std::string_view key, std::string_view) { return key_u64(key); },
+        true, SplitterMethod::kSampled, 32, /*tie_break_bytes=*/true);
+    auto counts = mr.rank_counts();
+    const auto total = std::accumulate(counts.begin(), counts.end(), 0ULL);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p) * per_rank);
+    const auto mx = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LT(static_cast<double>(mx),
+              1.5 * static_cast<double>(total) / static_cast<double>(p));
+  });
+}
+
+TEST(MapReduce, SampleSortTieBreakBytesGlobalTotalOrder) {
+  // Heavy duplication under tie_break_bytes: the concatenation of rank pages
+  // must equal the reference sort of all inputs under the promised total
+  // order (projection, then key bytes, then value bytes). The projection is
+  // deliberately lossy so the key-byte tie-break is exercised too.
+  const int p = 4;
+  const int per_rank = 400;
+  using Rec = std::tuple<std::uint64_t, std::string, std::string>;
+  mp::Runtime rt(p, mp::NetworkModel::zero());
+  rt.run([&](mp::Comm& comm) {
+    const auto proj = [](std::string_view key, std::string_view) {
+      return key_u64(key) & 3;  // 8 distinct keys fold onto 4 projections
+    };
+    MapReduce mr(comm);
+    std::vector<Rec> expected;  // every rank rebuilds the full input set
+    for (int r = 0; r < comm.size(); ++r) {
+      Rng gen(500 + static_cast<std::uint64_t>(r));
+      for (int i = 0; i < per_rank; ++i) {
+        std::string key = pod_key(gen.next_below(8));
+        std::string value = std::to_string(gen.next_below(16));
+        expected.emplace_back(key_u64(key) & 3, key, value);
+        if (r == comm.rank()) mr.mutable_local().add(key, value);
+      }
+    }
+    mr.sample_sort_u64(proj, true, SplitterMethod::kSampled, 32,
+                       /*tie_break_bytes=*/true);
+
+    // Gather every rank's page in rank order.
+    ByteWriter w;
+    w.put<std::uint64_t>(mr.local().count());
+    mr.local().for_each([&](std::string_view k, std::string_view v) {
+      w.put_string(k);
+      w.put_string(v);
+    });
+    auto all = comm.allgather(w.take());
+    std::vector<Rec> got;
+    for (int r = 0; r < comm.size(); ++r) {
+      ByteReader br(all[static_cast<std::size_t>(r)]);
+      const auto n = br.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key = br.get_string();
+        std::string value = br.get_string();
+        got.emplace_back(key_u64(key) & 3, key, value);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  });
 }
 
 TEST(MapReduce, MapKvTransformsInPlace) {

@@ -204,6 +204,57 @@ TEST_P(ParallelSortThreads, MatchesStdSort) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelSortThreads, ::testing::Values(1, 2, 3, 4, 8));
 
+TEST(ParallelSort, HeavyDuplicationMatchesStableSortUnderTotalOrder) {
+  // Regression guard for equal-key handling across the chunk-sort + loser-tree
+  // merge path. With only four distinct keys, almost every comparison during
+  // the k-way merge is a tie. Under a total order (key, then sequence number)
+  // the result must match std::stable_sort element for element — any dropped,
+  // duplicated, or misordered tie shows up as an exact mismatch.
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t seq;
+    bool operator==(const Rec&) const = default;
+  };
+  const auto less = [](const Rec& a, const Rec& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  };
+  Rng rng(77);
+  std::vector<Rec> v(100000);
+  for (std::uint32_t i = 0; i < v.size(); ++i) {
+    v[i] = {static_cast<std::uint32_t>(rng.next_below(4)), i};
+  }
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(), less);
+  ThreadPool pool(4);
+  parallel_sort(std::span<Rec>(v), less, pool);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, BreakdownSplitsChunkSortAndMerge) {
+  ThreadPool pool(4);
+  Rng rng(9);
+  std::vector<std::uint64_t> v(50000);
+  for (auto& x : v) x = rng.next_u64();
+  SortBreakdown breakdown;
+  parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool,
+                &breakdown);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_GT(breakdown.chunks, 1u);
+  EXPECT_GE(breakdown.chunk_sort_seconds, 0.0);
+  EXPECT_GE(breakdown.merge_seconds, 0.0);
+}
+
+TEST(ParallelSort, BreakdownSmallInputIsSingleChunk) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> v{5, 4, 3, 2, 1};
+  SortBreakdown breakdown;
+  parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool,
+                &breakdown);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(breakdown.chunks, 1u);
+  EXPECT_EQ(breakdown.merge_seconds, 0.0);
+}
+
 TEST(ParallelSort, TinyInputFallsBackToSerial) {
   ThreadPool pool(4);
   std::vector<std::uint64_t> v{3, 1, 2};

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "util/bytes.hpp"
@@ -177,6 +178,34 @@ TEST(ThreadPool, ZeroThreadsClampedToOne) {
     count += static_cast<int>(e - b);
   });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  // Regression: exceptions thrown inside parallel_for chunks used to escape a
+  // worker thread and std::terminate the process. The first exception must be
+  // rethrown on the calling thread instead.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t b, std::size_t, std::size_t) {
+                          if (b >= 500) throw DataError("bad chunk");
+                        }),
+      DataError);
+}
+
+TEST(ThreadPool, ParallelForUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100, [](std::size_t, std::size_t, std::size_t) {
+                     throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool must survive a throwing body and run later work normally.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e, std::size_t) {
+    covered += e - b;
+  });
+  EXPECT_EQ(covered.load(), 1000u);
 }
 
 TEST(Timer, ThreadCpuAdvancesUnderWork) {

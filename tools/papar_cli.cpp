@@ -12,10 +12,16 @@
 //         --arg num_partitions=32 \
 //         --file db.index=./my_database.index \
 //         --nodes 16 [--compress] [--naive-splitters] [--stats]
+//         [--trace trace.json]
 //
 // Every --arg name=value binds a workflow argument; every --file key=path
 // loads a file for an input whose resolved path equals `key`. Partition p
 // is written to <output_path>.<p>.
+//
+// --stats prints the per-operator stage table (virtual seconds, shuffle
+// traffic, records, reducer skew). --trace writes a Chrome trace_event file
+// loadable in chrome://tracing or Perfetto, with one timeline per simulated
+// rank.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "xml/xml.hpp"
 
@@ -42,6 +49,7 @@ struct CliOptions {
   int nodes = 4;
   core::EngineOptions engine;
   bool stats = false;
+  std::string trace_path;
 };
 
 void usage(const char* argv0) {
@@ -49,7 +57,8 @@ void usage(const char* argv0) {
                "usage: %s --input-config <xml> [--input-config <xml>...]\n"
                "          --workflow <xml>\n"
                "          --arg name=value [...] --file key=path [...]\n"
-               "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n",
+               "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n"
+               "          [--trace <file>]\n",
                argv0);
 }
 
@@ -88,6 +97,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.engine.splitter = mr::SplitterMethod::kNaive;
     } else if (flag == "--stats") {
       opt.stats = true;
+    } else if (flag == "--trace") {
+      opt.trace_path = next();
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -175,7 +186,10 @@ int run(int argc, char** argv) {
   }
 
   mp::Runtime runtime(opt.nodes);
+  obs::Recorder recorder;
+  if (!opt.trace_path.empty()) runtime.set_recorder(&recorder);
   const auto result = engine.run(runtime, contents);
+  runtime.set_recorder(nullptr);
 
   // Write partitions next to the resolved output path.
   const std::string out_base = engine.resolve("$output_path");
@@ -191,6 +205,12 @@ int run(int argc, char** argv) {
                 result.stats.makespan,
                 static_cast<double>(result.stats.remote_bytes) / 1e6,
                 static_cast<unsigned long long>(result.stats.remote_messages));
+    result.report.print(stdout);
+  }
+  if (!opt.trace_path.empty()) {
+    recorder.write_trace(opt.trace_path);
+    std::printf("papar: wrote %zu trace spans to %s\n", recorder.span_count(),
+                opt.trace_path.c_str());
   }
   return 0;
 }
