@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -64,6 +65,23 @@ class KvBuffer {
       std::size_t next = 0;
       KvPair kv = at(off, &next);
       fn(kv.key, kv.value);
+      off = next;
+    }
+  }
+
+  /// Calls fn(framed, key, value) for every record in page order, where
+  /// `framed` spans the record's full wire encoding
+  /// ([u32 key-len][u32 value-len][key][value]). Because page bytes ARE the
+  /// wire format, a consumer can relocate a record with one bulk copy of
+  /// `framed` — the shuffle's serialization path relies on this.
+  template <typename Fn>
+  void for_each_record(Fn&& fn) const {
+    std::size_t off = 0;
+    while (off < bytes_.size()) {
+      std::size_t next = 0;
+      KvPair kv = at(off, &next);
+      fn(std::span<const unsigned char>(bytes_.data() + off, next - off), kv.key,
+         kv.value);
       off = next;
     }
   }

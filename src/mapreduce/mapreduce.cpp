@@ -57,24 +57,79 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
   PhaseSpan span(comm_, "mr.shuffle");
   const int p = comm_->size();
   const std::uint64_t routed = page_.count();
-  std::vector<KvBuffer> outgoing(static_cast<std::size_t>(p));
-  page_.for_each([&](std::string_view k, std::string_view v) {
-    const int dest = route(KvPair{k, v});
-    PAPAR_CHECK_MSG(dest >= 0 && dest < p, "partitioner returned an invalid rank");
-    outgoing[static_cast<std::size_t>(dest)].add(k, v);
-  });
+
+  if (comm_->network().copy_payloads) {
+    // Measured "before" baseline (see NetworkModel::copy_payloads): the
+    // pre-arena shuffle re-serialized every record individually into fresh
+    // per-destination buffers. Kept verbatim so tools/run_bench can A/B the
+    // whole shuffle path, not just the mailbox copy.
+    std::vector<KvBuffer> outgoing(static_cast<std::size_t>(p));
+    page_.for_each([&](std::string_view k, std::string_view v) {
+      const int dest = route(KvPair{k, v});
+      PAPAR_CHECK_MSG(dest >= 0 && dest < p, "partitioner returned an invalid rank");
+      outgoing[static_cast<std::size_t>(dest)].add(k, v);
+    });
+    page_.clear();
+    std::vector<std::vector<unsigned char>> send;
+    send.reserve(static_cast<std::size_t>(p));
+    for (auto& buf : outgoing) send.push_back(buf.take_bytes());
+    if (obs::Recorder* rec = comm_->recorder()) {
+      std::uint64_t bytes = 0;
+      for (const auto& b : send) bytes += b.size();
+      rec->add_counter("mr.shuffle.records", routed);
+      rec->add_counter("mr.shuffle.bytes", bytes);
+    }
+    auto received = comm_->alltoallv(std::move(send));
+    for (const auto& part : received) page_.append_page(part.data(), part.size());
+    return;
+  }
+
+  // Sizing pass: run the routing function exactly once per record (it may
+  // be stateful — sample_sort's tie spreader is), cache the destination,
+  // and accumulate exact per-destination byte counts.
+  route_cache_.clear();
+  route_cache_.reserve(routed);
+  std::vector<std::size_t> dest_bytes(static_cast<std::size_t>(p), 0);
+  page_.for_each_record(
+      [&](std::span<const unsigned char> framed, std::string_view k, std::string_view v) {
+        const int dest = route(KvPair{k, v});
+        PAPAR_CHECK_MSG(dest >= 0 && dest < p, "partitioner returned an invalid rank");
+        route_cache_.push_back(dest);
+        dest_bytes[static_cast<std::size_t>(dest)] += framed.size();
+      });
+
+  // Fill pass: bulk-copy each framed record into its destination page. The
+  // pages come from the arena — storage recycled from the previous
+  // shuffle's received buffers — so steady-state aggregate() loops allocate
+  // nothing per call.
+  arena_.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& buf = arena_[static_cast<std::size_t>(r)];
+    buf.clear();
+    buf.reserve(dest_bytes[static_cast<std::size_t>(r)]);
+  }
+  std::size_t i = 0;
+  page_.for_each_record(
+      [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
+        auto& buf = arena_[static_cast<std::size_t>(route_cache_[i++])];
+        buf.insert(buf.end(), framed.begin(), framed.end());
+      });
   page_.clear();
-  std::vector<std::vector<unsigned char>> send;
-  send.reserve(static_cast<std::size_t>(p));
-  for (auto& buf : outgoing) send.push_back(buf.take_bytes());
+
   if (obs::Recorder* rec = comm_->recorder()) {
     std::uint64_t bytes = 0;
-    for (const auto& b : send) bytes += b.size();
+    for (std::size_t b : dest_bytes) bytes += b;
     rec->add_counter("mr.shuffle.records", routed);
     rec->add_counter("mr.shuffle.bytes", bytes);
   }
-  auto received = comm_->alltoallv(std::move(send));
+
+  // Ownership-transfer shuffle: the arena pages move into the destination
+  // mailboxes uncopied; the buffers received back become the next
+  // shuffle's arena storage.
+  auto received = comm_->alltoallv(std::move(arena_));
   for (const auto& part : received) page_.append_page(part.data(), part.size());
+  arena_ = std::move(received);
+  for (auto& buf : arena_) buf.clear();
 }
 
 void MapReduce::aggregate() {

@@ -114,6 +114,14 @@ class MapReduce {
 
   mp::Comm* comm_;
   KvBuffer page_;
+  // Reusable shuffle state. `arena_` holds the per-destination send pages;
+  // after each alltoallv the received buffers are recycled into it, so a
+  // steady-state aggregate() loop reuses storage instead of reallocating.
+  // `route_cache_` remembers each record's destination from the sizing pass
+  // so the (possibly stateful) routing function runs exactly once per
+  // record.
+  std::vector<std::vector<unsigned char>> arena_;
+  std::vector<int> route_cache_;
 };
 
 }  // namespace papar::mr

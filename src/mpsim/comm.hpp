@@ -79,6 +79,11 @@ class Comm {
   void send(int dest, int tag, const std::vector<unsigned char>& bytes) {
     send(dest, tag, bytes.data(), bytes.size());
   }
+  /// Send that transfers ownership of the payload: ranks share one address
+  /// space, so the buffer moves into the destination mailbox without being
+  /// copied. The virtual network model still charges the full fabric cost
+  /// and traffic counters as if the bytes crossed the wire.
+  void send(int dest, int tag, std::vector<unsigned char>&& bytes);
   void send(int dest, int tag, const ByteWriter& w) { send(dest, tag, w.data(), w.size()); }
 
   /// Blocking receive of the next message matching (source, tag).
@@ -89,6 +94,8 @@ class Comm {
   Request isend(int dest, int tag, const std::vector<unsigned char>& bytes) {
     return isend(dest, tag, bytes.data(), bytes.size());
   }
+  /// Nonblocking ownership-transferring send (see the send overload).
+  Request isend(int dest, int tag, std::vector<unsigned char>&& bytes);
 
   /// Nonblocking receive; completed by Request::wait().
   Request irecv(int source, int tag);
@@ -114,7 +121,12 @@ class Comm {
   std::vector<std::vector<unsigned char>> allgather(const std::vector<unsigned char>& bytes);
 
   /// Personalized all-to-all: send_bufs[i] goes to rank i; returns the
-  /// buffers received, indexed by source rank. This is the shuffle primitive.
+  /// buffers received, indexed by source rank. This is the shuffle
+  /// primitive. Payloads are handed off by ownership transfer — each buffer
+  /// moves into the destination rank's mailbox and out to the receiver
+  /// untouched, so shuffled bytes are never copied by the runtime (the
+  /// virtual network model still charges the fabric cost; set
+  /// NetworkModel::copy_payloads to restore the copying baseline).
   std::vector<std::vector<unsigned char>> alltoallv(
       std::vector<std::vector<unsigned char>> send_bufs);
 
@@ -191,6 +203,11 @@ class Comm {
   void charge_compute();
 
   void deliver(int dest, int tag, const void* data, std::size_t n);
+
+  /// Core delivery: enqueues `payload` in the destination mailbox by move.
+  /// All accounting (virtual serialization time, traffic counters) happens
+  /// here; the copying overload above is a copy-then-move wrapper.
+  void deliver(int dest, int tag, std::vector<unsigned char> payload);
 
   detail::Shared* shared_;
   int rank_;

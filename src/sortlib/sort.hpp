@@ -4,7 +4,9 @@
 // optimized mergesort on multicore processors. Leaves of the mergesort are
 // 8-element sorting networks (branch-free), runs are merged bottom-up with a
 // ping-pong scratch buffer, and the parallel variant sorts per-thread chunks
-// concurrently before a loser-tree k-way merge.
+// concurrently before a splitter-partitioned parallel multiway merge (see
+// merge.hpp; the pre-existing sequential loser-tree merge is kept as a
+// benchmark baseline).
 //
 // Stability: merge_sort and parallel_sort are stable as long as `less` is a
 // strict weak ordering, EXCEPT inside the initial 8-element networks (which
@@ -27,14 +29,58 @@ namespace papar::sortlib {
 
 inline constexpr std::size_t kNetworkBlock = 8;
 
+/// How parallel_sort combines the independently sorted chunks.
+enum class MergeAlgo {
+  /// Splitter-partitioned parallel multiway merge: each pool thread merges
+  /// one value range of the output directly into its final destination
+  /// offset (the default).
+  kParallelSplitter,
+  /// The pre-parallel-merge behavior: a single-threaded loser tree popping
+  /// into a temporary, then a copy back. Kept as the measured "before" of
+  /// tools/run_bench and for A/B tests.
+  kSequentialLoserTree,
+};
+
 /// Wall-clock breakdown of one parallel_sort call: time the pool spent
-/// sorting per-thread chunks vs. time the loser-tree k-way merge took.
+/// sorting per-thread chunks vs. time the cross-chunk merge took.
 /// Filled by parallel_sort when a non-null pointer is passed.
+///
+/// Semantics: `merge_seconds` measures ONLY the cross-chunk merge that
+/// combines independently sorted chunk runs. In the single-chunk fallback
+/// (tiny input, or a one-thread pool) there is no cross-chunk merge, so
+/// `chunks` is 1 and `merge_seconds` is 0 even though merge_sort's internal
+/// bottom-up passes — which are chunk-local work, exactly like the passes
+/// inside every parallel chunk — may dominate; all of that time is
+/// `chunk_sort_seconds`.
 struct SortBreakdown {
   double chunk_sort_seconds = 0.0;
+  /// Cross-chunk merge wall time (splitter partitioning + parallel merge
+  /// passes, or the whole sequential loser-tree merge).
   double merge_seconds = 0.0;
+  /// Of merge_seconds, the sequential splitter sampling + run slicing
+  /// (0 for the loser-tree algorithm).
+  double merge_partition_seconds = 0.0;
   std::size_t chunks = 0;
+  /// Independent jobs of the parallel merge (1 for the loser tree; 0 when
+  /// no cross-chunk merge ran).
+  std::size_t merge_jobs = 0;
 };
+
+/// Splits [0, n) into `chunks` contiguous ranges whose sizes differ by at
+/// most one element (size of chunk c is (n + c) / chunks), so no chunk — in
+/// particular not the last one — carries a rounding remainder and the tail
+/// latency of the parallel chunk-sort phase stays even.
+inline std::vector<std::pair<std::size_t, std::size_t>> balanced_chunk_ranges(
+    std::size_t n, std::size_t chunks) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t size = (n + c) / chunks;
+    ranges[c] = {begin, begin + size};
+    begin += size;
+  }
+  return ranges;
+}
 
 /// Iterative bottom-up mergesort. O(n log n), ~n extra memory.
 template <typename T, typename Less>
@@ -63,30 +109,30 @@ void merge_sort(std::span<T> data, Less less) {
   }
 }
 
-/// Parallel mergesort: the pool sorts equal chunks concurrently, then a
-/// loser tree merges the k sorted runs. When `breakdown` is non-null it
-/// receives the chunk-sort vs. merge wall-time split (the single-chunk
-/// fallback counts entirely as chunk sorting).
+/// Parallel mergesort: the pool sorts balanced chunks concurrently, then the
+/// chunk runs are combined — by default with the splitter-partitioned
+/// parallel multiway merge, which writes every element directly into its
+/// final position (no single-threaded merge, no copy-back). When `breakdown`
+/// is non-null it receives the phase split (see SortBreakdown for the
+/// single-chunk fallback semantics).
 template <typename T, typename Less>
 void parallel_sort(std::span<T> data, Less less, ThreadPool& pool,
-                   SortBreakdown* breakdown = nullptr) {
+                   SortBreakdown* breakdown = nullptr,
+                   MergeAlgo algo = MergeAlgo::kParallelSplitter) {
   WallTimer timer;
   const std::size_t n = data.size();
   if (n <= 4 * kNetworkBlock || pool.size() == 1) {
     merge_sort(data, less);
     if (breakdown != nullptr) {
+      *breakdown = SortBreakdown{};
       breakdown->chunk_sort_seconds = timer.seconds();
-      breakdown->merge_seconds = 0.0;
       breakdown->chunks = 1;
     }
     return;
   }
   const std::size_t chunks =
       std::max<std::size_t>(1, std::min(pool.size(), n / (2 * kNetworkBlock)));
-  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    ranges[c] = {c * n / chunks, (c + 1) * n / chunks};
-  }
+  const auto ranges = balanced_chunk_ranges(n, chunks);
   pool.parallel_for(chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
     for (std::size_t c = begin; c < end; ++c) {
       auto [lo, hi] = ranges[c];
@@ -99,17 +145,32 @@ void parallel_sort(std::span<T> data, Less less, ThreadPool& pool,
   for (auto [begin, end] : ranges) {
     if (end > begin) runs.emplace_back(data.data() + begin, end - begin);
   }
-  if (runs.size() > 1) {
-    std::vector<T> merged;
-    merged.reserve(n);
-    LoserTree<T, Less> tree(std::move(runs), less);
-    while (!tree.empty()) merged.push_back(tree.pop());
-    std::copy(merged.begin(), merged.end(), data.begin());
-  }
   if (breakdown != nullptr) {
+    *breakdown = SortBreakdown{};
     breakdown->chunk_sort_seconds = chunk_seconds;
-    breakdown->merge_seconds = timer.seconds() - chunk_seconds;
     breakdown->chunks = chunks;
+  }
+  if (runs.size() > 1) {
+    if (algo == MergeAlgo::kParallelSplitter) {
+      MultiwayMergeStats stats;
+      parallel_multiway_merge(std::move(runs), data, less, pool, 0,
+                              breakdown != nullptr ? &stats : nullptr);
+      if (breakdown != nullptr) {
+        breakdown->merge_seconds = timer.seconds() - chunk_seconds;
+        breakdown->merge_partition_seconds = stats.partition_seconds;
+        breakdown->merge_jobs = stats.jobs;
+      }
+    } else {
+      std::vector<T> merged;
+      merged.reserve(n);
+      LoserTree<T, Less> tree(std::move(runs), less);
+      while (!tree.empty()) merged.push_back(tree.pop());
+      std::copy(merged.begin(), merged.end(), data.begin());
+      if (breakdown != nullptr) {
+        breakdown->merge_seconds = timer.seconds() - chunk_seconds;
+        breakdown->merge_jobs = 1;
+      }
+    }
   }
 }
 

@@ -226,6 +226,72 @@ TEST(Runtime, AlltoallvRoutesPersonalizedBuffers) {
   });
 }
 
+TEST(Runtime, AlltoallvTransfersOwnershipWithoutCopying) {
+  // Ranks share one address space, so a moved payload must arrive with the
+  // very same heap buffer: record each send buffer's data pointer before the
+  // collective and compare it against the received buffer's pointer.
+  const int p = 4;
+  Runtime rt(p, NetworkModel::zero());
+  std::vector<const unsigned char*> sent_ptr(static_cast<std::size_t>(p * p), nullptr);
+  rt.run([p, &sent_ptr](Comm& comm) {
+    std::vector<std::vector<unsigned char>> send;
+    for (int dest = 0; dest < p; ++dest) {
+      send.push_back(bytes_of(std::to_string(comm.rank()) + "->" + std::to_string(dest)));
+      sent_ptr[static_cast<std::size_t>(comm.rank() * p + dest)] = send.back().data();
+    }
+    comm.barrier();  // every pointer is published before any buffer moves
+    auto recv = comm.alltoallv(std::move(send));
+    for (int src = 0; src < p; ++src) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(src)].data(),
+                sent_ptr[static_cast<std::size_t>(src * p + comm.rank())])
+          << src << "->" << comm.rank() << " was copied";
+    }
+  });
+}
+
+TEST(Runtime, ZeroCopyAccountingMatchesCopyingBaseline) {
+  // The ownership-transfer handoff must not change what the fabric model
+  // sees: payloads, remote_bytes, and remote_messages have to be identical
+  // with and without NetworkModel::copy_payloads.
+  const int p = 4;
+  auto run_shuffle = [p](bool copy_payloads) {
+    Runtime rt(p, NetworkModel::rdma().with_copy_payloads(copy_payloads));
+    std::vector<std::string> received(static_cast<std::size_t>(p));
+    auto stats = rt.run([p, &received](Comm& comm) {
+      std::vector<std::vector<unsigned char>> send;
+      for (int dest = 0; dest < p; ++dest) {
+        send.push_back(bytes_of(std::string(static_cast<std::size_t>(dest + 1) * 100,
+                                            static_cast<char>('a' + comm.rank()))));
+      }
+      auto recv = comm.alltoallv(std::move(send));
+      std::string all;
+      for (const auto& part : recv) all += str_of(part) + "|";
+      received[static_cast<std::size_t>(comm.rank())] = all;
+    });
+    return std::make_pair(stats, received);
+  };
+  const auto [copy_stats, copy_payloads] = run_shuffle(true);
+  const auto [move_stats, move_payloads] = run_shuffle(false);
+  EXPECT_EQ(copy_stats.remote_bytes, move_stats.remote_bytes);
+  EXPECT_EQ(copy_stats.remote_messages, move_stats.remote_messages);
+  EXPECT_GT(move_stats.remote_bytes, 0u);
+  EXPECT_EQ(copy_payloads, move_payloads);
+}
+
+TEST(Runtime, MoveSendDeliversAndCounts) {
+  Runtime rt(2, NetworkModel::rdma());
+  auto stats = rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto payload = bytes_of("moved-payload");
+      comm.send(1, 9, std::move(payload));
+    } else {
+      EXPECT_EQ(str_of(comm.recv(0, 9).payload), "moved-payload");
+    }
+  });
+  EXPECT_EQ(stats.remote_messages, 1u);
+  EXPECT_EQ(stats.remote_bytes, std::string("moved-payload").size());
+}
+
 TEST(Runtime, AllreduceSumAndMax) {
   const int p = 6;
   Runtime rt(p, NetworkModel::zero());

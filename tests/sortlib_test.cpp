@@ -147,6 +147,142 @@ TEST(LoserTree, RandomizedAgainstStdMerge) {
   }
 }
 
+// -- parallel_multiway_merge -------------------------------------------------
+
+// Reference: the stable k-way merge the parallel version must reproduce —
+// concatenate the runs in run order and stable_sort (equal elements keep
+// run order, then in-run order; identical to a loser tree with run-index
+// tie-break).
+template <typename T, typename Less>
+std::vector<T> reference_merge(const std::vector<std::vector<T>>& runs, Less less) {
+  std::vector<T> out;
+  for (const auto& r : runs) out.insert(out.end(), r.begin(), r.end());
+  std::stable_sort(out.begin(), out.end(), less);
+  return out;
+}
+
+template <typename T, typename Less>
+std::vector<T> run_parallel_merge(const std::vector<std::vector<T>>& runs, Less less,
+                                  std::size_t threads, std::size_t jobs) {
+  std::size_t n = 0;
+  for (const auto& r : runs) n += r.size();
+  std::vector<T> out(n);
+  std::vector<std::span<const T>> spans(runs.begin(), runs.end());
+  ThreadPool pool(threads);
+  parallel_multiway_merge(std::move(spans), std::span<T>(out), less, pool, jobs);
+  return out;
+}
+
+TEST(ParallelMultiwayMerge, DuplicatesCrossingSplitterBoundaries) {
+  // Heavy duplication: with only 8 distinct values, nearly every splitter
+  // value occurs in every run, so job boundaries land inside duplicate
+  // groups in the sample. Payload carries (run, position) to prove the
+  // merge keeps the stable run-order tie-break.
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t run;
+    std::uint32_t pos;
+    bool operator==(const Rec&) const = default;
+  };
+  const auto less = [](const Rec& a, const Rec& b) { return a.key < b.key; };
+  Rng rng(101);
+  std::vector<std::vector<Rec>> runs(6);
+  for (std::uint32_t r = 0; r < runs.size(); ++r) {
+    runs[r].resize(4000);
+    for (std::uint32_t i = 0; i < runs[r].size(); ++i) {
+      runs[r][i] = {static_cast<std::uint32_t>(rng.next_below(8)), r, i};
+    }
+    std::stable_sort(runs[r].begin(), runs[r].end(), less);
+    for (std::uint32_t i = 0; i < runs[r].size(); ++i) runs[r][i].pos = i;
+  }
+  const auto expected = reference_merge(runs, less);
+  for (std::size_t jobs : {2, 3, 4, 8}) {
+    EXPECT_EQ(run_parallel_merge(runs, less, 4, jobs), expected) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelMultiwayMerge, AllEqualKeys) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t run;
+    std::uint32_t pos;
+    bool operator==(const Rec&) const = default;
+  };
+  const auto less = [](const Rec& a, const Rec& b) { return a.key < b.key; };
+  std::vector<std::vector<Rec>> runs(4);
+  for (std::uint32_t r = 0; r < runs.size(); ++r) {
+    for (std::uint32_t i = 0; i < 3000; ++i) runs[r].push_back({7, r, i});
+  }
+  // All elements tie: output must be run 0 in order, then run 1, ...
+  const auto expected = reference_merge(runs, less);
+  EXPECT_EQ(run_parallel_merge(runs, less, 4, 4), expected);
+}
+
+TEST(ParallelMultiwayMerge, WildlyDifferentRunLengths) {
+  Rng rng(113);
+  const std::size_t lengths[] = {1, 100000, 3, 5000, 0, 7, 40000, 2};
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (std::size_t len : lengths) {
+    std::vector<std::uint64_t> run(len);
+    for (auto& x : run) x = rng.next_below(1 << 16);
+    std::sort(run.begin(), run.end());
+    runs.push_back(std::move(run));
+  }
+  const auto expected = reference_merge(runs, std::less<std::uint64_t>());
+  for (std::size_t threads : {1, 4}) {
+    EXPECT_EQ(run_parallel_merge(runs, std::less<std::uint64_t>(), threads, 0), expected);
+  }
+}
+
+TEST(ParallelMultiwayMerge, SingleAndEmptyRuns) {
+  std::vector<std::vector<int>> runs{{}, {1, 2, 3}, {}};
+  EXPECT_EQ(run_parallel_merge(runs, std::less<int>(), 2, 4),
+            (std::vector<int>{1, 2, 3}));
+  std::vector<std::vector<int>> empty{{}, {}};
+  EXPECT_TRUE(run_parallel_merge(empty, std::less<int>(), 2, 2).empty());
+}
+
+TEST(ParallelMultiwayMerge, ReportsStats) {
+  Rng rng(127);
+  std::vector<std::vector<std::uint64_t>> runs(4);
+  for (auto& run : runs) {
+    run.resize(20000);
+    for (auto& x : run) x = rng.next_u64();
+    std::sort(run.begin(), run.end());
+  }
+  std::vector<std::uint64_t> out(80000);
+  std::vector<std::span<const std::uint64_t>> spans(runs.begin(), runs.end());
+  ThreadPool pool(4);
+  MultiwayMergeStats stats;
+  parallel_multiway_merge(std::move(spans), std::span<std::uint64_t>(out),
+                          std::less<std::uint64_t>(), pool, 4, &stats);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(stats.jobs, 4u);
+  EXPECT_GE(stats.partition_seconds, 0.0);
+  EXPECT_GE(stats.merge_seconds, 0.0);
+}
+
+TEST(BalancedChunkRanges, CoverageAndBalance) {
+  for (std::size_t n : {0u, 1u, 7u, 8u, 100u, 1000u, 65537u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      const auto ranges = balanced_chunk_ranges(n, chunks);
+      ASSERT_EQ(ranges.size(), chunks);
+      std::size_t expect_begin = 0;
+      std::size_t min_size = n + 1;
+      std::size_t max_size = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_GE(end, begin);
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, n);
+      EXPECT_LE(max_size - min_size, 1u) << "n=" << n << " chunks=" << chunks;
+    }
+  }
+}
+
 class MergeSortSizes : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(MergeSortSizes, MatchesStdSort) {
@@ -228,6 +364,53 @@ TEST(ParallelSort, HeavyDuplicationMatchesStableSortUnderTotalOrder) {
   ThreadPool pool(4);
   parallel_sort(std::span<Rec>(v), less, pool);
   EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, ParallelMergeByteIdenticalToLoserTree) {
+  // Partition-identity guarantee: under a total order (key, then full record
+  // bytes) the splitter-partitioned merge must produce exactly the bytes the
+  // sequential loser-tree merge produced.
+  struct Rec {
+    std::uint64_t key;
+    std::uint64_t bytes;
+    bool operator==(const Rec&) const = default;
+  };
+  const auto less = [](const Rec& a, const Rec& b) {
+    return a.key != b.key ? a.key < b.key : a.bytes < b.bytes;
+  };
+  Rng rng(203);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Rec> base(60000);
+    for (auto& r : base) {
+      r.key = rng.next_below(trial == 0 ? 3 : 1 << 10);  // trial 0: heavy dups
+      r.bytes = rng.next_u64();
+    }
+    auto via_parallel = base;
+    auto via_loser_tree = base;
+    ThreadPool pool(4);
+    parallel_sort(std::span<Rec>(via_parallel), less, pool, nullptr,
+                  MergeAlgo::kParallelSplitter);
+    parallel_sort(std::span<Rec>(via_loser_tree), less, pool, nullptr,
+                  MergeAlgo::kSequentialLoserTree);
+    EXPECT_EQ(via_parallel, via_loser_tree);
+    // And both match std::stable_sort under the same total order.
+    std::stable_sort(base.begin(), base.end(), less);
+    EXPECT_EQ(via_parallel, base);
+  }
+}
+
+TEST(ParallelSort, BreakdownReportsMergeJobs) {
+  ThreadPool pool(4);
+  Rng rng(19);
+  std::vector<std::uint64_t> v(200000);
+  for (auto& x : v) x = rng.next_u64();
+  SortBreakdown breakdown;
+  parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool,
+                &breakdown);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(breakdown.chunks, 4u);
+  EXPECT_GE(breakdown.merge_jobs, 2u);
+  EXPECT_GE(breakdown.merge_seconds, breakdown.merge_partition_seconds);
 }
 
 TEST(ParallelSort, BreakdownSplitsChunkSortAndMerge) {

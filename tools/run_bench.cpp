@@ -1,0 +1,210 @@
+// Before/after perf driver: reruns the hot-path workloads this repo
+// optimizes with the replaced code path ("before", kept alive behind a
+// switch) and the current default ("after"), and writes the medians to
+// BENCH_<workload>.json (see bench/bench_json.hpp for the schema).
+//
+// Workloads:
+//   sortlib  parallel_sort on 1M random u64, 4 pool threads. Before:
+//            MergeAlgo::kSequentialLoserTree (single-threaded loser tree +
+//            copy-back). After: the splitter-partitioned parallel merge.
+//            Reports the cross-chunk merge phase and the total sort.
+//   blast    Fig. 13(a)'s cyclic partitioning workload (env_nr-like DB,
+//            16 nodes, 32 partitions). Before: NetworkModel::copy_payloads
+//            (every shuffled buffer copied into the mailbox). After: the
+//            ownership-transfer shuffle. Reports the simulated makespan.
+//   hybrid   Fig. 15(a)'s hybrid-cut workload (google-like graph, 16 nodes).
+//            Same before/after knob as blast.
+//
+// Usage: run_bench [--out-dir DIR] [sortlib|blast|hybrid ...]
+// Defaults: all three workloads, files written to the current directory.
+// PAPAR_BENCH_REPEATS (default 5) sets the sample count per knob;
+// PAPAR_BENCH_SCALE shrinks the datasets for smoke runs as usual.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "bench/common.hpp"
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "graph/generator.hpp"
+#include "graph/papar_hybrid.hpp"
+#include "sortlib/sort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace papar;
+
+int repeats() {
+  if (const char* s = std::getenv("PAPAR_BENCH_REPEATS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 5;
+}
+
+void print_entry(const bench::BenchEntry& e) {
+  std::printf("  %-32s before %.4fs  after %.4fs  speedup %.2fx\n", e.name.c_str(),
+              e.before_median(), e.after_median(), e.speedup());
+}
+
+bench::BenchReport bench_sortlib(int reps) {
+  const std::size_t n = bench::scaled(1'000'000);
+  const std::size_t threads = 4;
+  std::printf("sortlib: %zu random u64, %zu pool threads, %d repeats/knob\n", n,
+              threads, reps);
+
+  Rng rng(42);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng.next_u64();
+
+  ThreadPool pool(threads);
+  bench::BenchEntry merge{
+      "merge_phase.1M_u64.4t",
+      "sequential loser tree + copy-back",
+      "splitter-partitioned parallel multiway merge",
+      {},
+      {}};
+  bench::BenchEntry total{"total_sort.1M_u64.4t", merge.before_label,
+                          merge.after_label,      {},
+                          {}};
+
+  std::vector<std::uint64_t> reference;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto algo : {sortlib::MergeAlgo::kSequentialLoserTree,
+                            sortlib::MergeAlgo::kParallelSplitter}) {
+      auto v = base;
+      sortlib::SortBreakdown breakdown;
+      WallTimer timer;
+      sortlib::parallel_sort(std::span<std::uint64_t>(v),
+                             std::less<std::uint64_t>(), pool, &breakdown, algo);
+      const double wall = timer.seconds();
+      const bool before = algo == sortlib::MergeAlgo::kSequentialLoserTree;
+      (before ? merge.before_samples : merge.after_samples)
+          .push_back(breakdown.merge_seconds);
+      (before ? total.before_samples : total.after_samples).push_back(wall);
+      // Both algorithms must produce the same permutation (partition
+      // identity); a mismatch invalidates the numbers, so hard-stop.
+      if (reference.empty()) {
+        reference = std::move(v);
+      } else if (v != reference) {
+        std::fprintf(stderr, "FATAL: sort output differs between merge algorithms\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  bench::BenchReport report;
+  report.bench = "sortlib";
+  report.scale = bench::scale_factor();
+  report.repeats = reps;
+  report.entries = {merge, total};
+  for (const auto& e : report.entries) print_entry(e);
+  return report;
+}
+
+bench::BenchReport bench_blast(int reps) {
+  blast::GeneratorOptions opt = blast::env_nr_like();
+  opt.sequence_count = bench::scaled(opt.sequence_count);
+  std::printf("blast: env_nr-like (%zu sequences), 16 nodes, %d repeats/knob\n",
+              opt.sequence_count, reps);
+  const blast::Database db = blast::generate_database(opt);
+
+  bench::BenchEntry makespan{"partition_makespan.env_nr_like.16n",
+                             "copying shuffle (NetworkModel::copy_payloads)",
+                             "ownership-transfer shuffle",
+                             {},
+                             {}};
+  for (int r = 0; r < reps; ++r) {
+    for (const bool copy : {true, false}) {
+      const auto result = blast::partition_with_papar(
+          db, 16, 32, blast::Policy::kCyclic, {},
+          bench::papar_fabric().with_copy_payloads(copy));
+      (copy ? makespan.before_samples : makespan.after_samples)
+          .push_back(result.stats.makespan);
+    }
+  }
+
+  bench::BenchReport report;
+  report.bench = "blast";
+  report.scale = bench::scale_factor();
+  report.repeats = reps;
+  report.entries = {makespan};
+  print_entry(makespan);
+  return report;
+}
+
+bench::BenchReport bench_hybrid(int reps) {
+  graph::Graph g = graph::google_like();
+  const double s = bench::scale_factor();
+  if (s != 1.0) {
+    g.edges.resize(
+        static_cast<std::size_t>(static_cast<double>(g.edges.size()) * s));
+  }
+  std::printf("hybrid: google-like (%zu edges), 16 nodes, %d repeats/knob\n",
+              g.num_edges(), reps);
+
+  bench::BenchEntry makespan{"partition_makespan.google_like.16n",
+                             "copying shuffle (NetworkModel::copy_payloads)",
+                             "ownership-transfer shuffle",
+                             {},
+                             {}};
+  for (int r = 0; r < reps; ++r) {
+    for (const bool copy : {true, false}) {
+      const auto result = graph::papar_hybrid_cut(
+          g, 16, 16, 200, {}, bench::papar_fabric().with_copy_payloads(copy));
+      (copy ? makespan.before_samples : makespan.after_samples)
+          .push_back(result.stats.makespan);
+    }
+  }
+
+  bench::BenchReport report;
+  report.bench = "hybrid";
+  report.scale = s;
+  report.repeats = reps;
+  report.entries = {makespan};
+  print_entry(makespan);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::vector<std::string> workloads;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: run_bench [--out-dir DIR] [sortlib|blast|hybrid ...]\n");
+      return 0;
+    } else {
+      workloads.emplace_back(argv[i]);
+    }
+  }
+  if (workloads.empty()) workloads = {"sortlib", "blast", "hybrid"};
+
+  const int reps = repeats();
+  for (const std::string& w : workloads) {
+    papar::bench::BenchReport report;
+    if (w == "sortlib") {
+      report = bench_sortlib(reps);
+    } else if (w == "blast") {
+      report = bench_blast(reps);
+    } else if (w == "hybrid") {
+      report = bench_hybrid(reps);
+    } else {
+      std::fprintf(stderr, "unknown workload: %s\n", w.c_str());
+      return 2;
+    }
+    const std::string path = out_dir + "/BENCH_" + report.bench + ".json";
+    report.write(path);
+    std::printf("  wrote %s\n", path.c_str());
+  }
+  return 0;
+}
