@@ -7,8 +7,14 @@
 // running PageRank on the partitions.
 //
 // Usage: ./examples/hybrid_cut [vertices] [edges] [partitions] [threshold]
+//
+// Set PAPAR_FAULTS to a fault spec (e.g. "drop=0.05,crash=1@40") to run the
+// workflow under deterministic fault injection; PAPAR_FAULT_SEED overrides
+// the spec's seed. The run recovers crashed stages from checkpoints, and the
+// PowerLyra-identity check below then demonstrates byte-identical recovery.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <set>
 
 #include "graph/components.hpp"
@@ -17,6 +23,24 @@
 #include "graph/pagerank.hpp"
 #include "graph/papar_hybrid.hpp"
 #include "graph/powerlyra.hpp"
+#include "mpsim/fault.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+/// Builds an injector from PAPAR_FAULTS / PAPAR_FAULT_SEED, or nullopt.
+std::optional<papar::mp::FaultInjector> injector_from_env() {
+  const char* spec = std::getenv("PAPAR_FAULTS");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  papar::mp::FaultPlan plan = papar::mp::FaultPlan::parse_arg(spec);
+  if (const char* seed = std::getenv("PAPAR_FAULT_SEED")) {
+    plan.seed = papar::parse_number<std::uint64_t>(seed, "PAPAR_FAULT_SEED");
+  }
+  std::printf("fault injection on (%s)\n", plan.to_string().c_str());
+  return std::make_optional<papar::mp::FaultInjector>(plan);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace papar;
@@ -35,11 +59,24 @@ int main(int argc, char** argv) {
               threshold);
 
   // PaPar runs the Fig. 10 workflow on `partitions` simulated nodes.
+  auto injector = injector_from_env();
   const auto papar =
-      papar_hybrid_cut(g, static_cast<int>(partitions), partitions, threshold);
+      papar_hybrid_cut(g, static_cast<int>(partitions), partitions, threshold, {},
+                       mp::NetworkModel::rdma(), injector ? &*injector : nullptr);
   std::printf("PaPar hybrid-cut: simulated makespan %.2f ms, shuffle %.2f MB\n",
               papar.stats.makespan * 1e3,
               static_cast<double>(papar.stats.remote_bytes) / 1e6);
+  if (injector) {
+    const mp::FaultCounts fc = injector->counts();
+    std::printf("faults: %llu drops, %llu dups, %llu delays, %llu crashes; "
+                "%llu retries, %d recoveries, %llu checkpoint restores\n",
+                static_cast<unsigned long long>(fc.drops),
+                static_cast<unsigned long long>(fc.duplicates),
+                static_cast<unsigned long long>(fc.delays),
+                static_cast<unsigned long long>(fc.crashes),
+                static_cast<unsigned long long>(fc.retries), papar.stats.recoveries,
+                static_cast<unsigned long long>(papar.report.faults.checkpoint_restores));
+  }
 
   // Correctness: the native PowerLyra partitioner agrees edge for edge.
   ThreadPool pool(4);

@@ -131,7 +131,8 @@ std::string blast_workflow_xml(Policy policy) {
 PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       std::size_t num_partitions, Policy policy,
                                       core::EngineOptions options,
-                                      mp::NetworkModel network) {
+                                      mp::NetworkModel network,
+                                      mp::FaultInjector* faults) {
   const auto spec = schema::parse_input_spec(xml::parse(blast_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(blast_workflow_xml(policy)));
   core::WorkflowEngine engine(std::move(wf), {{"blast_db", spec}},
@@ -140,6 +141,7 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                {"num_partitions", std::to_string(num_partitions)}},
                               options);
   mp::Runtime runtime(nranks, network);
+  if (faults != nullptr) runtime.set_fault_injector(faults);
   auto result = engine.run(runtime, {{"db.index", index_file_image(db)}});
 
   PaparBlastResult out;

@@ -67,10 +67,14 @@ struct PaparBlastResult {
 
 /// Runs the paper's Fig. 8 workflow (sort + cyclic distribute, or a single
 /// block distribute) through the PaPar engine on `nranks` simulated nodes.
+/// `faults` (optional) attaches a fault injector to the internal runtime;
+/// the run then survives the plan's injected crashes via checkpoint
+/// recovery and still returns the fault-free partitions.
 PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       std::size_t num_partitions, Policy policy,
                                       core::EngineOptions options = {},
-                                      mp::NetworkModel network = mp::NetworkModel::rdma());
+                                      mp::NetworkModel network = mp::NetworkModel::rdma(),
+                                      mp::FaultInjector* faults = nullptr);
 
 /// The Fig. 8 workflow configuration XML used by partition_with_papar
 /// (exposed for examples and documentation).

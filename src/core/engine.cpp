@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "mapreduce/checkpoint.hpp"
 #include "util/log.hpp"
+#include "util/parse.hpp"
 
 namespace papar::core {
 
@@ -39,6 +41,58 @@ struct PlannedStep {
   DistributeArgs dist;
   std::map<std::string, std::string> custom_params;
 };
+
+// Checkpoint wire format: one rank's inter-job `datasets` map at a stage
+// boundary — path, format, group key, schema, and raw page bytes per entry.
+// std::map iteration gives a deterministic entry order, so a deterministic
+// replay rewrites byte-identical blobs.
+std::vector<unsigned char> encode_datasets(const std::map<std::string, Dataset>& datasets) {
+  ByteWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(datasets.size()));
+  for (const auto& [path, ds] : datasets) {
+    w.put_string(path);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(ds.format));
+    w.put<std::uint8_t>(ds.group_key_field ? 1 : 0);
+    w.put<std::uint64_t>(ds.group_key_field ? *ds.group_key_field : 0);
+    const auto& fields = ds.schema.fields();
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(fields.size()));
+    for (const auto& f : fields) {
+      w.put_string(f.name);
+      w.put<std::uint8_t>(static_cast<std::uint8_t>(f.type));
+      w.put_string(f.delimiter);
+    }
+    w.put<std::uint64_t>(ds.page.byte_size());
+    w.put_bytes(ds.page.bytes().data(), ds.page.byte_size());
+  }
+  return w.take();
+}
+
+std::map<std::string, Dataset> decode_datasets(const std::vector<unsigned char>& bytes) {
+  ByteReader r(bytes);
+  std::map<std::string, Dataset> datasets;
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string path = r.get_string();
+    Dataset ds;
+    ds.format = static_cast<DataFormat>(r.get<std::uint8_t>());
+    const bool has_group_key = r.get<std::uint8_t>() != 0;
+    const auto group_key = r.get<std::uint64_t>();
+    if (has_group_key) ds.group_key_field = static_cast<std::size_t>(group_key);
+    const auto nfields = r.get<std::uint32_t>();
+    for (std::uint32_t f = 0; f < nfields; ++f) {
+      std::string name = r.get_string();
+      const auto type = static_cast<schema::FieldType>(r.get<std::uint8_t>());
+      std::string delimiter = r.get_string();
+      ds.schema.add_field(std::move(name), type, std::move(delimiter));
+    }
+    const auto page_len = r.get<std::uint64_t>();
+    const auto view = r.get_bytes(static_cast<std::size_t>(page_len));
+    ds.page.adopt_bytes(std::vector<unsigned char>(view.begin(), view.end()));
+    datasets.emplace(std::move(path), std::move(ds));
+  }
+  PAPAR_CHECK_MSG(r.done(), "trailing bytes in dataset checkpoint");
+  return datasets;
+}
 
 }  // namespace
 
@@ -248,8 +302,8 @@ PartitionResult WorkflowEngine::run(
           throw ConfigError("distribute `" + decl.id + "` lacks a policy");
         }
         step.dist.policy = parse_distr_policy(resolve(policy->value));
-        step.dist.num_partitions =
-            static_cast<std::size_t>(std::stoul(required_param(decl, "numPartitions")));
+        step.dist.num_partitions = parse_number<std::size_t>(
+            required_param(decl, "numPartitions"), "distribute numPartitions");
         PAPAR_CHECK_MSG(step.dist.num_partitions >= 1, "numPartitions must be >= 1");
         // Output schema: the format declared on the workflow argument the
         // outputPath came from ("the output has the same format of input").
@@ -349,6 +403,14 @@ PartitionResult WorkflowEngine::run(
   std::vector<std::uint64_t> stage_out(nsteps, 0);
   std::vector<double> stage_skew(nsteps, 0.0);
 
+  // With a fault injector attached, every rank checkpoints its inter-job
+  // datasets at each stage boundary so a crash recovery resumes from the
+  // last completed boundary instead of re-running the whole workflow.
+  std::unique_ptr<mr::CheckpointStore> ckpt;
+  if (runtime.fault_injector() != nullptr) {
+    ckpt = std::make_unique<mr::CheckpointStore>(nranks, options_.checkpoint_dir);
+  }
+
   auto body = [&](mp::Comm& comm) {
     std::map<std::string, Dataset> datasets;
 
@@ -411,9 +473,34 @@ PartitionResult WorkflowEngine::run(
     std::optional<DistributedDataset> final_dist;
     std::string final_path;
 
-    for (std::size_t s = 0; s < steps.size(); ++s) {
+    // On a recovery attempt, resume from the newest stage every rank
+    // checkpointed. The store is quiescent here: this attempt's saves all
+    // sit behind the opening job barrier, so every rank reads the same
+    // store state and resolves the same stage. A crash with no complete
+    // stage (e.g. during the first boundary) re-runs from the top.
+    std::size_t start_step = 0;
+    if (ckpt && comm.attempt() > 0 && nsteps > 0) {
+      if (auto stage = ckpt->latest_complete(nsteps - 1)) {
+        auto blob = ckpt->load(*stage, comm.rank());
+        PAPAR_CHECK_MSG(blob.has_value(), "complete checkpoint stage lost a rank blob");
+        datasets = decode_datasets(*blob);
+        start_step = static_cast<std::size_t>(*stage);
+        if (auto* rec = comm.recorder()) rec->add_counter("ckpt.restores");
+      }
+    }
+
+    for (std::size_t s = start_step; s < steps.size(); ++s) {
       const auto& step = steps[s];
       job_boundary(s);
+      if (ckpt) {
+        // Saved between the boundary barrier and the stage's first
+        // communication: saves are purely local, and scheduled crashes only
+        // fire at communication events, so a crash can never interrupt a
+        // save — if any rank reaches stage s's body, all ranks passed the
+        // barrier and stage s's checkpoint is complete.
+        ckpt->save(s, comm.rank(), encode_datasets(datasets));
+        if (auto* rec = comm.recorder()) rec->add_counter("ckpt.saves");
+      }
       const double stage_open = comm.vtime();
       std::uint64_t in_count = 0;
       std::uint64_t out_count = 0;
@@ -529,6 +616,20 @@ PartitionResult WorkflowEngine::run(
   result.report.makespan = result.stats.makespan;
   result.report.remote_bytes = result.stats.remote_bytes;
   result.report.remote_messages = result.stats.remote_messages;
+  if (const auto* inj = runtime.fault_injector()) {
+    const mp::FaultCounts fc = inj->counts();
+    result.report.faults.drops = fc.drops;
+    result.report.faults.duplicates = fc.duplicates;
+    result.report.faults.delays = fc.delays;
+    result.report.faults.crashes = fc.crashes;
+    result.report.faults.retries = fc.retries;
+    result.report.faults.detections = fc.detections;
+    result.report.faults.recoveries = fc.recoveries;
+    if (ckpt) {
+      result.report.faults.checkpoint_saves = ckpt->saves();
+      result.report.faults.checkpoint_restores = ckpt->restores();
+    }
+  }
   result.report.stages.reserve(nsteps);
   for (std::size_t s = 0; s < nsteps; ++s) {
     obs::StageRecord rec;

@@ -33,6 +33,12 @@ struct EngineOptions {
   mr::SplitterMethod splitter = mr::SplitterMethod::kSampled;
   /// CSC compression of packed groups (§III-D compression).
   bool compress_packed = false;
+  /// Where stage checkpoints additionally spill to disk. Checkpointing
+  /// itself is controlled by the runtime: when a FaultInjector is attached,
+  /// every rank checkpoints its inter-job datasets at each stage boundary
+  /// (in memory; plus here when non-empty) so crash recovery re-executes
+  /// only the interrupted stage.
+  std::string checkpoint_dir;
 };
 
 /// The materialized output of a workflow run.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace papar::core {
 
@@ -75,7 +76,8 @@ WorkflowConfig parse_workflow(const xml::Node& node) {
     decl.op = std::string(opnode->required_attribute("operator"));
     const auto reducers = opnode->attribute("num_reducers");
     if (reducers && !reducers->empty() && (*reducers)[0] != '$') {
-      decl.num_reducers = std::stoi(std::string(*reducers));
+      decl.num_reducers =
+          parse_number<int>(*reducers, "operator `" + decl.id + "` num_reducers");
     }
     for (const auto& child : opnode->children) {
       if (child.name == "param") {

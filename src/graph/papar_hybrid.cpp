@@ -61,7 +61,8 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    std::size_t num_partitions,
                                    std::uint32_t threshold,
                                    core::EngineOptions options,
-                                   mp::NetworkModel network) {
+                                   mp::NetworkModel network,
+                                   mp::FaultInjector* faults) {
   const auto spec = schema::parse_input_spec(xml::parse(edge_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(hybrid_workflow_xml()));
   core::WorkflowEngine engine(std::move(wf), {{"graph_edge", spec}},
@@ -71,6 +72,7 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                {"threshold", std::to_string(threshold)}},
                               options);
   mp::Runtime runtime(nranks, network);
+  if (faults != nullptr) runtime.set_fault_injector(faults);
   auto result = engine.run(runtime, {{"edges.txt", to_edge_list_text(g)}});
 
   // Convert partitions of (vertex_a, vertex_b) records back into an

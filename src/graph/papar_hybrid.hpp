@@ -24,12 +24,16 @@ struct PaparHybridResult {
 };
 
 /// Runs the Fig. 10 workflow on `nranks` simulated nodes with
-/// `num_partitions` output partitions.
+/// `num_partitions` output partitions. `faults` (optional) attaches a fault
+/// injector to the internal runtime; the run then survives the plan's
+/// injected crashes via checkpoint recovery and still returns the
+/// fault-free partitioning.
 PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    std::size_t num_partitions,
                                    std::uint32_t threshold,
                                    core::EngineOptions options = {},
-                                   mp::NetworkModel network = mp::NetworkModel::rdma());
+                                   mp::NetworkModel network = mp::NetworkModel::rdma(),
+                                   mp::FaultInjector* faults = nullptr);
 
 /// The Fig. 10 workflow configuration XML (exposed for examples/docs).
 std::string hybrid_workflow_xml();

@@ -1,0 +1,107 @@
+#include "mapreduce/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace papar::mr {
+
+CheckpointStore::CheckpointStore(int nranks, std::string spill_dir)
+    : nranks_(nranks), spill_dir_(std::move(spill_dir)) {
+  PAPAR_CHECK_MSG(nranks_ > 0, "CheckpointStore needs at least one rank");
+}
+
+void CheckpointStore::save(std::uint64_t stage, int rank, std::vector<unsigned char> bytes) {
+  PAPAR_CHECK_MSG(rank >= 0 && rank < nranks_, "checkpoint rank out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slots = stages_[stage];
+  if (slots.empty()) slots.resize(static_cast<std::size_t>(nranks_));
+  if (!spill_dir_.empty()) {
+    if (!spill_dir_ready_) {
+      std::error_code ec;
+      std::filesystem::create_directories(spill_dir_, ec);
+      if (ec) {
+        throw DataError("cannot create checkpoint directory '" + spill_dir_ +
+                        "': " + ec.message());
+      }
+      spill_dir_ready_ = true;
+    }
+    const std::string path = spill_dir_ + "/stage" + std::to_string(stage) + ".rank" +
+                             std::to_string(rank) + ".ckpt";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw DataError("cannot write checkpoint file '" + path + "'");
+  }
+  slots[static_cast<std::size_t>(rank)] = std::move(bytes);
+  ++saves_;
+}
+
+std::optional<std::vector<unsigned char>> CheckpointStore::load(std::uint64_t stage, int rank) {
+  PAPAR_CHECK_MSG(rank >= 0 && rank < nranks_, "checkpoint rank out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) return std::nullopt;
+  const auto& slot = it->second[static_cast<std::size_t>(rank)];
+  if (!slot) return std::nullopt;
+  ++restores_;
+  return *slot;
+}
+
+bool CheckpointStore::stage_complete(std::uint64_t stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) return false;
+  for (const auto& slot : it->second) {
+    if (!slot) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> CheckpointStore::latest_complete(std::uint64_t max_stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<std::uint64_t> best;
+  for (const auto& [stage, slots] : stages_) {
+    if (stage > max_stage) break;
+    bool complete = true;
+    for (const auto& slot : slots) {
+      if (!slot) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) best = stage;
+  }
+  return best;
+}
+
+std::uint64_t CheckpointStore::saves() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return saves_;
+}
+
+std::uint64_t CheckpointStore::restores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return restores_;
+}
+
+std::uint64_t CheckpointStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [stage, slots] : stages_) {
+    for (const auto& slot : slots) {
+      if (slot) total += slot->size();
+    }
+  }
+  return total;
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+  saves_ = 0;
+  restores_ = 0;
+}
+
+}  // namespace papar::mr

@@ -1,0 +1,67 @@
+// Per-stage checkpoint storage for crash recovery.
+//
+// A CheckpointStore holds one opaque byte blob per (stage, rank). Writers
+// are the rank threads of a running job (thread-safe); a stage is
+// "complete" once every rank has saved it, and recovery restores from the
+// latest complete stage — an incomplete stage means the crash interrupted
+// the stage's barrier, so its survivors' blobs are discarded as a set.
+//
+// Storage is in-memory (the simulated cluster shares one address space,
+// standing in for a replicated checkpoint service). An optional spill
+// directory additionally persists each blob to
+// `<dir>/stage<S>.rank<R>.ckpt` — useful for post-mortem inspection and as
+// the on-disk format a real deployment would ship to durable storage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace papar::mr {
+
+class KvBuffer;
+
+class CheckpointStore {
+ public:
+  /// A store for `nranks` writers; `spill_dir` non-empty also writes each
+  /// blob to disk (the directory is created on first save).
+  explicit CheckpointStore(int nranks, std::string spill_dir = "");
+
+  int nranks() const { return nranks_; }
+
+  /// Saves `bytes` as rank `rank`'s checkpoint of `stage`, replacing any
+  /// previous blob (a deterministic replay rewrites identical bytes).
+  void save(std::uint64_t stage, int rank, std::vector<unsigned char> bytes);
+
+  /// Rank `rank`'s blob for `stage`, or nullopt if never saved. Counts as
+  /// a restore when a blob is returned.
+  std::optional<std::vector<unsigned char>> load(std::uint64_t stage, int rank);
+
+  /// True once every rank has saved `stage`.
+  bool stage_complete(std::uint64_t stage) const;
+
+  /// Largest complete stage <= `max_stage`, or nullopt.
+  std::optional<std::uint64_t> latest_complete(std::uint64_t max_stage) const;
+
+  std::uint64_t saves() const;
+  std::uint64_t restores() const;
+  /// Bytes currently held (latest blob per slot; spill copies not counted).
+  std::uint64_t bytes_stored() const;
+
+  void clear();
+
+ private:
+  const int nranks_;
+  const std::string spill_dir_;
+  mutable std::mutex mutex_;
+  /// stage -> per-rank blob (slot empty until that rank saves).
+  std::map<std::uint64_t, std::vector<std::optional<std::vector<unsigned char>>>> stages_;
+  std::uint64_t saves_ = 0;
+  std::uint64_t restores_ = 0;
+  bool spill_dir_ready_ = false;
+};
+
+}  // namespace papar::mr

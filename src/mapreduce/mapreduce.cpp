@@ -409,4 +409,15 @@ std::vector<std::uint64_t> MapReduce::rank_counts() {
   return counts;
 }
 
+void MapReduce::checkpoint(CheckpointStore& store, std::uint64_t stage) const {
+  store.save(stage, comm_->rank(), page_.bytes());
+}
+
+bool MapReduce::restore(CheckpointStore& store, std::uint64_t stage) {
+  auto bytes = store.load(stage, comm_->rank());
+  if (!bytes) return false;
+  page_.adopt_bytes(std::move(*bytes));
+  return true;
+}
+
 }  // namespace papar::mr

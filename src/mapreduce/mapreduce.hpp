@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mapreduce/checkpoint.hpp"
 #include "mapreduce/kvbuffer.hpp"
 #include "mpsim/comm.hpp"
 
@@ -108,6 +109,17 @@ class MapReduce {
 
   const KvBuffer& local() const { return page_; }
   KvBuffer& mutable_local() { return page_; }
+
+  // -- Checkpointing -------------------------------------------------------
+
+  /// Saves this rank's page as its checkpoint of `stage`. Purely local (no
+  /// communication), so a scheduled fault-injection crash can never fire
+  /// mid-save.
+  void checkpoint(CheckpointStore& store, std::uint64_t stage) const;
+
+  /// Replaces this rank's page with its checkpoint of `stage`; returns
+  /// false (page untouched) if that checkpoint was never saved.
+  bool restore(CheckpointStore& store, std::uint64_t stage);
 
  private:
   void shuffle_by(const std::function<int(const KvPair&)>& route);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "mpsim/fault.hpp"
 #include "mpsim/network.hpp"
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
@@ -54,6 +55,11 @@ class Request {
   /// Blocks until the operation finishes; for receives, returns the message.
   Envelope wait();
 
+  /// Deadline-aware wait: like wait(), but a receive that does not complete
+  /// within `timeout_seconds` throws TimeoutError instead of blocking
+  /// forever. Send requests are already complete and return immediately.
+  Envelope wait_for(double timeout_seconds);
+
   /// True if wait() would not block.
   bool test() const;
 
@@ -87,7 +93,18 @@ class Comm {
   void send(int dest, int tag, const ByteWriter& w) { send(dest, tag, w.data(), w.size()); }
 
   /// Blocking receive of the next message matching (source, tag).
+  ///
+  /// Failure semantics (never a silently-empty payload): if the awaited
+  /// source rank terminated without the message ever becoming available,
+  /// throws PeerFailureError; if the runtime detects a global deadlock,
+  /// throws DeadlockError; a scheduled fault-injection crash of *this* rank
+  /// throws RankCrashedError.
   Envelope recv(int source, int tag);
+
+  /// Deadline-aware receive: throws TimeoutError if no matching message
+  /// arrives within `timeout_seconds` (measured while blocked; the expired
+  /// wait is also charged to the virtual clock as modeled time).
+  Envelope recv(int source, int tag, double timeout_seconds);
 
   /// Nonblocking send; the returned request is already complete.
   Request isend(int dest, int tag, const void* data, std::size_t n);
@@ -176,6 +193,11 @@ class Comm {
   /// clock (1.0 = charge real CPU time).
   void set_compute_scale(double scale) { compute_scale_ = scale; }
 
+  /// Recovery attempt this rank is executing: 0 on the first run of the
+  /// body, k after k crash recoveries. Lets checkpoint-aware code decide
+  /// whether to restore state instead of recomputing it.
+  int attempt() const { return attempt_; }
+
   /// Fabric traffic accumulated so far in this run (shared across ranks).
   /// Lets callers snapshot counters at a phase boundary — e.g. to exclude
   /// the final output write, which the paper's timings also exclude.
@@ -202,6 +224,17 @@ class Comm {
   /// Folds CPU time burned since the last runtime entry into the clock.
   void charge_compute();
 
+  /// Counts one communication event against the fault plan; when a
+  /// scheduled crash fires, marks this rank dead and throws
+  /// RankCrashedError. No-op without an attached injector.
+  void fault_comm_event();
+
+  /// Charges detection latency, records the detection, and throws
+  /// PeerFailureError naming the terminated rank `dead`.
+  [[noreturn]] void on_peer_failure(int dead, const char* what);
+
+  Envelope recv_impl(int source, int tag, double timeout_seconds);
+
   void deliver(int dest, int tag, const void* data, std::size_t n);
 
   /// Core delivery: enqueues `payload` in the destination mailbox by move.
@@ -214,6 +247,9 @@ class Comm {
   double vtime_ = 0.0;
   double last_cpu_ = 0.0;
   double compute_scale_ = 1.0;
+  /// Fault-plan compute skew for this rank (also scales charge_modeled).
+  double fault_slow_ = 1.0;
+  int attempt_ = 0;
 };
 
 }  // namespace papar::mp

@@ -1,0 +1,247 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan describes the faults to inject — per-link message drop /
+// duplicate / delay probabilities, rank crashes scheduled at the Nth
+// communication event, and slow-rank compute skew — and a FaultInjector
+// executes the plan deterministically: every link (src, dst) owns an
+// independent RNG stream seeded from (plan seed, src, dst), and all draws
+// for a link happen on the sending rank's thread in program order, so the
+// same seed yields the same fault trace regardless of thread scheduling.
+// Crashes count communication events (deliver / recv / barrier entries) on
+// the crashing rank's own thread, which is equally scheduling-independent.
+//
+// The injector never breaks correctness by itself: drops are modeled as
+// sender-side retry-with-exponential-backoff (the message is charged for
+// every lost transmission and eventually delivered exactly once),
+// duplicates are suppressed at the receiving NIC (charged, counted, but
+// delivered once), and delays only push a message's virtual arrival time.
+// Crashes are fail-stop: the rank throws RankCrashedError at the scheduled
+// event, survivors detect the death through the heartbeat model and unwind
+// with PeerFailureError, and Runtime::run re-executes the job body
+// (recovery); a fired crash never re-fires, so the replay completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace papar::mp {
+
+// -- Fault-path error types --------------------------------------------------
+
+/// A deadline-aware recv/wait expired before a matching message arrived.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error("timeout: " + what) {}
+};
+
+/// Thrown on the crashing rank itself when a scheduled crash fires.
+class RankCrashedError : public Error {
+ public:
+  RankCrashedError(int rank, std::uint64_t event)
+      : Error("rank crashed: rank " + std::to_string(rank) +
+              " failed at communication event " + std::to_string(event)),
+        rank(rank),
+        event(event) {}
+  int rank;
+  std::uint64_t event;
+};
+
+/// Thrown on a survivor when the rank it is waiting on has terminated and
+/// can never satisfy the pending recv/barrier (the "distinguishable status"
+/// for a peer that died mid-collective — never a silently-empty payload).
+class PeerFailureError : public Error {
+ public:
+  explicit PeerFailureError(const std::string& what)
+      : Error("peer failure: " + what) {}
+};
+
+/// Every live rank is blocked with no deliverable message: the runtime
+/// aborts the run with a per-rank blocked-state dump instead of hanging.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error("deadlock: " + what) {}
+};
+
+// -- Plan --------------------------------------------------------------------
+
+/// Crash rank `rank` when its communication-event counter reaches
+/// `at_event` (deliver / recv / barrier entries, counted on its own thread).
+struct CrashSpec {
+  int rank = 0;
+  std::uint64_t at_event = 0;
+};
+
+/// Multiply rank `rank`'s compute charges (measured and modeled) by `scale`.
+struct SlowSpec {
+  int rank = 0;
+  double scale = 1.0;
+};
+
+/// A parsed fault specification. The text grammar is a comma-separated list
+/// of `key=value` terms (see parse); FaultPlan::to_string round-trips it.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per-message drop probability on every remote link, in [0, 0.95].
+  double drop = 0.0;
+  /// Per-message duplicate probability on every remote link, in [0, 1].
+  double duplicate = 0.0;
+  /// Per-message extra-delay probability on every remote link, in [0, 1].
+  double delay = 0.0;
+  /// Extra virtual latency added when a delay fires, in seconds.
+  double delay_seconds = 100e-6;
+  std::vector<CrashSpec> crashes;
+  std::vector<SlowSpec> slow_ranks;
+
+  // Survival-machinery knobs (virtual-time model parameters).
+  /// Virtual time a sender waits before concluding a transmission was lost.
+  double retry_timeout = 50e-6;
+  /// First retry backoff; doubles per retry up to backoff_max.
+  double backoff_base = 25e-6;
+  double backoff_max = 5e-3;
+  /// Heartbeat failure-detector model: a death is detected after
+  /// heartbeat_interval * heartbeat_misses of virtual silence.
+  double heartbeat_interval = 1e-3;
+  int heartbeat_misses = 3;
+  /// Upper bound on body re-executions Runtime::run attempts after crashes.
+  int max_recoveries = 8;
+
+  /// True when the plan injects any fault at all.
+  bool any_faults() const {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || !crashes.empty() ||
+           !slow_ranks.empty();
+  }
+
+  /// Parses a spec string. Grammar (comma-separated, no spaces needed):
+  ///   seed=S            RNG seed (also settable via --fault-seed)
+  ///   drop=P            drop probability in [0, 0.95]
+  ///   dup=P             duplicate probability in [0, 1]
+  ///   delay=P[:SECS]    delay probability, optional per-fault extra latency
+  ///   crash=R@N         crash rank R at its Nth communication event
+  ///   slow=R@SCALE      multiply rank R's compute charges by SCALE
+  ///   max_recoveries=N  recovery-attempt budget (default 8)
+  /// Throws ConfigError on malformed terms.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Accepts either a spec string (contains '=') or a path to a file whose
+  /// contents are a spec (whitespace and '#' comments allowed).
+  static FaultPlan parse_arg(const std::string& spec_or_path);
+
+  /// Canonical spec string; parse(to_string()) reproduces the plan.
+  std::string to_string() const;
+};
+
+// -- Injector ----------------------------------------------------------------
+
+enum class FaultKind { kDrop, kDuplicate, kDelay, kCrash, kDetect, kRecover };
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault (or detection/recovery) occurrence. `seq` is the
+/// per-link message number (faults), the rank's event counter (crashes), or
+/// the recovery attempt (detect/recover), making the canonical sorted trace
+/// identical across runs with the same seed.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrop;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t seq = 0;
+};
+
+struct FaultCounts {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t total_injected() const {
+    return drops + duplicates + delays + crashes;
+  }
+};
+
+/// Executes a FaultPlan. Attach to a Runtime with set_fault_injector; the
+/// runtime calls bind(nranks) to size the per-link streams. One injector
+/// drives one runtime at a time; counters and the trace accumulate across
+/// recovery attempts (and across runs, for a reused injector).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// (Re)derives the per-link streams and per-rank state for `nranks`.
+  /// Called by Runtime::set_fault_injector; resets event counters, crash
+  /// fired-flags, counters, and the trace.
+  void bind(int nranks);
+
+  /// The injector's verdict for one remote message on link (src, dst):
+  /// how many transmissions were lost before one got through, whether the
+  /// wire duplicated it, and any extra arrival delay. Consumes the link's
+  /// RNG stream; must be called from the sending rank's thread.
+  struct Decision {
+    int drops = 0;
+    bool duplicate = false;
+    double extra_delay = 0.0;
+  };
+  Decision next_decision(int src, int dst);
+
+  /// Counts one communication event on `rank` (own thread only). Returns
+  /// true when a scheduled crash fires at this event; each CrashSpec fires
+  /// at most once for the injector's lifetime, so recovery replays survive.
+  bool on_comm_event(int rank);
+
+  std::uint64_t event_count(int rank) const;
+
+  /// Compute-skew multiplier for `rank` (1.0 when not slowed).
+  double compute_scale(int rank) const;
+
+  /// Records a failure detection (survivor `detector` learned `dead` died).
+  void note_detection(int dead, int detector, int attempt);
+
+  /// Records one recovery attempt (body re-execution).
+  void note_recovery(int attempt);
+
+  FaultCounts counts() const;
+
+  /// Canonical fault trace: one line per event, sorted so the string is
+  /// identical across runs with the same seed (golden-compare material).
+  /// Detection events are omitted — which peers observe a death first is
+  /// scheduling-dependent; use counts().detections for those.
+  std::string trace_string() const;
+  std::size_t trace_size() const;
+
+ private:
+  void record(FaultKind kind, int src, int dst, std::uint64_t seq);
+
+  struct LinkState {
+    Rng rng{0};
+    std::uint64_t msgs = 0;
+  };
+
+  FaultPlan plan_;
+  int nranks_ = 0;
+  std::vector<LinkState> links_;           // nranks^2; cell touched by src only
+  std::vector<std::uint64_t> events_;      // per-rank; own thread only
+  std::vector<unsigned char> crash_fired_; // per CrashSpec; crashing thread only
+  std::vector<double> slow_;               // per rank, read-only after bind
+
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> detections_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+
+  mutable std::mutex trace_mutex_;
+  std::vector<FaultEvent> trace_;
+};
+
+}  // namespace papar::mp

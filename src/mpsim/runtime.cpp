@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "util/timer.hpp"
@@ -34,11 +37,48 @@ struct Mailbox {
   std::condition_variable cv;
   std::deque<Message> queue;
 };
+
+// Per-rank execution state, maintained for the failure detector and the
+// deadlock watchdog. Written only by the owning rank's thread; read by any
+// thread, which is why every field is atomic (a reader never takes a lock
+// a rank might hold).
+enum RankState : int {
+  kRunning = 0,
+  kBlockedRecv,
+  kBlockedBarrier,
+  kDone,    // body returned normally
+  kFailed,  // body threw (including scheduled crashes)
+};
+
+bool terminated_state(int s) { return s == kDone || s == kFailed; }
+
+const char* rank_state_name(int s) {
+  switch (s) {
+    case kRunning: return "running";
+    case kBlockedRecv: return "blocked in recv";
+    case kBlockedBarrier: return "blocked in barrier";
+    case kDone: return "done";
+    case kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct RankStatus {
+  std::atomic<int> state{kRunning};
+  std::atomic<int> blocked_source{0};
+  std::atomic<int> blocked_tag{0};
+  /// Virtual clock at which the rank terminated (feeds the heartbeat
+  /// failure-detection latency model).
+  std::atomic<double> death_vtime{0.0};
+};
 }  // namespace
 
 struct Shared {
   explicit Shared(int nranks, NetworkModel net)
-      : size(nranks), network(net), mailboxes(static_cast<std::size_t>(nranks)) {}
+      : size(nranks),
+        network(net),
+        mailboxes(static_cast<std::size_t>(nranks)),
+        status(std::make_unique<RankStatus[]>(static_cast<std::size_t>(nranks))) {}
 
   const int size;
   const NetworkModel network;
@@ -59,6 +99,26 @@ struct Shared {
   /// thread-safe, so ranks write to it directly.
   obs::Recorder* recorder = nullptr;
 
+  /// Attached fault injector (nullptr = faults off; the fault-free hot
+  /// path is gated on this single pointer).
+  FaultInjector* faults = nullptr;
+
+  // -- Failure-detector / deadlock-watchdog state ---------------------------
+  std::unique_ptr<RankStatus[]> status;
+  /// Bumped on every delivery, successful receive, barrier resolution, and
+  /// rank termination; the deadlock check requires it to hold still.
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> terminated{0};
+  std::atomic<bool> abort_deadlock{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
+  /// Serializes deadlock scans (try_lock: losers simply skip the scan).
+  std::mutex detect_mutex;
+  /// How long a blocked rank sleeps before re-checking for deadlock.
+  std::chrono::milliseconds watchdog{100};
+  /// Recovery attempt currently executing (written between attempts).
+  int attempt = 0;
+
   /// Counter name for the remote traffic of a message tag.
   static const char* traffic_counter(int tag) {
     switch (tag) {
@@ -69,15 +129,100 @@ struct Shared {
     }
   }
 
-  void reset_for_run() {
-    barrier_count = 0;
-    barrier_pending_max = 0.0;
-    remote_messages.store(0);
-    remote_bytes.store(0);
+  std::string abort_reason_copy() {
+    std::lock_guard<std::mutex> lock(abort_mutex);
+    return abort_reason;
+  }
+
+  /// Clears per-attempt state (mailboxes, barrier, rank statuses) while
+  /// keeping traffic counters, so recovery overhead stays visible in the
+  /// run totals.
+  void reset_for_attempt() {
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex);
+      barrier_count = 0;
+      barrier_pending_max = 0.0;
+      barrier_resolved_time = 0.0;
+    }
     for (auto& mb : mailboxes) {
       std::lock_guard<std::mutex> lock(mb.mutex);
       mb.queue.clear();
     }
+    for (int r = 0; r < size; ++r) {
+      auto& st = status[static_cast<std::size_t>(r)];
+      st.state.store(kRunning, std::memory_order_relaxed);
+      st.blocked_source.store(0, std::memory_order_relaxed);
+      st.blocked_tag.store(0, std::memory_order_relaxed);
+      st.death_vtime.store(0.0, std::memory_order_relaxed);
+    }
+    terminated.store(0, std::memory_order_relaxed);
+    abort_deadlock.store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(abort_mutex);
+      abort_reason.clear();
+    }
+  }
+
+  void reset_for_run() {
+    reset_for_attempt();
+    remote_messages.store(0);
+    remote_bytes.store(0);
+    attempt = 0;
+  }
+
+  /// Wakes every rank that might be blocked, whatever it is blocked on.
+  /// The empty lock/unlock pairs order the wakeup after any in-flight
+  /// predicate check, so a waiter cannot miss the notification.
+  void wake_all() {
+    for (auto& mb : mailboxes) {
+      { std::lock_guard<std::mutex> lock(mb.mutex); }
+      mb.cv.notify_all();
+    }
+    { std::lock_guard<std::mutex> lock(barrier_mutex); }
+    barrier_cv.notify_all();
+  }
+
+  /// Marks a rank as terminated exactly once (idempotent: the crash path
+  /// declares before throwing and the thread wrapper declares again).
+  void declare_terminated(int rank, int new_state, double vtime) {
+    auto& st = status[static_cast<std::size_t>(rank)];
+    if (terminated_state(st.state.load(std::memory_order_relaxed))) return;
+    st.death_vtime.store(vtime, std::memory_order_relaxed);
+    st.state.store(new_state, std::memory_order_release);
+    terminated.fetch_add(1, std::memory_order_relaxed);
+    progress.fetch_add(1, std::memory_order_relaxed);
+    wake_all();
+  }
+
+  /// The terminated rank `self` is waiting on, or -1 when its wait can
+  /// still be satisfied. For kAnySource the wait is hopeless only once
+  /// every other rank has terminated.
+  int awaited_terminated(int self, int source) const {
+    if (source != kAnySource) {
+      const int s =
+          status[static_cast<std::size_t>(source)].state.load(std::memory_order_acquire);
+      return source != self && terminated_state(s) ? source : -1;
+    }
+    int dead = -1;
+    for (int r = 0; r < size; ++r) {
+      if (r == self) continue;
+      const int s = status[static_cast<std::size_t>(r)].state.load(std::memory_order_acquire);
+      if (!terminated_state(s)) return -1;
+      dead = r;
+    }
+    return dead;
+  }
+
+  /// First terminated rank, or -1.
+  int first_terminated() const {
+    if (terminated.load(std::memory_order_relaxed) == 0) return -1;
+    for (int r = 0; r < size; ++r) {
+      if (terminated_state(
+              status[static_cast<std::size_t>(r)].state.load(std::memory_order_acquire))) {
+        return r;
+      }
+    }
+    return -1;
   }
 
   /// Latency of a log2(P)-deep synchronization tree.
@@ -86,7 +231,82 @@ struct Shared {
     for (int p = 1; p < size; p <<= 1) ++depth;
     return network.latency * depth;
   }
+
+  void try_detect_deadlock();
 };
+
+void Shared::try_detect_deadlock() {
+  // One scanner at a time; a busy lock means someone else is checking.
+  if (!detect_mutex.try_lock()) return;
+  std::lock_guard<std::mutex> lock(detect_mutex, std::adopt_lock);
+  const std::uint64_t before = progress.load(std::memory_order_acquire);
+  int blocked = 0;
+  for (int r = 0; r < size; ++r) {
+    const auto& st = status[static_cast<std::size_t>(r)];
+    const int s = st.state.load(std::memory_order_acquire);
+    switch (s) {
+      case kRunning:
+        return;  // someone can still make progress on its own
+      case kDone:
+      case kFailed:
+        break;
+      case kBlockedRecv: {
+        const int src = st.blocked_source.load(std::memory_order_relaxed);
+        // A rank waiting on a terminated peer will throw PeerFailureError
+        // by itself; that is progress, not deadlock.
+        if (awaited_terminated(r, src) >= 0) return;
+        ++blocked;
+        break;
+      }
+      case kBlockedBarrier:
+        // A barrier with a terminated rank is resolved by the waiters'
+        // own peer-failure path.
+        if (terminated.load(std::memory_order_relaxed) > 0) return;
+        ++blocked;
+        break;
+    }
+  }
+  if (blocked == 0) return;  // run is simply over
+  // Is any blocked receive already satisfiable from its mailbox?
+  for (int r = 0; r < size; ++r) {
+    const auto& st = status[static_cast<std::size_t>(r)];
+    if (st.state.load(std::memory_order_acquire) != kBlockedRecv) continue;
+    const int src = st.blocked_source.load(std::memory_order_relaxed);
+    const int tag = st.blocked_tag.load(std::memory_order_relaxed);
+    auto& mb = mailboxes[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> mb_lock(mb.mutex);
+    for (const auto& m : mb.queue) {
+      if ((src == kAnySource || m.source == src) && m.tag == tag) return;
+    }
+  }
+  // Nothing moved while we scanned? Then nothing ever will.
+  if (progress.load(std::memory_order_acquire) != before) return;
+
+  std::ostringstream dump;
+  dump << "every live rank is blocked with no deliverable message\n";
+  for (int r = 0; r < size; ++r) {
+    const auto& st = status[static_cast<std::size_t>(r)];
+    const int s = st.state.load(std::memory_order_acquire);
+    dump << "  rank " << r << ": " << rank_state_name(s);
+    if (s == kBlockedRecv) {
+      const int src = st.blocked_source.load(std::memory_order_relaxed);
+      dump << "(source=";
+      if (src == kAnySource) {
+        dump << "any";
+      } else {
+        dump << src;
+      }
+      dump << ", tag=" << st.blocked_tag.load(std::memory_order_relaxed) << ")";
+    }
+    dump << '\n';
+  }
+  {
+    std::lock_guard<std::mutex> abort_lock(abort_mutex);
+    abort_reason = dump.str();
+  }
+  abort_deadlock.store(true, std::memory_order_release);
+  wake_all();
+}
 
 }  // namespace detail
 
@@ -98,6 +318,13 @@ Envelope Request::wait() {
   Comm* c = comm_;
   comm_ = nullptr;
   return c->recv(source_, tag_);
+}
+
+Envelope Request::wait_for(double timeout_seconds) {
+  if (comm_ == nullptr) return {};
+  Comm* c = comm_;
+  comm_ = nullptr;
+  return c->recv(source_, tag_, timeout_seconds);
 }
 
 bool Request::test() const {
@@ -153,7 +380,40 @@ void Comm::record_span(std::string name, std::string category, double begin_vtim
 void Comm::charge_modeled(double seconds) {
   charge_compute();
   PAPAR_CHECK_MSG(seconds >= 0.0, "modeled charge must be nonnegative");
-  vtime_ += seconds;
+  vtime_ += seconds * fault_slow_;
+}
+
+void Comm::fault_comm_event() {
+  FaultInjector* inj = shared_->faults;
+  if (inj == nullptr) return;
+  if (inj->on_comm_event(rank_)) {
+    charge_compute();
+    // Fail-stop: mark this rank dead *before* unwinding so survivors can
+    // detect the death while this stack is still unwinding.
+    shared_->declare_terminated(rank_, detail::kFailed, vtime_);
+    if (obs::Recorder* rec = shared_->recorder) rec->add_counter("fault.crashes", 1);
+    throw RankCrashedError(rank_, inj->event_count(rank_));
+  }
+}
+
+void Comm::on_peer_failure(int dead, const char* what) {
+  auto* s = shared_;
+  const int dead_state =
+      s->status[static_cast<std::size_t>(dead)].state.load(std::memory_order_acquire);
+  if (FaultInjector* inj = s->faults) {
+    // Heartbeat model: the survivor learns of the death only after
+    // `heartbeat_misses` silent intervals past the victim's last beat.
+    const double detect_at =
+        s->status[static_cast<std::size_t>(dead)].death_vtime.load(std::memory_order_relaxed) +
+        inj->plan().heartbeat_interval * inj->plan().heartbeat_misses;
+    vtime_ = std::max(vtime_, detect_at);
+    inj->note_detection(dead, rank_, s->attempt);
+  }
+  if (obs::Recorder* rec = s->recorder) rec->add_counter("fault.detections", 1);
+  throw PeerFailureError(
+      "rank " + std::to_string(rank_) + " " + what + " rank " + std::to_string(dead) +
+      ", which " +
+      (dead_state == detail::kFailed ? "failed" : "exited without satisfying it"));
 }
 
 void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
@@ -164,6 +424,7 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
 
 void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   PAPAR_CHECK_MSG(dest >= 0 && dest < size(), "send destination out of range");
+  fault_comm_event();
   if (shared_->network.copy_payloads) {
     // Benchmark baseline: re-materialize the buffer so the sender burns the
     // same memcpy the copying handoff did.
@@ -175,13 +436,52 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   msg.source = rank_;
   msg.tag = tag;
   if (remote) {
+    double extra_delay = 0.0;
+    if (FaultInjector* inj = shared_->faults) {
+      const FaultInjector::Decision d = inj->next_decision(rank_, dest);
+      obs::Recorder* rec = shared_->recorder;
+      if (d.drops > 0) {
+        // Every lost transmission costs the sender a full serialization,
+        // the retry timeout, and an exponentially growing backoff before
+        // the redundant copy goes back on the wire.
+        const double begin = vtime_;
+        const FaultPlan& plan = inj->plan();
+        double backoff = plan.backoff_base;
+        for (int i = 0; i < d.drops; ++i) {
+          vtime_ += static_cast<double>(n) / shared_->network.bandwidth +
+                    plan.retry_timeout + backoff;
+          backoff = std::min(backoff * 2.0, plan.backoff_max);
+        }
+        if (rec != nullptr) {
+          rec->add_counter("fault.drops", static_cast<std::uint64_t>(d.drops));
+          rec->add_counter("fault.retries", static_cast<std::uint64_t>(d.drops));
+          obs::SpanEvent ev;
+          ev.name = "net.retry";
+          ev.category = "fault";
+          ev.tid = rank_;
+          ev.begin = begin;
+          ev.end = vtime_;
+          rec->record_span(std::move(ev));
+        }
+      }
+      if (d.duplicate) {
+        // The wire carried the payload twice; the receiving NIC drops the
+        // spare by sequence number, so only the sender pays.
+        vtime_ += static_cast<double>(n) / shared_->network.bandwidth;
+        if (rec != nullptr) rec->add_counter("fault.duplicates", 1);
+      }
+      if (d.extra_delay > 0.0) {
+        extra_delay = d.extra_delay;
+        if (rec != nullptr) rec->add_counter("fault.delays", 1);
+      }
+    }
     // LogGP-style: the sender's NIC serializes the payload (occupying the
     // sender for bytes/bandwidth), then the wire adds its latency. The
     // receiving NIC charges its own bytes/bandwidth at recv time. The
     // virtual serialization charge is identical for the copying and the
     // ownership-transfer handoff — only real memcpy CPU differs.
     vtime_ += static_cast<double>(n) / shared_->network.bandwidth;
-    msg.arrival = vtime_ + shared_->network.latency;
+    msg.arrival = vtime_ + shared_->network.latency + extra_delay;
   } else {
     msg.arrival = vtime_ + shared_->network.local_cost(n);
   }
@@ -200,6 +500,7 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
     std::lock_guard<std::mutex> lock(mb.mutex);
     mb.queue.push_back(std::move(msg));
   }
+  shared_->progress.fetch_add(1, std::memory_order_release);
   mb.cv.notify_all();
 }
 
@@ -235,13 +536,32 @@ bool matches(const detail::Message& m, int source, int tag) {
 }
 }  // namespace
 
-Envelope Comm::recv(int source, int tag) {
+Envelope Comm::recv(int source, int tag) { return recv_impl(source, tag, -1.0); }
+
+Envelope Comm::recv(int source, int tag, double timeout_seconds) {
+  PAPAR_CHECK_MSG(timeout_seconds >= 0.0, "recv timeout must be nonnegative");
+  return recv_impl(source, tag, timeout_seconds);
+}
+
+Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
   charge_compute();
-  auto& mb = shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  fault_comm_event();
+  auto* s = shared_;
+  auto& st = s->status[static_cast<std::size_t>(rank_)];
+  st.blocked_source.store(source, std::memory_order_relaxed);
+  st.blocked_tag.store(tag, std::memory_order_relaxed);
+  const bool has_deadline = timeout_seconds >= 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? timeout_seconds : 0.0));
+  auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(mb.mutex);
   for (;;) {
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
       if (matches(*it, source, tag)) {
+        st.state.store(detail::kRunning, std::memory_order_release);
+        s->progress.fetch_add(1, std::memory_order_release);
         Envelope env;
         env.source = it->source;
         env.tag = it->tag;
@@ -256,7 +576,41 @@ Envelope Comm::recv(int source, int tag) {
         return env;
       }
     }
-    mb.cv.wait(lock);
+    if (s->abort_deadlock.load(std::memory_order_acquire)) {
+      st.state.store(detail::kRunning, std::memory_order_release);
+      throw DeadlockError(s->abort_reason_copy());
+    }
+    if (const int dead = s->awaited_terminated(rank_, source); dead >= 0) {
+      st.state.store(detail::kRunning, std::memory_order_release);
+      on_peer_failure(dead, "is receiving from");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      st.state.store(detail::kRunning, std::memory_order_release);
+      // The expired wait is modeled work: the rank sat on the deadline.
+      vtime_ += timeout_seconds;
+      throw TimeoutError("recv(source=" +
+                         (source == kAnySource ? std::string("any")
+                                               : std::to_string(source)) +
+                         ", tag=" + std::to_string(tag) + ") on rank " +
+                         std::to_string(rank_) + " expired after " +
+                         std::to_string(timeout_seconds) + "s");
+    }
+    st.state.store(detail::kBlockedRecv, std::memory_order_release);
+    bool watchdog_expired;
+    if (has_deadline) {
+      const auto until = std::min(
+          deadline, std::chrono::steady_clock::now() + s->watchdog);
+      watchdog_expired = mb.cv.wait_until(lock, until) == std::cv_status::timeout;
+    } else {
+      watchdog_expired = mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+    }
+    if (watchdog_expired) {
+      // Scan for deadlock without holding our mailbox lock (the scanner
+      // takes every mailbox lock in turn; never nest them).
+      lock.unlock();
+      s->try_detect_deadlock();
+      lock.lock();
+    }
   }
 }
 
@@ -272,7 +626,9 @@ bool Comm::probe(int source, int tag) {
 
 void Comm::barrier() {
   charge_compute();
+  fault_comm_event();
   auto* s = shared_;
+  auto& st = s->status[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(s->barrier_mutex);
   s->barrier_pending_max = std::max(s->barrier_pending_max, vtime_);
   const std::uint64_t my_generation = s->barrier_generation;
@@ -281,9 +637,33 @@ void Comm::barrier() {
     s->barrier_count = 0;
     s->barrier_pending_max = 0.0;
     ++s->barrier_generation;
+    s->progress.fetch_add(1, std::memory_order_release);
     s->barrier_cv.notify_all();
   } else {
-    s->barrier_cv.wait(lock, [&] { return s->barrier_generation != my_generation; });
+    for (;;) {
+      if (s->barrier_generation != my_generation) break;
+      if (s->abort_deadlock.load(std::memory_order_acquire)) {
+        --s->barrier_count;
+        st.state.store(detail::kRunning, std::memory_order_release);
+        throw DeadlockError(s->abort_reason_copy());
+      }
+      if (const int dead = s->first_terminated(); dead >= 0) {
+        // A terminated rank can never arrive; withdraw our contribution so
+        // the count stays consistent and report the failure.
+        --s->barrier_count;
+        st.state.store(detail::kRunning, std::memory_order_release);
+        on_peer_failure(dead, "is in a barrier with");
+      }
+      st.state.store(detail::kBlockedBarrier, std::memory_order_release);
+      const bool watchdog_expired =
+          s->barrier_cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+      if (watchdog_expired) {
+        lock.unlock();
+        s->try_detect_deadlock();
+        lock.lock();
+      }
+    }
+    st.state.store(detail::kRunning, std::memory_order_release);
   }
   vtime_ = std::max(vtime_, s->barrier_resolved_time);
   // The wait itself burned negligible CPU; resynchronize the CPU mark so
@@ -370,7 +750,9 @@ std::vector<std::vector<unsigned char>> Comm::alltoallv(
   // Post all sends (buffered), staggering destinations so every rank does
   // not hammer rank 0 first, then drain one message from each source. Each
   // buffer is handed off by move: the shuffle's bytes are never copied
-  // between the sender and the receiver's mailbox.
+  // between the sender and the receiver's mailbox. If a source dies before
+  // sending its buffer, the matching recv throws PeerFailureError — a
+  // partial delivery is never mistaken for an empty buffer.
   for (int step = 0; step < p; ++step) {
     const int dest = (rank_ + step) % p;
     deliver(dest, detail::kAlltoallTag,
@@ -400,38 +782,92 @@ void Runtime::set_recorder(obs::Recorder* recorder) { shared_->recorder = record
 
 obs::Recorder* Runtime::recorder() const { return shared_->recorder; }
 
+void Runtime::set_fault_injector(FaultInjector* injector) {
+  if (injector != nullptr) injector->bind(nranks_);
+  shared_->faults = injector;
+}
+
+FaultInjector* Runtime::fault_injector() const { return shared_->faults; }
+
 RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   shared_->reset_for_run();
+  FaultInjector* inj = shared_->faults;
+  const int max_recoveries = inj != nullptr ? inj->plan().max_recoveries : 0;
 
+  int attempt = 0;
+  double attempt_base = 0.0;  // virtual clock every rank restarts from
   std::vector<Comm> comms;
-  comms.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
-    Comm comm(shared_.get(), r);
-    comm.compute_scale_ = shared_->network.compute_scale;
-    comms.push_back(comm);
-  }
+  for (;;) {
+    shared_->attempt = attempt;
+    comms.clear();
+    comms.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      Comm comm(shared_.get(), r);
+      comm.attempt_ = attempt;
+      comm.vtime_ = attempt_base;
+      comm.fault_slow_ = inj != nullptr ? inj->compute_scale(r) : 1.0;
+      comm.compute_scale_ = shared_->network.compute_scale * comm.fault_slow_;
+      comms.push_back(comm);
+    }
 
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
-    threads.emplace_back([&, r] {
-      Comm& comm = comms[static_cast<std::size_t>(r)];
-      comm.last_cpu_ = thread_cpu_seconds();
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      threads.emplace_back([&, r] {
+        Comm& comm = comms[static_cast<std::size_t>(r)];
+        comm.last_cpu_ = thread_cpu_seconds();
+        try {
+          fn(comm);
+          comm.charge_compute();
+          shared_->declare_terminated(r, detail::kDone, comm.vtime_);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          // Crash paths already declared; anything else terminates here so
+          // peers blocked on this rank unwind instead of hanging.
+          shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    // Classify the attempt's errors. Fault-path unwinds (crash, the peer
+    // failures and deadlocks it cascades into) are recoverable; anything
+    // else is a real error and is rethrown as-is.
+    std::exception_ptr real_error, crash_error, fault_error;
+    bool crashed = false;
+    for (const auto& e : errors) {
+      if (!e) continue;
       try {
-        fn(comm);
-        comm.charge_compute();
+        std::rethrow_exception(e);
+      } catch (const RankCrashedError&) {
+        crashed = true;
+        if (!crash_error) crash_error = e;
+      } catch (const PeerFailureError&) {
+        if (!fault_error) fault_error = e;
+      } catch (const DeadlockError&) {
+        if (!fault_error) fault_error = e;
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        if (!real_error) real_error = e;
       }
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    }
+    if (real_error) std::rethrow_exception(real_error);
+    if (!crash_error && !fault_error) break;  // attempt succeeded
+    if (crashed && inj != nullptr && attempt < max_recoveries) {
+      ++attempt;
+      inj->note_recovery(attempt);
+      if (obs::Recorder* rec = shared_->recorder) rec->add_counter("fault.recoveries", 1);
+      // Survivors restart from the point the recovery decision was made:
+      // the latest clock any rank reached (detection charges included).
+      for (const Comm& c : comms) attempt_base = std::max(attempt_base, c.vtime_);
+      shared_->reset_for_attempt();
+      continue;
+    }
+    std::rethrow_exception(crash_error ? crash_error : fault_error);
   }
 
   RunStats stats;
+  stats.recoveries = attempt;
   stats.rank_time.reserve(comms.size());
   for (auto& c : comms) {
     stats.rank_time.push_back(c.vtime_);
@@ -443,7 +879,7 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
       ev.name = "rank";
       ev.category = "mpsim";
       ev.tid = c.rank_;
-      ev.begin = 0.0;
+      ev.begin = attempt_base;
       ev.end = c.vtime_;
       rec->record_span(std::move(ev));
     }

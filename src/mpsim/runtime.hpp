@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mpsim/comm.hpp"
+#include "mpsim/fault.hpp"
 #include "mpsim/network.hpp"
 #include "obs/obs.hpp"
 
@@ -24,9 +25,11 @@ struct RunStats {
   /// max(rank_time): the simulated parallel completion time.
   double makespan = 0.0;
   /// Total messages and payload bytes that crossed the fabric
-  /// (rank-local transfers excluded).
+  /// (rank-local transfers excluded). Includes fault-injection retries.
   std::uint64_t remote_messages = 0;
   std::uint64_t remote_bytes = 0;
+  /// Crash-recovery attempts this run needed (0 = fault-free or no crash).
+  int recoveries = 0;
 };
 
 class Runtime {
@@ -48,6 +51,16 @@ class Runtime {
   /// detached first).
   void set_recorder(obs::Recorder* recorder);
   obs::Recorder* recorder() const;
+
+  /// Attaches a fault injector (nullptr to detach). The injector is bound
+  /// to this runtime's rank count and must outlive the runtime or be
+  /// detached first. With an injector attached, run() becomes a recovery
+  /// loop: when a scheduled crash kills a rank, the surviving ranks unwind
+  /// (PeerFailureError), the mailboxes and barrier state are reset, and the
+  /// body is re-executed — up to FaultPlan::max_recoveries times — with
+  /// Comm::attempt() telling the body which execution it is on.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const;
 
   /// Runs `fn(comm)` on every rank concurrently and returns the stats.
   /// May be called repeatedly; each call is an independent "job step"

@@ -163,7 +163,13 @@ std::string StageReport::to_json() const {
   std::ostringstream os;
   os << "{\"makespan\":" << number_to_json(makespan)
      << ",\"remote_bytes\":" << remote_bytes
-     << ",\"remote_messages\":" << remote_messages << ",\"stages\":[";
+     << ",\"remote_messages\":" << remote_messages << ",\"faults\":{"
+     << "\"drops\":" << faults.drops << ",\"duplicates\":" << faults.duplicates
+     << ",\"delays\":" << faults.delays << ",\"crashes\":" << faults.crashes
+     << ",\"retries\":" << faults.retries << ",\"detections\":" << faults.detections
+     << ",\"recoveries\":" << faults.recoveries
+     << ",\"checkpoint_saves\":" << faults.checkpoint_saves
+     << ",\"checkpoint_restores\":" << faults.checkpoint_restores << "},\"stages\":[";
   bool first = true;
   for (const auto& s : stages) {
     if (!first) os << ",";
@@ -187,6 +193,21 @@ StageReport StageReport::from_json(std::string_view text) {
   report.makespan = root.at("makespan").number;
   report.remote_bytes = static_cast<std::uint64_t>(root.at("remote_bytes").number);
   report.remote_messages = static_cast<std::uint64_t>(root.at("remote_messages").number);
+  // Reports written before the fault section existed lack the key.
+  if (const json::Value* f = root.find("faults")) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(f->at(key).number);
+    };
+    report.faults.drops = u64("drops");
+    report.faults.duplicates = u64("duplicates");
+    report.faults.delays = u64("delays");
+    report.faults.crashes = u64("crashes");
+    report.faults.retries = u64("retries");
+    report.faults.detections = u64("detections");
+    report.faults.recoveries = u64("recoveries");
+    report.faults.checkpoint_saves = u64("checkpoint_saves");
+    report.faults.checkpoint_restores = u64("checkpoint_restores");
+  }
   for (const auto& v : root.at("stages").array) {
     StageRecord s;
     s.id = v.at("id").string;
@@ -216,6 +237,21 @@ void StageReport::print(std::FILE* out) const {
   std::fprintf(out, "%-14s %-12s %12.6f %14llu %10llu\n", "total", "", makespan,
                static_cast<unsigned long long>(remote_bytes),
                static_cast<unsigned long long>(remote_messages));
+  if (faults.any()) {
+    std::fprintf(out,
+                 "faults: drops=%llu dups=%llu delays=%llu retries=%llu "
+                 "crashes=%llu detections=%llu recoveries=%llu "
+                 "ckpt_saves=%llu ckpt_restores=%llu\n",
+                 static_cast<unsigned long long>(faults.drops),
+                 static_cast<unsigned long long>(faults.duplicates),
+                 static_cast<unsigned long long>(faults.delays),
+                 static_cast<unsigned long long>(faults.retries),
+                 static_cast<unsigned long long>(faults.crashes),
+                 static_cast<unsigned long long>(faults.detections),
+                 static_cast<unsigned long long>(faults.recoveries),
+                 static_cast<unsigned long long>(faults.checkpoint_saves),
+                 static_cast<unsigned long long>(faults.checkpoint_restores));
+  }
 }
 
 // -- JSON ---------------------------------------------------------------------

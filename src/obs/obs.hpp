@@ -126,6 +126,25 @@ struct StageRecord {
   double reducer_skew = 0.0;
 };
 
+/// Fault-injection and recovery tallies for one run. All zero on a
+/// fault-free run; populated by the engine when a FaultInjector is attached.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t checkpoint_saves = 0;
+  std::uint64_t checkpoint_restores = 0;
+
+  bool any() const {
+    return drops || duplicates || delays || crashes || retries || detections ||
+           recoveries || checkpoint_saves || checkpoint_restores;
+  }
+};
+
 /// Per-job breakdown attached to a PartitionResult.
 struct StageReport {
   std::vector<StageRecord> stages;
@@ -133,6 +152,8 @@ struct StageReport {
   double makespan = 0.0;
   std::uint64_t remote_bytes = 0;
   std::uint64_t remote_messages = 0;
+  /// Fault/recovery activity of the run (all-zero when faults were off).
+  FaultStats faults;
 
   std::uint64_t stage_bytes_total() const;
 

@@ -1,0 +1,36 @@
+// Strict, typed number parsing for configuration surfaces.
+//
+// Every user-facing text field that must hold a number (workflow attributes,
+// CLI flags, fault specs) goes through parse_number so malformed input
+// raises a papar::ConfigError naming the offending field instead of an
+// untyped std::invalid_argument (or worse, silently truncating).
+#pragma once
+
+#include <charconv>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace papar {
+
+/// Parses the *entire* string as a number of type T. Throws ConfigError
+/// naming `what` on empty input, trailing garbage, or overflow.
+template <typename T>
+T parse_number(std::string_view text, std::string_view what) {
+  T value{};
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec == std::errc::result_out_of_range) {
+    throw ConfigError(std::string(what) + ": value `" + std::string(text) +
+                      "` is out of range");
+  }
+  if (res.ec != std::errc() || res.ptr != last || text.empty()) {
+    throw ConfigError(std::string(what) + ": expected a number, got `" +
+                      std::string(text) + "`");
+  }
+  return value;
+}
+
+}  // namespace papar

@@ -125,8 +125,12 @@ class Parser {
       else if (!ent.empty() && ent[0] == '#') {
         const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
         const auto digits = std::string(ent.substr(hex ? 2 : 1));
-        const long code = std::strtol(digits.c_str(), nullptr, hex ? 16 : 10);
-        if (code <= 0 || code > 0x10FFFF) fail("bad character reference");
+        char* end = nullptr;
+        const long code = std::strtol(digits.c_str(), &end, hex ? 16 : 10);
+        if (digits.empty() || end != digits.c_str() + digits.size() || code <= 0 ||
+            code > 0x10FFFF) {
+          fail("bad character reference");
+        }
         // Encode as UTF-8.
         const auto c = static_cast<unsigned long>(code);
         if (c < 0x80) {
@@ -167,6 +171,13 @@ class Parser {
   }
 
   Node parse_element() {
+    // Parsing is recursive; cap nesting so a pathological document raises a
+    // ParseError instead of exhausting the stack.
+    if (++depth_ > kMaxDepth) fail("element nesting deeper than 256 levels");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
     expect("<");
     Node node;
     node.name = parse_name();
@@ -210,8 +221,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view in_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void append_indented(const Node& node, int depth, std::string& out) {
@@ -309,7 +323,11 @@ Node parse_file(const std::string& path) {
   if (!in) throw ConfigError("cannot open XML file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse(buf.str());
+  try {
+    return parse(buf.str());
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 std::string to_string(const Node& node) {

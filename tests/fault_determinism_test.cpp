@@ -1,0 +1,98 @@
+// Determinism under faults: the same fault seed must produce the same fault
+// trace and the same recovered output, and recovery must reproduce the
+// fault-free partitions byte for byte — for both of the paper's case-study
+// workflows (BLAST cyclic partitioning and PowerLyra hybrid-cut).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "graph/generator.hpp"
+#include "graph/papar_hybrid.hpp"
+#include "mpsim/fault.hpp"
+
+namespace papar {
+namespace {
+
+constexpr const char* kBlastSpec = "seed=7,drop=0.05,dup=0.02,delay=0.02,crash=1@20";
+constexpr const char* kHybridSpec = "seed=7,drop=0.05,dup=0.02,delay=0.02,crash=2@20";
+
+blast::Database small_db() {
+  blast::GeneratorOptions opt = blast::env_nr_like();
+  opt.sequence_count = 1200;
+  return blast::generate_database(opt);
+}
+
+TEST(FaultDeterminism, BlastSameSeedSameTraceAndPartitions) {
+  const auto db = small_db();
+  const auto clean = blast::partition_with_papar(db, 4, 8, blast::Policy::kCyclic);
+
+  const auto plan = mp::FaultPlan::parse(kBlastSpec);
+  mp::FaultInjector inj_a(plan);
+  const auto run_a = blast::partition_with_papar(db, 4, 8, blast::Policy::kCyclic, {},
+                                                 mp::NetworkModel::rdma(), &inj_a);
+  mp::FaultInjector inj_b(plan);
+  const auto run_b = blast::partition_with_papar(db, 4, 8, blast::Policy::kCyclic, {},
+                                                 mp::NetworkModel::rdma(), &inj_b);
+
+  // The plan actually fired: at least one crash plus lossy-fabric faults.
+  EXPECT_EQ(inj_a.counts().crashes, 1u);
+  EXPECT_GT(inj_a.counts().drops, 0u);
+  EXPECT_EQ(run_a.stats.recoveries, 1);
+
+  // Same seed => identical canonical fault trace.
+  EXPECT_EQ(inj_a.trace_string(), inj_b.trace_string());
+  EXPECT_GT(inj_a.trace_size(), 0u);
+
+  // Recovery is exact: both faulted runs reproduce the fault-free output.
+  EXPECT_EQ(run_a.partitions, clean.partitions);
+  EXPECT_EQ(run_b.partitions, clean.partitions);
+
+  // And the fault section of the report is populated.
+  EXPECT_TRUE(run_a.report.faults.any());
+  EXPECT_EQ(run_a.report.faults.crashes, 1u);
+  EXPECT_GT(run_a.report.faults.checkpoint_saves, 0u);
+  EXPECT_GT(run_a.report.faults.checkpoint_restores, 0u);
+}
+
+TEST(FaultDeterminism, DifferentSeedDifferentTrace) {
+  const auto db = small_db();
+  auto plan = mp::FaultPlan::parse("seed=1,drop=0.1");
+  mp::FaultInjector inj_a(plan);
+  blast::partition_with_papar(db, 4, 8, blast::Policy::kCyclic, {},
+                              mp::NetworkModel::rdma(), &inj_a);
+  plan.seed = 2;
+  mp::FaultInjector inj_b(plan);
+  blast::partition_with_papar(db, 4, 8, blast::Policy::kCyclic, {},
+                              mp::NetworkModel::rdma(), &inj_b);
+  EXPECT_NE(inj_a.trace_string(), inj_b.trace_string());
+}
+
+TEST(FaultDeterminism, HybridSameSeedSameTraceAndPartitions) {
+  graph::ZipfGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.num_edges = 30000;
+  opt.zipf_s = 1.25;
+  const graph::Graph g = graph::generate_zipf(opt);
+
+  const auto clean = graph::papar_hybrid_cut(g, 4, 4, 100);
+
+  const auto plan = mp::FaultPlan::parse(kHybridSpec);
+  mp::FaultInjector inj_a(plan);
+  const auto run_a = graph::papar_hybrid_cut(g, 4, 4, 100, {},
+                                             mp::NetworkModel::rdma(), &inj_a);
+  mp::FaultInjector inj_b(plan);
+  const auto run_b = graph::papar_hybrid_cut(g, 4, 4, 100, {},
+                                             mp::NetworkModel::rdma(), &inj_b);
+
+  EXPECT_EQ(inj_a.counts().crashes, 1u);
+  EXPECT_EQ(run_a.stats.recoveries, 1);
+  EXPECT_EQ(inj_a.trace_string(), inj_b.trace_string());
+
+  EXPECT_EQ(run_a.partitioning.edge_partition, clean.partitioning.edge_partition);
+  EXPECT_EQ(run_b.partitioning.edge_partition, clean.partitioning.edge_partition);
+}
+
+}  // namespace
+}  // namespace papar

@@ -41,3 +41,36 @@ endforeach()
 if(NOT total EQUAL 500)
   message(FATAL_ERROR "partitions hold ${total} edges, expected 500")
 endif()
+
+# Same workflow under an injected crash plus a lossy fabric: the run must
+# recover and write partitions byte-identical to the fault-free run above.
+execute_process(
+  COMMAND "${PAPAR_CLI}"
+          --input-config "${CONFIG_DIR}/graph_edge.xml"
+          --workflow "${CONFIG_DIR}/hybrid_cut.xml"
+          --arg input_file=edges.txt
+          --arg output_path=${WORK_DIR}/parts-faulted/graph
+          --arg num_partitions=4
+          --arg threshold=15
+          --file edges.txt=${WORK_DIR}/edges.txt
+          --nodes 4 --stats
+          --faults "drop=0.05,crash=1@20" --fault-seed 7
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "papar CLI failed under fault injection (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "faults injected")
+  message(FATAL_ERROR "faulted CLI run did not report fault counts: ${out}")
+endif()
+foreach(p RANGE 0 3)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/parts/graph.${p}" "${WORK_DIR}/parts-faulted/graph.${p}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "partition graph.${p} differs between the fault-free "
+                        "and crash-recovered runs")
+  endif()
+endforeach()

@@ -13,6 +13,8 @@
 //         --file db.index=./my_database.index \
 //         --nodes 16 [--compress] [--naive-splitters] [--stats]
 //         [--trace trace.json]
+//         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
+//         [--fault-seed 7] [--ckpt-dir out/ckpt]
 //
 // Every --arg name=value binds a workflow argument; every --file key=path
 // loads a file for an input whose resolved path equals `key`. Partition p
@@ -22,18 +24,30 @@
 // traffic, records, reducer skew). --trace writes a Chrome trace_event file
 // loadable in chrome://tracing or Perfetto, with one timeline per simulated
 // rank.
+//
+// --faults enables deterministic fault injection (see DESIGN.md §10): the
+// value is either an inline spec like "drop=0.05,dup=0.01,crash=1@40" or a
+// path to a file holding the same keys one per line. --fault-seed overrides
+// the spec's seed so one spec can be replayed under many seeds. With faults
+// on, the engine checkpoints inter-job state at every stage boundary and
+// recovers crashed stages automatically; --ckpt-dir additionally spills
+// each checkpoint blob to disk.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "mpsim/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "xml/xml.hpp"
 
 namespace {
@@ -50,6 +64,8 @@ struct CliOptions {
   core::EngineOptions engine;
   bool stats = false;
   std::string trace_path;
+  std::string faults;  // inline spec or file path; empty = faults off
+  std::optional<std::uint64_t> fault_seed;
 };
 
 void usage(const char* argv0) {
@@ -58,7 +74,8 @@ void usage(const char* argv0) {
                "          --workflow <xml>\n"
                "          --arg name=value [...] --file key=path [...]\n"
                "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n"
-               "          [--trace <file>]\n",
+               "          [--trace <file>] [--faults <spec|file>] [--fault-seed N]\n"
+               "          [--ckpt-dir <dir>]\n",
                argv0);
 }
 
@@ -90,7 +107,13 @@ CliOptions parse_cli(int argc, char** argv) {
       const auto [k, v] = split_kv(next(), "--file");
       opt.files[k] = v;
     } else if (flag == "--nodes") {
-      opt.nodes = std::stoi(next());
+      opt.nodes = parse_number<int>(next(), "--nodes");
+    } else if (flag == "--faults") {
+      opt.faults = next();
+    } else if (flag == "--fault-seed") {
+      opt.fault_seed = parse_number<std::uint64_t>(next(), "--fault-seed");
+    } else if (flag == "--ckpt-dir") {
+      opt.engine.checkpoint_dir = next();
     } else if (flag == "--compress") {
       opt.engine.compress_packed = true;
     } else if (flag == "--naive-splitters") {
@@ -188,8 +211,17 @@ int run(int argc, char** argv) {
   mp::Runtime runtime(opt.nodes);
   obs::Recorder recorder;
   if (!opt.trace_path.empty()) runtime.set_recorder(&recorder);
+  std::optional<mp::FaultInjector> injector;
+  if (!opt.faults.empty()) {
+    mp::FaultPlan plan = mp::FaultPlan::parse_arg(opt.faults);
+    if (opt.fault_seed) plan.seed = *opt.fault_seed;
+    injector.emplace(plan);
+    runtime.set_fault_injector(&*injector);
+    std::printf("papar: fault injection on (%s)\n", plan.to_string().c_str());
+  }
   const auto result = engine.run(runtime, contents);
   runtime.set_recorder(nullptr);
+  runtime.set_fault_injector(nullptr);
 
   // Write partitions next to the resolved output path.
   const std::string out_base = engine.resolve("$output_path");
@@ -206,6 +238,18 @@ int run(int argc, char** argv) {
                 static_cast<double>(result.stats.remote_bytes) / 1e6,
                 static_cast<unsigned long long>(result.stats.remote_messages));
     result.report.print(stdout);
+  }
+  if (injector) {
+    const mp::FaultCounts fc = injector->counts();
+    std::printf("papar: faults injected: %llu drops, %llu dups, %llu delays, "
+                "%llu crashes; %llu retries, %llu detections, %d recoveries\n",
+                static_cast<unsigned long long>(fc.drops),
+                static_cast<unsigned long long>(fc.duplicates),
+                static_cast<unsigned long long>(fc.delays),
+                static_cast<unsigned long long>(fc.crashes),
+                static_cast<unsigned long long>(fc.retries),
+                static_cast<unsigned long long>(fc.detections),
+                result.stats.recoveries);
   }
   if (!opt.trace_path.empty()) {
     recorder.write_trace(opt.trace_path);

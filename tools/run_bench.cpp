@@ -15,13 +15,20 @@
 //   hybrid   Fig. 15(a)'s hybrid-cut workload (google-like graph, 16 nodes).
 //            Same before/after knob as blast.
 //
-// Usage: run_bench [--out-dir DIR] [sortlib|blast|hybrid ...]
-// Defaults: all three workloads, files written to the current directory.
+// Usage: run_bench [--out-dir DIR] [--faults <spec|file>] [--fault-seed N]
+//                  [sortlib|blast|hybrid ...]
+// Defaults: all three workloads, files written to the current directory,
+// faults off. With --faults, the simulated workloads (blast, hybrid) run
+// under deterministic fault injection and their reports are written to
+// BENCH_<workload>-faults.json so the committed fault-free medians stay
+// comparable; sortlib has no simulated fabric and ignores the flag.
 // PAPAR_BENCH_REPEATS (default 5) sets the sample count per knob;
 // PAPAR_BENCH_SCALE shrinks the datasets for smoke runs as usual.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,7 +38,9 @@
 #include "blast/partitioner.hpp"
 #include "graph/generator.hpp"
 #include "graph/papar_hybrid.hpp"
+#include "mpsim/fault.hpp"
 #include "sortlib/sort.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -39,6 +48,18 @@
 namespace {
 
 using namespace papar;
+
+// Fault injection requested on the command line (empty spec = off). Each
+// workload run gets a fresh injector so per-run fault counters start clean.
+std::string g_fault_spec;
+std::optional<std::uint64_t> g_fault_seed;
+
+std::optional<mp::FaultInjector> make_injector() {
+  if (g_fault_spec.empty()) return std::nullopt;
+  mp::FaultPlan plan = mp::FaultPlan::parse_arg(g_fault_spec);
+  if (g_fault_seed) plan.seed = *g_fault_seed;
+  return std::make_optional<mp::FaultInjector>(plan);
+}
 
 int repeats() {
   if (const char* s = std::getenv("PAPAR_BENCH_REPEATS")) {
@@ -122,9 +143,11 @@ bench::BenchReport bench_blast(int reps) {
                              {}};
   for (int r = 0; r < reps; ++r) {
     for (const bool copy : {true, false}) {
+      auto injector = make_injector();
       const auto result = blast::partition_with_papar(
           db, 16, 32, blast::Policy::kCyclic, {},
-          bench::papar_fabric().with_copy_payloads(copy));
+          bench::papar_fabric().with_copy_payloads(copy),
+          injector ? &*injector : nullptr);
       (copy ? makespan.before_samples : makespan.after_samples)
           .push_back(result.stats.makespan);
     }
@@ -156,8 +179,10 @@ bench::BenchReport bench_hybrid(int reps) {
                              {}};
   for (int r = 0; r < reps; ++r) {
     for (const bool copy : {true, false}) {
+      auto injector = make_injector();
       const auto result = graph::papar_hybrid_cut(
-          g, 16, 16, 200, {}, bench::papar_fabric().with_copy_payloads(copy));
+          g, 16, 16, 200, {}, bench::papar_fabric().with_copy_payloads(copy),
+          injector ? &*injector : nullptr);
       (copy ? makespan.before_samples : makespan.after_samples)
           .push_back(result.stats.makespan);
     }
@@ -180,8 +205,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      g_fault_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      g_fault_seed = papar::parse_number<std::uint64_t>(argv[++i], "--fault-seed");
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: run_bench [--out-dir DIR] [sortlib|blast|hybrid ...]\n");
+      std::printf(
+          "usage: run_bench [--out-dir DIR] [--faults <spec|file>] "
+          "[--fault-seed N] [sortlib|blast|hybrid ...]\n");
       return 0;
     } else {
       workloads.emplace_back(argv[i]);
@@ -202,7 +233,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown workload: %s\n", w.c_str());
       return 2;
     }
-    const std::string path = out_dir + "/BENCH_" + report.bench + ".json";
+    // Faulted runs get their own files so committed fault-free medians
+    // never mix with degraded-fabric numbers.
+    const bool faulted = !g_fault_spec.empty() && w != "sortlib";
+    const std::string path = out_dir + "/BENCH_" + report.bench +
+                             (faulted ? "-faults" : "") + ".json";
     report.write(path);
     std::printf("  wrote %s\n", path.c_str());
   }
