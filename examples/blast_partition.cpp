@@ -12,6 +12,10 @@
 // workflow under deterministic fault injection; PAPAR_FAULT_SEED overrides
 // the spec's seed. The run recovers crashed stages from checkpoints, and the
 // baseline-identity check below then demonstrates byte-identical recovery.
+//
+// Set PAPAR_TRACE to a path to record the workflow's causal event graph and
+// write it there as a Chrome/Perfetto trace (open at https://ui.perfetto.dev;
+// analyse offline with tools/papar_trace).
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +26,7 @@
 #include "blast/partitioner.hpp"
 #include "blast/search_sim.hpp"
 #include "mpsim/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -61,9 +66,12 @@ int main(int argc, char** argv) {
 
   // PaPar: the Fig. 8 workflow on `nodes` simulated nodes.
   auto injector = injector_from_env();
-  const auto papar =
-      partition_with_papar(db, nodes, partitions, Policy::kCyclic, {},
-                           mp::NetworkModel::rdma(), injector ? &*injector : nullptr);
+  const char* trace_path = std::getenv("PAPAR_TRACE");
+  obs::TraceRecorder tracer;
+  const auto papar = partition_with_papar(
+      db, nodes, partitions, Policy::kCyclic, {}, mp::NetworkModel::rdma(),
+      injector ? &*injector : nullptr,
+      trace_path != nullptr && *trace_path != '\0' ? &tracer : nullptr);
   std::printf("PaPar produced %zu partitions (simulated makespan %.2f ms, "
               "shuffle %.2f MB)\n",
               papar.partitions.partitions.size(), papar.stats.makespan * 1e3,
@@ -78,6 +86,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fc.crashes),
                 static_cast<unsigned long long>(fc.retries), papar.stats.recoveries,
                 static_cast<unsigned long long>(papar.report.faults.checkpoint_restores));
+  }
+
+  if (trace_path != nullptr && *trace_path != '\0') {
+    obs::write_chrome_trace(trace_path, tracer.snapshot(), nullptr,
+                            &papar.report, nullptr);
+    std::printf("wrote causal trace to %s (Perfetto-loadable; see papar_trace)\n",
+                trace_path);
   }
 
   // The application's own partitioner must agree (correctness claim).

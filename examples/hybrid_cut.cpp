@@ -12,6 +12,10 @@
 // workflow under deterministic fault injection; PAPAR_FAULT_SEED overrides
 // the spec's seed. The run recovers crashed stages from checkpoints, and the
 // PowerLyra-identity check below then demonstrates byte-identical recovery.
+//
+// Set PAPAR_TRACE to a path to record the workflow's causal event graph and
+// write it there as a Chrome/Perfetto trace (open at https://ui.perfetto.dev;
+// analyse offline with tools/papar_trace).
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -24,6 +28,7 @@
 #include "graph/papar_hybrid.hpp"
 #include "graph/powerlyra.hpp"
 #include "mpsim/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -60,9 +65,12 @@ int main(int argc, char** argv) {
 
   // PaPar runs the Fig. 10 workflow on `partitions` simulated nodes.
   auto injector = injector_from_env();
-  const auto papar =
-      papar_hybrid_cut(g, static_cast<int>(partitions), partitions, threshold, {},
-                       mp::NetworkModel::rdma(), injector ? &*injector : nullptr);
+  const char* trace_path = std::getenv("PAPAR_TRACE");
+  obs::TraceRecorder tracer;
+  const auto papar = papar_hybrid_cut(
+      g, static_cast<int>(partitions), partitions, threshold, {},
+      mp::NetworkModel::rdma(), injector ? &*injector : nullptr,
+      trace_path != nullptr && *trace_path != '\0' ? &tracer : nullptr);
   std::printf("PaPar hybrid-cut: simulated makespan %.2f ms, shuffle %.2f MB\n",
               papar.stats.makespan * 1e3,
               static_cast<double>(papar.stats.remote_bytes) / 1e6);
@@ -76,6 +84,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fc.crashes),
                 static_cast<unsigned long long>(fc.retries), papar.stats.recoveries,
                 static_cast<unsigned long long>(papar.report.faults.checkpoint_restores));
+  }
+
+  if (trace_path != nullptr && *trace_path != '\0') {
+    obs::write_chrome_trace(trace_path, tracer.snapshot(), nullptr,
+                            &papar.report, nullptr);
+    std::printf("wrote causal trace to %s (Perfetto-loadable; see papar_trace)\n",
+                trace_path);
   }
 
   // Correctness: the native PowerLyra partitioner agrees edge for edge.

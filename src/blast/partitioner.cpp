@@ -132,7 +132,8 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       std::size_t num_partitions, Policy policy,
                                       core::EngineOptions options,
                                       mp::NetworkModel network,
-                                      mp::FaultInjector* faults) {
+                                      mp::FaultInjector* faults,
+                                      obs::TraceRecorder* tracer) {
   const auto spec = schema::parse_input_spec(xml::parse(blast_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(blast_workflow_xml(policy)));
   core::WorkflowEngine engine(std::move(wf), {{"blast_db", spec}},
@@ -142,6 +143,7 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
                               options);
   mp::Runtime runtime(nranks, network);
   if (faults != nullptr) runtime.set_fault_injector(faults);
+  if (tracer != nullptr) runtime.set_tracer(tracer);
   auto result = engine.run(runtime, {{"db.index", index_file_image(db)}});
 
   PaparBlastResult out;

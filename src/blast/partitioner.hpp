@@ -25,6 +25,10 @@
 #include "mpsim/network.hpp"
 #include "util/thread_pool.hpp"
 
+namespace papar::obs {
+class TraceRecorder;
+}
+
 namespace papar::blast {
 
 enum class Policy { kCyclic, kBlock };
@@ -69,12 +73,15 @@ struct PaparBlastResult {
 /// block distribute) through the PaPar engine on `nranks` simulated nodes.
 /// `faults` (optional) attaches a fault injector to the internal runtime;
 /// the run then survives the plan's injected crashes via checkpoint
-/// recovery and still returns the fault-free partitions.
+/// recovery and still returns the fault-free partitions. `tracer`
+/// (optional) records the run's causal event graph for obs/critpath.hpp
+/// analyses.
 PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       std::size_t num_partitions, Policy policy,
                                       core::EngineOptions options = {},
                                       mp::NetworkModel network = mp::NetworkModel::rdma(),
-                                      mp::FaultInjector* faults = nullptr);
+                                      mp::FaultInjector* faults = nullptr,
+                                      obs::TraceRecorder* tracer = nullptr);
 
 /// The Fig. 8 workflow configuration XML used by partition_with_papar
 /// (exposed for examples and documentation).

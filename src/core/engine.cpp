@@ -412,6 +412,7 @@ PartitionResult WorkflowEngine::run(
   }
 
   auto body = [&](mp::Comm& comm) {
+    comm.set_trace_stage("setup");
     std::map<std::string, Dataset> datasets;
 
     auto job_boundary = [&](std::size_t idx) {
@@ -492,6 +493,7 @@ PartitionResult WorkflowEngine::run(
     for (std::size_t s = start_step; s < steps.size(); ++s) {
       const auto& step = steps[s];
       job_boundary(s);
+      comm.set_trace_stage("job:" + step.decl->id);
       if (ckpt) {
         // Saved between the boundary barrier and the stage's first
         // communication: saves are purely local, and scheduled crashes only
@@ -574,6 +576,7 @@ PartitionResult WorkflowEngine::run(
     // counted, so stage deltas sum exactly to the run totals.
     job_times[static_cast<std::size_t>(comm.rank())] = comm.vtime();
     job_boundary(nsteps);
+    comm.set_trace_stage("output");
 
     std::vector<std::vector<std::string>> partitions;
     schema::Schema out_schema;

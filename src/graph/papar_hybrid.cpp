@@ -62,7 +62,8 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    std::uint32_t threshold,
                                    core::EngineOptions options,
                                    mp::NetworkModel network,
-                                   mp::FaultInjector* faults) {
+                                   mp::FaultInjector* faults,
+                                   obs::TraceRecorder* tracer) {
   const auto spec = schema::parse_input_spec(xml::parse(edge_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(hybrid_workflow_xml()));
   core::WorkflowEngine engine(std::move(wf), {{"graph_edge", spec}},
@@ -73,6 +74,7 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                               options);
   mp::Runtime runtime(nranks, network);
   if (faults != nullptr) runtime.set_fault_injector(faults);
+  if (tracer != nullptr) runtime.set_tracer(tracer);
   auto result = engine.run(runtime, {{"edges.txt", to_edge_list_text(g)}});
 
   // Convert partitions of (vertex_a, vertex_b) records back into an

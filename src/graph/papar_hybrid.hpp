@@ -14,6 +14,10 @@
 #include "graph/partition.hpp"
 #include "mpsim/network.hpp"
 
+namespace papar::obs {
+class TraceRecorder;
+}
+
 namespace papar::graph {
 
 struct PaparHybridResult {
@@ -27,13 +31,15 @@ struct PaparHybridResult {
 /// `num_partitions` output partitions. `faults` (optional) attaches a fault
 /// injector to the internal runtime; the run then survives the plan's
 /// injected crashes via checkpoint recovery and still returns the
-/// fault-free partitioning.
+/// fault-free partitioning. `tracer` (optional) records the run's causal
+/// event graph for obs/critpath.hpp analyses.
 PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    std::size_t num_partitions,
                                    std::uint32_t threshold,
                                    core::EngineOptions options = {},
                                    mp::NetworkModel network = mp::NetworkModel::rdma(),
-                                   mp::FaultInjector* faults = nullptr);
+                                   mp::FaultInjector* faults = nullptr,
+                                   obs::TraceRecorder* tracer = nullptr);
 
 /// The Fig. 10 workflow configuration XML (exposed for examples/docs).
 std::string hybrid_workflow_xml();

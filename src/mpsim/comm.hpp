@@ -214,6 +214,12 @@ class Comm {
   /// No-op without a recorder.
   void record_span(std::string name, std::string category, double begin_vtime);
 
+  /// Declares that this rank entered pipeline stage `name`: subsequent
+  /// trace events carry the stage, and a zero-length stage marker is
+  /// recorded at the current clock. No-op when no TraceRecorder is
+  /// attached to the runtime, so pipelines may call it unconditionally.
+  void set_trace_stage(std::string_view name);
+
  private:
   friend struct detail::Shared;
   friend class Runtime;
@@ -250,6 +256,9 @@ class Comm {
   /// Fault-plan compute skew for this rank (also scales charge_modeled).
   double fault_slow_ = 1.0;
   int attempt_ = 0;
+  /// Interned id of the pipeline stage this rank is in (trace context
+  /// propagated with every message; 0 = no stage declared yet).
+  std::uint32_t trace_stage_ = 0;
 };
 
 }  // namespace papar::mp

@@ -13,6 +13,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace papar::mp {
@@ -29,6 +31,10 @@ struct Message {
   int source;
   int tag;
   double arrival;  // virtual time at which the payload is available
+  // Propagated trace context (zero/default when tracing is off).
+  std::uint64_t trace_id = 0;     // links the send event to the recv event
+  std::uint32_t sender_stage = 0;  // pipeline stage the sender was in
+  double sent = 0.0;               // sender clock when the send started
   std::vector<unsigned char> payload;
 };
 
@@ -67,6 +73,10 @@ struct RankStatus {
   std::atomic<int> state{kRunning};
   std::atomic<int> blocked_source{0};
   std::atomic<int> blocked_tag{0};
+  /// Barrier generation the rank is waiting on while kBlockedBarrier.
+  /// Lets the deadlock scan tell a genuinely stuck waiter from one whose
+  /// barrier already resolved but whose thread has not been scheduled yet.
+  std::atomic<std::uint64_t> blocked_generation{0};
   /// Virtual clock at which the rank terminated (feeds the heartbeat
   /// failure-detection latency model).
   std::atomic<double> death_vtime{0.0};
@@ -102,6 +112,18 @@ struct Shared {
   /// Attached fault injector (nullptr = faults off; the fault-free hot
   /// path is gated on this single pointer).
   FaultInjector* faults = nullptr;
+
+  /// Attached causal trace recorder (nullptr = tracing off). Ranks append
+  /// to their own per-rank event vectors, so recording takes no lock.
+  obs::TraceRecorder* tracer = nullptr;
+
+  /// Attached metrics registry plus handles resolved at attach time so the
+  /// per-message path is a pointer check and an atomic update.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Histogram* m_latency = nullptr;      // virtual message latency (s)
+  obs::Histogram* m_payload = nullptr;      // payload size (bytes)
+  obs::Histogram* m_queue = nullptr;        // mailbox depth after enqueue
+  obs::Counter* m_retransmits = nullptr;    // fault-layer resends
 
   // -- Failure-detector / deadlock-watchdog state ---------------------------
   std::unique_ptr<RankStatus[]> status;
@@ -258,12 +280,25 @@ void Shared::try_detect_deadlock() {
         ++blocked;
         break;
       }
-      case kBlockedBarrier:
+      case kBlockedBarrier: {
         // A barrier with a terminated rank is resolved by the waiters'
         // own peer-failure path.
         if (terminated.load(std::memory_order_relaxed) > 0) return;
+        // A waiter whose generation already resolved is not stuck — its
+        // thread just has not been scheduled since the resolving notify;
+        // it will observe the advanced generation and proceed.
+        std::uint64_t current_generation;
+        {
+          std::lock_guard<std::mutex> barrier_lock(barrier_mutex);
+          current_generation = barrier_generation;
+        }
+        if (st.blocked_generation.load(std::memory_order_relaxed) !=
+            current_generation) {
+          return;
+        }
         ++blocked;
         break;
+      }
     }
   }
   if (blocked == 0) return;  // run is simply over
@@ -432,13 +467,22 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   }
   const std::size_t n = payload.size();
   const bool remote = dest != rank_;
+  const double send_begin = vtime_;  // before any fault-layer retry charges
+  std::uint16_t trace_retransmits = 0;
+  bool trace_duplicated = false;
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
+  msg.sent = send_begin;
   if (remote) {
     double extra_delay = 0.0;
     if (FaultInjector* inj = shared_->faults) {
       const FaultInjector::Decision d = inj->next_decision(rank_, dest);
+      trace_retransmits = static_cast<std::uint16_t>(d.drops);
+      trace_duplicated = d.duplicate;
+      if (d.drops > 0 && shared_->m_retransmits != nullptr) {
+        shared_->m_retransmits->add(static_cast<std::uint64_t>(d.drops));
+      }
       obs::Recorder* rec = shared_->recorder;
       if (d.drops > 0) {
         // Every lost transmission costs the sender a full serialization,
@@ -495,13 +539,40 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
       rec->add_counter("mpsim.remote_bytes", n);
     }
   }
+  obs::TraceRecorder* tracer = shared_->tracer;
+  if (tracer != nullptr) {
+    msg.trace_id = tracer->next_msg_id();
+    msg.sender_stage = trace_stage_;
+  }
+  const std::uint64_t trace_id = msg.trace_id;
   auto& mb = shared_->mailboxes[static_cast<std::size_t>(dest)];
+  std::size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mb.mutex);
     mb.queue.push_back(std::move(msg));
+    if (shared_->metrics != nullptr) queue_depth = mb.queue.size();
   }
   shared_->progress.fetch_add(1, std::memory_order_release);
   mb.cv.notify_all();
+  if (shared_->metrics != nullptr) {
+    shared_->m_payload->observe(static_cast<double>(n));
+    shared_->m_queue->observe(static_cast<double>(queue_depth));
+  }
+  if (tracer != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kSend;
+    ev.stage = trace_stage_;
+    ev.attempt = attempt_;
+    ev.begin = send_begin;
+    ev.end = vtime_;
+    ev.peer = dest;
+    ev.tag = tag;
+    ev.bytes = n;
+    ev.msg_id = trace_id;
+    ev.retransmits = trace_retransmits;
+    ev.duplicated = trace_duplicated;
+    tracer->record(rank_, ev);
+  }
 }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t n) {
@@ -546,6 +617,7 @@ Envelope Comm::recv(int source, int tag, double timeout_seconds) {
 Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
   charge_compute();
   fault_comm_event();
+  const double recv_begin = vtime_;
   auto* s = shared_;
   auto& st = s->status[static_cast<std::size_t>(rank_)];
   st.blocked_source.store(source, std::memory_order_relaxed);
@@ -566,13 +638,35 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         env.source = it->source;
         env.tag = it->tag;
         env.payload = std::move(it->payload);
+        const double arrival = it->arrival;
+        const std::uint64_t trace_id = it->trace_id;
+        const std::uint32_t sender_stage = it->sender_stage;
+        const double sent = it->sent;
         // The payload is usable once it has arrived and the receiving NIC
         // has clocked it in.
-        vtime_ = std::max(vtime_, it->arrival);
+        vtime_ = std::max(vtime_, arrival);
         if (env.source != rank_) {
           vtime_ += static_cast<double>(env.payload.size()) / shared_->network.bandwidth;
         }
         mb.queue.erase(it);
+        if (obs::TraceRecorder* tracer = s->tracer) {
+          obs::TraceEvent ev;
+          ev.kind = obs::TraceEventKind::kRecv;
+          ev.stage = trace_stage_;
+          ev.attempt = attempt_;
+          ev.begin = recv_begin;
+          ev.end = vtime_;
+          ev.peer = env.source;
+          ev.tag = env.tag;
+          ev.bytes = env.payload.size();
+          ev.msg_id = trace_id;
+          ev.sender_stage = sender_stage;
+          ev.blocked = std::max(0.0, arrival - recv_begin);
+          tracer->record(rank_, ev);
+        }
+        if (s->m_latency != nullptr) {
+          s->m_latency->observe(std::max(0.0, vtime_ - sent));
+        }
         return env;
       }
     }
@@ -627,6 +721,7 @@ bool Comm::probe(int source, int tag) {
 void Comm::barrier() {
   charge_compute();
   fault_comm_event();
+  const double barrier_begin = vtime_;  // this rank's arrival at the barrier
   auto* s = shared_;
   auto& st = s->status[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(s->barrier_mutex);
@@ -654,6 +749,7 @@ void Comm::barrier() {
         st.state.store(detail::kRunning, std::memory_order_release);
         on_peer_failure(dead, "is in a barrier with");
       }
+      st.blocked_generation.store(my_generation, std::memory_order_relaxed);
       st.state.store(detail::kBlockedBarrier, std::memory_order_release);
       const bool watchdog_expired =
           s->barrier_cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
@@ -669,6 +765,30 @@ void Comm::barrier() {
   // The wait itself burned negligible CPU; resynchronize the CPU mark so
   // scheduler noise during the wait is not charged as compute.
   last_cpu_ = thread_cpu_seconds();
+  if (obs::TraceRecorder* tracer = s->tracer) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kBarrier;
+    ev.stage = trace_stage_;
+    ev.attempt = attempt_;
+    ev.begin = barrier_begin;
+    ev.end = vtime_;
+    ev.barrier_gen = my_generation;
+    tracer->record(rank_, ev);
+  }
+}
+
+void Comm::set_trace_stage(std::string_view name) {
+  obs::TraceRecorder* tracer = shared_->tracer;
+  if (tracer == nullptr) return;
+  charge_compute();
+  trace_stage_ = tracer->stage_id(name);
+  obs::TraceEvent ev;
+  ev.kind = obs::TraceEventKind::kStageMark;
+  ev.stage = trace_stage_;
+  ev.attempt = attempt_;
+  ev.begin = vtime_;
+  ev.end = vtime_;
+  tracer->record(rank_, ev);
 }
 
 std::vector<unsigned char> Comm::bcast(int root, std::vector<unsigned char> bytes) {
@@ -789,8 +909,33 @@ void Runtime::set_fault_injector(FaultInjector* injector) {
 
 FaultInjector* Runtime::fault_injector() const { return shared_->faults; }
 
+void Runtime::set_tracer(obs::TraceRecorder* tracer) {
+  if (tracer != nullptr) tracer->bind(nranks_);
+  shared_->tracer = tracer;
+}
+
+obs::TraceRecorder* Runtime::tracer() const { return shared_->tracer; }
+
+void Runtime::set_metrics(obs::MetricsRegistry* metrics) {
+  shared_->metrics = metrics;
+  if (metrics != nullptr) {
+    shared_->m_latency = metrics->histogram("mpsim_message_latency_seconds");
+    shared_->m_payload = metrics->histogram("mpsim_payload_bytes");
+    shared_->m_queue = metrics->histogram("mpsim_mailbox_depth");
+    shared_->m_retransmits = metrics->counter("mpsim_retransmits");
+  } else {
+    shared_->m_latency = nullptr;
+    shared_->m_payload = nullptr;
+    shared_->m_queue = nullptr;
+    shared_->m_retransmits = nullptr;
+  }
+}
+
+obs::MetricsRegistry* Runtime::metrics() const { return shared_->metrics; }
+
 RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   shared_->reset_for_run();
+  if (shared_->tracer != nullptr) shared_->tracer->begin_run();
   FaultInjector* inj = shared_->faults;
   const int max_recoveries = inj != nullptr ? inj->plan().max_recoveries : 0;
 
@@ -820,6 +965,15 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
         try {
           fn(comm);
           comm.charge_compute();
+          if (obs::TraceRecorder* tracer = shared_->tracer) {
+            obs::TraceEvent ev;
+            ev.kind = obs::TraceEventKind::kRankDone;
+            ev.stage = comm.trace_stage_;
+            ev.attempt = comm.attempt_;
+            ev.begin = comm.vtime_;
+            ev.end = comm.vtime_;
+            tracer->record(r, ev);
+          }
           shared_->declare_terminated(r, detail::kDone, comm.vtime_);
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();

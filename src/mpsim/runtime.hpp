@@ -17,6 +17,11 @@
 #include "mpsim/network.hpp"
 #include "obs/obs.hpp"
 
+namespace papar::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace papar::obs
+
 namespace papar::mp {
 
 struct RunStats {
@@ -61,6 +66,22 @@ class Runtime {
   /// Comm::attempt() telling the body which execution it is on.
   void set_fault_injector(FaultInjector* injector);
   FaultInjector* fault_injector() const;
+
+  /// Attaches a causal trace recorder (nullptr to detach): every
+  /// send/recv/barrier records a TraceEvent on its rank and messages carry
+  /// a propagated trace context (unique id + sender stage), forming the
+  /// happens-before graph obs/critpath.hpp analyses. The recorder is bound
+  /// to this runtime's rank count and must outlive the runtime or be
+  /// detached first. The fault-free hot path is gated on this one pointer.
+  void set_tracer(obs::TraceRecorder* tracer);
+  obs::TraceRecorder* tracer() const;
+
+  /// Attaches a metrics registry (nullptr to detach): the runtime feeds
+  /// virtual-time histograms (message latency, payload size, mailbox queue
+  /// depth) and fault counters (retransmits). Handles are resolved once
+  /// here, so per-message observation is lock-free.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const;
 
   /// Runs `fn(comm)` on every rank concurrently and returns the stats.
   /// May be called repeatedly; each call is an independent "job step"

@@ -1,0 +1,113 @@
+// MetricsRegistry: named counters and virtual-time histograms with
+// Prometheus text exposition.
+//
+// The tracing subsystem (trace.hpp) answers "what happened when"; this
+// registry answers "how is the distribution shaped": message latency,
+// payload size, mailbox queue depth, retransmit counts. Histograms use
+// fixed geometric buckets (powers of two from 2^-30 to 2^33), so a single
+// ladder covers nanosecond latencies and multi-gigabyte payloads, and
+// quantiles (p50/p95/p99) are estimated by geometric interpolation inside
+// the winning bucket.
+//
+// Thread safety and hot-path cost: the name -> metric maps are guarded by
+// one mutex, but `counter()`/`histogram()` return pointers that stay valid
+// for the registry's lifetime, so callers on hot paths (one observation per
+// simulated message) resolve each name once and then touch only atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace papar::obs {
+
+/// Monotonic counter. Pointer-stable once created by the registry.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Geometric-bucket histogram over nonnegative values.
+class Histogram {
+ public:
+  /// Bucket i holds values in (upper_bound(i-1), upper_bound(i)];
+  /// upper_bound(i) = 2^(i + kMinExp). One extra overflow bucket catches
+  /// values beyond the ladder.
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -30;  // first upper bound = 2^-30 (~1 ns)
+
+  /// Upper bound of bucket `i` (the +Inf bucket for i == kBuckets).
+  static double upper_bound(int i);
+
+  /// Index of the bucket `value` falls into (values <= 0 land in bucket 0).
+  static int bucket_index(double value);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate for q in [0, 1] (geometric interpolation within the
+  /// winning bucket; exact at the recorded min/max ends). 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Thread-safe registry of named counters and histograms.
+class MetricsRegistry {
+ public:
+  /// Finds or creates; the returned pointer is stable for the registry's
+  /// lifetime, so hot paths resolve once and keep the handle.
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Convenience single-shot forms (one map lookup each).
+  void inc(std::string_view name, std::uint64_t delta = 1) { counter(name)->add(delta); }
+  void observe(std::string_view name, double value) { histogram(name)->observe(value); }
+
+  std::map<std::string, std::uint64_t> counter_values() const;
+
+  /// Prometheus text exposition format, version 0.0.4: counters as
+  /// `papar_<name>_total`, histograms as `papar_<name>` with cumulative
+  /// `_bucket{le=...}` lines, `_sum`, and `_count`. Metric names are
+  /// sanitized to [a-zA-Z0-9_].
+  std::string to_prometheus() const;
+
+  /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
+  /// p50, p95, p99}}} — the summary merged into --stats / trace reports.
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// `name` with every character outside [a-zA-Z0-9_] replaced by '_', and a
+/// leading digit guarded — a valid Prometheus metric-name fragment.
+std::string prometheus_name(std::string_view name);
+
+}  // namespace papar::obs

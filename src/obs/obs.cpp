@@ -482,6 +482,47 @@ class Parser {
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
+namespace {
+void dump_into(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Kind::kNumber: out += number_to_json(v.number); break;
+    case Value::Kind::kString: out += quote(v.string); break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += quote(k);
+        out += ':';
+        dump_into(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_into(v, out);
+  return out;
+}
+
 }  // namespace json
 
 }  // namespace papar::obs

@@ -187,6 +187,9 @@ struct Value {
 /// Parses `text` or throws papar::DataError on malformed input.
 Value parse(std::string_view text);
 
+/// Serializes `v` back to JSON text (inverse of parse for supported kinds).
+std::string dump(const Value& v);
+
 /// Escapes `s` into a double-quoted JSON string literal.
 std::string quote(std::string_view s);
 

@@ -1,0 +1,316 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace papar::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open trace file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+// -- TraceData ----------------------------------------------------------------
+
+const std::string& TraceData::stage_name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < stages.size() ? stages[id] : kUnknown;
+}
+
+std::size_t TraceData::event_count() const {
+  std::size_t n = 0;
+  for (const auto& v : per_rank) n += v.size();
+  return n;
+}
+
+double TraceData::makespan() const {
+  double m = 0.0;
+  for (const auto& v : per_rank) {
+    if (!v.empty()) m = std::max(m, v.back().end);
+  }
+  return m;
+}
+
+std::string TraceData::to_json() const {
+  // Events serialize as flat 14-number arrays (rank is the outer index):
+  // [kind, stage, attempt, begin, end, peer, tag, bytes, msg_id,
+  //  sender_stage, blocked, retransmits, duplicated, barrier_gen].
+  std::ostringstream os;
+  os << "{\"version\":1,\"nranks\":" << nranks << ",\"stages\":[";
+  bool first = true;
+  for (const auto& s : stages) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(s);
+  }
+  os << "],\"events\":[";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (r != 0) os << ",";
+    os << "[";
+    first = true;
+    for (const auto& e : per_rank[r]) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << static_cast<int>(e.kind) << "," << e.stage << "," << e.attempt << ","
+         << fmt(e.begin) << "," << fmt(e.end) << "," << e.peer << "," << e.tag << ","
+         << e.bytes << "," << e.msg_id << "," << e.sender_stage << "," << fmt(e.blocked)
+         << "," << e.retransmits << "," << (e.duplicated ? 1 : 0) << "," << e.barrier_gen
+         << "]";
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+TraceData trace_from_value(const json::Value& root) {
+  PAPAR_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                  "trace JSON must be an object");
+  TraceData out;
+  out.nranks = static_cast<int>(root.at("nranks").number);
+  out.stages.clear();
+  for (const auto& s : root.at("stages").array) out.stages.push_back(s.string);
+  PAPAR_CHECK_MSG(!out.stages.empty(), "trace stage table is empty");
+  const auto& ranks = root.at("events").array;
+  PAPAR_CHECK_MSG(static_cast<int>(ranks.size()) == out.nranks,
+                  "trace event table disagrees with nranks");
+  out.per_rank.resize(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& ev : ranks[r].array) {
+      PAPAR_CHECK_MSG(ev.array.size() == 14, "trace event tuple must have 14 fields");
+      const auto& a = ev.array;
+      TraceEvent e;
+      e.kind = static_cast<TraceEventKind>(static_cast<int>(a[0].number));
+      e.rank = static_cast<int>(r);
+      e.stage = static_cast<std::uint32_t>(a[1].number);
+      e.attempt = static_cast<int>(a[2].number);
+      e.begin = a[3].number;
+      e.end = a[4].number;
+      e.peer = static_cast<int>(a[5].number);
+      e.tag = static_cast<int>(a[6].number);
+      e.bytes = static_cast<std::uint64_t>(a[7].number);
+      e.msg_id = static_cast<std::uint64_t>(a[8].number);
+      e.sender_stage = static_cast<std::uint32_t>(a[9].number);
+      e.blocked = a[10].number;
+      e.retransmits = static_cast<std::uint16_t>(a[11].number);
+      e.duplicated = a[12].number != 0;
+      e.barrier_gen = static_cast<std::uint64_t>(a[13].number);
+      out.per_rank[r].push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceData TraceData::from_json(std::string_view text) {
+  return trace_from_value(json::parse(text));
+}
+
+// -- TraceRecorder ------------------------------------------------------------
+
+void TraceRecorder::bind(int nranks) {
+  if (nranks == nranks_) return;
+  nranks_ = nranks;
+  per_rank_.assign(static_cast<std::size_t>(nranks), {});
+}
+
+void TraceRecorder::begin_run() {
+  for (auto& v : per_rank_) v.clear();
+}
+
+void TraceRecorder::record(int rank, TraceEvent ev) {
+  ev.rank = rank;
+  per_rank_[static_cast<std::size_t>(rank)].push_back(ev);
+}
+
+std::uint32_t TraceRecorder::stage_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  stages_.emplace_back(name);
+  return static_cast<std::uint32_t>(stages_.size() - 1);
+}
+
+TraceData TraceRecorder::snapshot() const {
+  TraceData out;
+  out.nranks = nranks_;
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    out.stages = stages_;
+  }
+  out.per_rank = per_rank_;
+  return out;
+}
+
+// -- Chrome trace export ------------------------------------------------------
+
+namespace {
+
+const char* slice_name(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceEventKind::kSend: return e.retransmits > 0 ? "send+retry" : "send";
+    case TraceEventKind::kRecv: return "recv";
+    case TraceEventKind::kBarrier: return "barrier";
+    case TraceEventKind::kStageMark: return "stage";
+    case TraceEventKind::kRankDone: return "done";
+  }
+  return "?";
+}
+
+const char* slice_category(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceEventKind::kSend:
+    case TraceEventKind::kRecv: return "comm";
+    case TraceEventKind::kBarrier: return "barrier";
+    default: return "marker";
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TraceData& trace, const Recorder* spans,
+                            const StageReport* report, const MetricsRegistry* metrics) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Track names: every traced rank, plus every tid the span recorder saw.
+  std::vector<int> tids;
+  for (int r = 0; r < trace.nranks; ++r) tids.push_back(r);
+  std::vector<SpanEvent> span_events;
+  if (spans != nullptr) {
+    span_events = spans->spans();
+    for (const auto& s : span_events) {
+      if (std::find(tids.begin(), tids.end(), s.tid) == tids.end()) tids.push_back(s.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const int tid : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":" << json::quote("rank " + std::to_string(tid)) << "}}";
+  }
+
+  // Recorder spans (engine job spans, whole-rank spans) as complete slices.
+  for (const auto& s : span_events) {
+    sep();
+    os << "{\"name\":" << json::quote(s.name) << ",\"cat\":"
+       << json::quote(s.category.empty() ? std::string("papar") : s.category)
+       << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid << ",\"ts\":" << fmt(s.begin * 1e6)
+       << ",\"dur\":" << fmt(s.duration() * 1e6) << "}";
+  }
+
+  // Event slices + message flow arrows. A flow is emitted only when both
+  // ends of the edge were recorded ("s" on the sender at the send slice's
+  // end, "f" with bp:"e" on the receiver at the recv slice's end).
+  std::vector<const TraceEvent*> recvs_by_msg;
+  for (const auto& rank_events : trace.per_rank) {
+    for (const auto& e : rank_events) {
+      if (e.kind == TraceEventKind::kRecv && e.msg_id != 0) {
+        if (recvs_by_msg.size() <= e.msg_id) recvs_by_msg.resize(e.msg_id + 1, nullptr);
+        recvs_by_msg[e.msg_id] = &e;
+      }
+    }
+  }
+  for (const auto& rank_events : trace.per_rank) {
+    for (const auto& e : rank_events) {
+      if (e.kind == TraceEventKind::kStageMark || e.kind == TraceEventKind::kRankDone) {
+        sep();
+        os << "{\"name\":"
+           << json::quote(e.kind == TraceEventKind::kStageMark
+                              ? "stage:" + trace.stage_name(e.stage)
+                              : std::string("rank done"))
+           << ",\"cat\":\"marker\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << e.rank
+           << ",\"ts\":" << fmt(e.end * 1e6) << "}";
+        continue;
+      }
+      sep();
+      os << "{\"name\":\"" << slice_name(e) << "\",\"cat\":\"" << slice_category(e)
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.rank << ",\"ts\":" << fmt(e.begin * 1e6)
+         << ",\"dur\":" << fmt(e.duration() * 1e6) << ",\"args\":{";
+      if (e.kind == TraceEventKind::kBarrier) {
+        os << "\"generation\":" << e.barrier_gen;
+      } else {
+        os << "\"peer\":" << e.peer << ",\"bytes\":" << e.bytes << ",\"msg\":" << e.msg_id
+           << ",\"stage\":" << json::quote(trace.stage_name(e.stage));
+        if (e.kind == TraceEventKind::kRecv) os << ",\"blocked\":" << fmt(e.blocked);
+        if (e.retransmits > 0) os << ",\"retransmits\":" << e.retransmits;
+        if (e.duplicated) os << ",\"duplicated\":true";
+      }
+      os << "}}";
+      if (e.kind == TraceEventKind::kSend && e.msg_id != 0 &&
+          e.msg_id < recvs_by_msg.size() && recvs_by_msg[e.msg_id] != nullptr) {
+        const TraceEvent& rcv = *recvs_by_msg[e.msg_id];
+        sep();
+        os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":" << e.msg_id
+           << ",\"pid\":1,\"tid\":" << e.rank << ",\"ts\":" << fmt(e.end * 1e6) << "}";
+        sep();
+        os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+           << e.msg_id << ",\"pid\":1,\"tid\":" << rcv.rank
+           << ",\"ts\":" << fmt(rcv.end * 1e6) << "}";
+      }
+    }
+  }
+
+  os << "],\"displayTimeUnit\":\"ms\",\"papar\":{\"trace\":" << trace.to_json();
+  if (report != nullptr) os << ",\"report\":" << report->to_json();
+  if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();
+  os << "}}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path, const TraceData& trace,
+                        const Recorder* spans, const StageReport* report,
+                        const MetricsRegistry* metrics) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw DataError("cannot open trace file " + path);
+  const std::string body = to_chrome_trace(trace, spans, report, metrics);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) throw DataError("trace write failed: " + path);
+}
+
+TraceData load_trace_file(const std::string& path) {
+  const json::Value root = json::parse(slurp_file(path));
+  const json::Value* papar = root.find("papar");
+  PAPAR_CHECK_MSG(papar != nullptr, "trace file " + path + " has no `papar` section");
+  return trace_from_value(papar->at("trace"));
+}
+
+bool load_trace_file_report(const std::string& path, StageReport* out) {
+  const json::Value root = json::parse(slurp_file(path));
+  const json::Value* papar = root.find("papar");
+  if (papar == nullptr) return false;
+  const json::Value* report = papar->find("report");
+  if (report == nullptr) return false;
+  *out = StageReport::from_json(json::dump(*report));
+  return true;
+}
+
+}  // namespace papar::obs

@@ -61,8 +61,12 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "papar CLI failed under fault injection (${rc}): ${out} ${err}")
 endif()
-if(NOT out MATCHES "faults injected")
-  message(FATAL_ERROR "faulted CLI run did not report fault counts: ${out}")
+# Progress/analysis output goes to stderr (stdout stays clean for piping).
+if(NOT err MATCHES "faults injected")
+  message(FATAL_ERROR "faulted CLI run did not report fault counts: ${err}")
+endif()
+if(NOT out STREQUAL "")
+  message(FATAL_ERROR "papar polluted stdout: ${out}")
 endif()
 foreach(p RANGE 0 3)
   execute_process(

@@ -12,7 +12,7 @@
 //         --arg num_partitions=32 \
 //         --file db.index=./my_database.index \
 //         --nodes 16 [--compress] [--naive-splitters] [--stats]
-//         [--trace trace.json]
+//         [--trace trace.json] [--metrics out.prom]
 //         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
 //         [--fault-seed 7] [--ckpt-dir out/ckpt]
 //
@@ -20,10 +20,19 @@
 // loads a file for an input whose resolved path equals `key`. Partition p
 // is written to <output_path>.<p>.
 //
+// All progress and analysis output goes to stderr; stdout carries nothing,
+// so `papar ... | tool` never sees log noise, and the --trace/--metrics
+// artifacts land in their own files.
+//
 // --stats prints the per-operator stage table (virtual seconds, shuffle
-// traffic, records, reducer skew). --trace writes a Chrome trace_event file
-// loadable in chrome://tracing or Perfetto, with one timeline per simulated
-// rank.
+// traffic, records, reducer skew) plus the causal analyses (critical path,
+// per-stage load balance) to stderr. --trace writes a Chrome trace_event
+// file loadable in chrome://tracing or Perfetto — messages render as flow
+// arrows between rank tracks — with the full event graph, stage report, and
+// metrics summary embedded under the "papar" key for `papar_trace`.
+// --metrics writes the counter/histogram registry (message latency, payload
+// size, mailbox depth, retransmits, plus run counters) in Prometheus text
+// exposition format.
 //
 // --faults enables deterministic fault injection (see DESIGN.md §10): the
 // value is either an inline spec like "drop=0.05,dup=0.01,crash=1@40" or a
@@ -45,7 +54,10 @@
 
 #include "core/engine.hpp"
 #include "mpsim/fault.hpp"
+#include "obs/critpath.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parse.hpp"
 #include "xml/xml.hpp"
@@ -64,6 +76,7 @@ struct CliOptions {
   core::EngineOptions engine;
   bool stats = false;
   std::string trace_path;
+  std::string metrics_path;
   std::string faults;  // inline spec or file path; empty = faults off
   std::optional<std::uint64_t> fault_seed;
 };
@@ -74,7 +87,8 @@ void usage(const char* argv0) {
                "          --workflow <xml>\n"
                "          --arg name=value [...] --file key=path [...]\n"
                "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n"
-               "          [--trace <file>] [--faults <spec|file>] [--fault-seed N]\n"
+               "          [--trace <file>] [--metrics <file>]\n"
+               "          [--faults <spec|file>] [--fault-seed N]\n"
                "          [--ckpt-dir <dir>]\n",
                argv0);
 }
@@ -122,6 +136,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.stats = true;
     } else if (flag == "--trace") {
       opt.trace_path = next();
+    } else if (flag == "--metrics") {
+      opt.metrics_path = next();
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -195,8 +211,8 @@ int run(int argc, char** argv) {
   add_spec(opt.input_config);
   for (const auto& path : opt.extra_input_configs) add_spec(path);
   auto wf = core::load_workflow(opt.workflow);
-  std::printf("papar: workflow `%s` (%zu operators), %d simulated nodes\n",
-              wf.name.c_str(), wf.operators.size(), opt.nodes);
+  std::fprintf(stderr, "papar: workflow `%s` (%zu operators), %d simulated nodes\n",
+               wf.name.c_str(), wf.operators.size(), opt.nodes);
 
   core::WorkflowEngine engine(std::move(wf), specs, opt.args, opt.engine);
 
@@ -204,24 +220,42 @@ int run(int argc, char** argv) {
   std::map<std::string, std::string> contents;
   for (const auto& [key, path] : opt.files) {
     contents[key] = slurp(path);
-    std::printf("papar: loaded %s (%zu bytes) as `%s`\n", path.c_str(),
-                contents[key].size(), key.c_str());
+    std::fprintf(stderr, "papar: loaded %s (%zu bytes) as `%s`\n", path.c_str(),
+                 contents[key].size(), key.c_str());
   }
 
   mp::Runtime runtime(opt.nodes);
   obs::Recorder recorder;
-  if (!opt.trace_path.empty()) runtime.set_recorder(&recorder);
+  obs::TraceRecorder tracer;
+  obs::MetricsRegistry metrics;
+  // Any observability request wants the full causal picture: the event
+  // graph feeds --stats' analyses and the --trace artifact; the registry
+  // feeds --metrics and the trace's embedded summary.
+  const bool observing = !opt.trace_path.empty() || !opt.metrics_path.empty() || opt.stats;
+  if (observing) {
+    runtime.set_recorder(&recorder);
+    runtime.set_tracer(&tracer);
+    runtime.set_metrics(&metrics);
+  }
   std::optional<mp::FaultInjector> injector;
   if (!opt.faults.empty()) {
     mp::FaultPlan plan = mp::FaultPlan::parse_arg(opt.faults);
     if (opt.fault_seed) plan.seed = *opt.fault_seed;
     injector.emplace(plan);
     runtime.set_fault_injector(&*injector);
-    std::printf("papar: fault injection on (%s)\n", plan.to_string().c_str());
+    std::fprintf(stderr, "papar: fault injection on (%s)\n", plan.to_string().c_str());
   }
   const auto result = engine.run(runtime, contents);
   runtime.set_recorder(nullptr);
+  runtime.set_tracer(nullptr);
+  runtime.set_metrics(nullptr);
   runtime.set_fault_injector(nullptr);
+  // Fold the run's span-recorder counters (traffic per collective kind,
+  // fault/checkpoint tallies) into the registry so one artifact carries
+  // everything.
+  if (observing) {
+    for (const auto& [name, value] : recorder.counters()) metrics.inc(name, value);
+  }
 
   // Write partitions next to the resolved output path.
   const std::string out_base = engine.resolve("$output_path");
@@ -229,32 +263,47 @@ int run(int argc, char** argv) {
     const std::string path = out_base + "." + std::to_string(p);
     write_partition(path, result.schema, result.partitions[p], specs);
   }
-  std::printf("papar: wrote %zu partitions (%zu records) to %s.*\n",
-              result.partitions.size(), result.total_records(), out_base.c_str());
+  std::fprintf(stderr, "papar: wrote %zu partitions (%zu records) to %s.*\n",
+               result.partitions.size(), result.total_records(), out_base.c_str());
   if (opt.stats) {
-    std::printf("papar: simulated partitioning time %.4f s, shuffle %.2f MB in "
-                "%llu messages\n",
-                result.stats.makespan,
-                static_cast<double>(result.stats.remote_bytes) / 1e6,
-                static_cast<unsigned long long>(result.stats.remote_messages));
-    result.report.print(stdout);
+    std::fprintf(stderr,
+                 "papar: simulated partitioning time %.4f s, shuffle %.2f MB in "
+                 "%llu messages\n",
+                 result.stats.makespan,
+                 static_cast<double>(result.stats.remote_bytes) / 1e6,
+                 static_cast<unsigned long long>(result.stats.remote_messages));
+    result.report.print(stderr);
+    const obs::TraceData graph = tracer.snapshot();
+    const obs::CriticalPath path = obs::critical_path(graph);
+    obs::print_critical_path(stderr, path, graph);
+    obs::print_skew_table(stderr, graph);
   }
   if (injector) {
     const mp::FaultCounts fc = injector->counts();
-    std::printf("papar: faults injected: %llu drops, %llu dups, %llu delays, "
-                "%llu crashes; %llu retries, %llu detections, %d recoveries\n",
-                static_cast<unsigned long long>(fc.drops),
-                static_cast<unsigned long long>(fc.duplicates),
-                static_cast<unsigned long long>(fc.delays),
-                static_cast<unsigned long long>(fc.crashes),
-                static_cast<unsigned long long>(fc.retries),
-                static_cast<unsigned long long>(fc.detections),
-                result.stats.recoveries);
+    std::fprintf(stderr,
+                 "papar: faults injected: %llu drops, %llu dups, %llu delays, "
+                 "%llu crashes; %llu retries, %llu detections, %d recoveries\n",
+                 static_cast<unsigned long long>(fc.drops),
+                 static_cast<unsigned long long>(fc.duplicates),
+                 static_cast<unsigned long long>(fc.delays),
+                 static_cast<unsigned long long>(fc.crashes),
+                 static_cast<unsigned long long>(fc.retries),
+                 static_cast<unsigned long long>(fc.detections),
+                 result.stats.recoveries);
   }
   if (!opt.trace_path.empty()) {
-    recorder.write_trace(opt.trace_path);
-    std::printf("papar: wrote %zu trace spans to %s\n", recorder.span_count(),
-                opt.trace_path.c_str());
+    const obs::TraceData graph = tracer.snapshot();
+    obs::write_chrome_trace(opt.trace_path, graph, &recorder, &result.report, &metrics);
+    std::fprintf(stderr, "papar: wrote %zu trace events + %zu spans to %s\n",
+                 graph.event_count(), recorder.span_count(), opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw DataError("cannot open metrics file " + opt.metrics_path);
+    const std::string body = metrics.to_prometheus();
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    if (!out) throw DataError("metrics write failed: " + opt.metrics_path);
+    std::fprintf(stderr, "papar: wrote metrics to %s\n", opt.metrics_path.c_str());
   }
   return 0;
 }

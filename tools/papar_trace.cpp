@@ -1,0 +1,114 @@
+// papar_trace — offline analysis of trace files written by `papar --trace`
+// (or any tool calling obs::write_chrome_trace).
+//
+//   papar_trace trace.json             # critical path, skew, link matrix
+//   papar_trace old.json new.json      # the same for new.json, plus a
+//                                      # per-stage regression diff old->new
+//
+// The input is the Chrome trace_event artifact itself: the full event
+// graph, stage report, and metrics summary ride along under the top-level
+// "papar" key, so the file Perfetto renders is the same file this tool
+// analyses. Analysis output goes to stdout; errors to stderr.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace papar;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <trace.json> [baseline-comes-first.json new.json]\n",
+               argv0);
+}
+
+void analyze(const std::string& path) {
+  const obs::TraceData trace = obs::load_trace_file(path);
+  std::printf("== %s: %d ranks, %zu events, makespan %.6f s ==\n", path.c_str(),
+              trace.nranks, trace.event_count(), trace.makespan());
+  const obs::CriticalPath cp = obs::critical_path(trace);
+  obs::print_critical_path(stdout, cp, trace);
+  obs::print_skew_table(stdout, trace);
+  obs::print_link_matrix(stdout, trace);
+  obs::StageReport report;
+  if (obs::load_trace_file_report(path, &report)) {
+    std::printf("embedded stage report:\n");
+    report.print(stdout);
+  }
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      throw ConfigError("unknown flag `" + arg + "`");
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty() || paths.size() > 2) {
+    usage(argv[0]);
+    throw ConfigError("expected one or two trace files");
+  }
+
+  analyze(paths.back());
+
+  if (paths.size() == 2) {
+    obs::StageReport a, b;
+    const bool have_a = obs::load_trace_file_report(paths[0], &a);
+    const bool have_b = obs::load_trace_file_report(paths[1], &b);
+    std::printf("\n== regression diff: %s (A) -> %s (B) ==\n", paths[0].c_str(),
+                paths[1].c_str());
+    if (have_a && have_b) {
+      obs::print_diff(stdout, obs::diff_reports(a, b));
+    } else {
+      // No embedded stage reports (trace written outside the engine):
+      // diff the critical-path stage attribution instead.
+      const obs::TraceData ta = obs::load_trace_file(paths[0]);
+      const obs::TraceData tb = obs::load_trace_file(paths[1]);
+      const obs::CriticalPath ca = obs::critical_path(ta);
+      const obs::CriticalPath cb = obs::critical_path(tb);
+      std::vector<obs::StageDiff> rows;
+      for (const auto& [stage, seconds] : ca.by_stage) {
+        obs::StageDiff d;
+        d.id = stage.empty() ? "(preamble)" : stage;
+        d.seconds_a = seconds;
+        if (const auto it = cb.by_stage.find(stage); it != cb.by_stage.end()) {
+          d.seconds_b = it->second;
+        }
+        rows.push_back(std::move(d));
+      }
+      for (const auto& [stage, seconds] : cb.by_stage) {
+        if (ca.by_stage.count(stage)) continue;
+        obs::StageDiff d;
+        d.id = stage.empty() ? "(preamble)" : stage;
+        d.seconds_b = seconds;
+        rows.push_back(std::move(d));
+      }
+      std::printf("(critical-path stage attribution; no embedded stage reports)\n");
+      obs::print_diff(stdout, rows);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const papar::Error& e) {
+    std::fprintf(stderr, "papar_trace: %s\n", e.what());
+    return 1;
+  }
+}

@@ -39,6 +39,8 @@
 #include "graph/generator.hpp"
 #include "graph/papar_hybrid.hpp"
 #include "mpsim/fault.hpp"
+#include "obs/critpath.hpp"
+#include "obs/trace.hpp"
 #include "sortlib/sort.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
@@ -72,6 +74,25 @@ int repeats() {
 void print_entry(const bench::BenchEntry& e) {
   std::printf("  %-32s before %.4fs  after %.4fs  speedup %.2fx\n", e.name.c_str(),
               e.before_median(), e.after_median(), e.speedup());
+}
+
+// Per-stage share of the simulated critical path, from one traced run of
+// the "after" configuration (timing samples are never taken with the
+// tracer attached, so the committed medians stay instrumentation-free).
+std::vector<std::pair<std::string, double>> critpath_fractions(
+    const obs::TraceRecorder& tracer) {
+  const obs::CriticalPath path = obs::critical_path(tracer.snapshot());
+  std::vector<std::pair<std::string, double>> fractions;
+  if (path.total <= 0.0) return fractions;
+  for (const auto& [stage, seconds] : path.by_stage) {
+    fractions.emplace_back(stage, seconds / path.total);
+  }
+  std::printf("  critical path by stage:");
+  for (const auto& [stage, frac] : fractions) {
+    std::printf("  %s %.1f%%", stage.c_str(), 100.0 * frac);
+  }
+  std::printf("\n");
+  return fractions;
 }
 
 bench::BenchReport bench_sortlib(int reps) {
@@ -159,6 +180,13 @@ bench::BenchReport bench_blast(int reps) {
   report.repeats = reps;
   report.entries = {makespan};
   print_entry(makespan);
+
+  obs::TraceRecorder tracer;
+  auto injector = make_injector();
+  blast::partition_with_papar(db, 16, 32, blast::Policy::kCyclic, {},
+                              bench::papar_fabric(),
+                              injector ? &*injector : nullptr, &tracer);
+  report.critical_path_fractions = critpath_fractions(tracer);
   return report;
 }
 
@@ -194,6 +222,12 @@ bench::BenchReport bench_hybrid(int reps) {
   report.repeats = reps;
   report.entries = {makespan};
   print_entry(makespan);
+
+  obs::TraceRecorder tracer;
+  auto injector = make_injector();
+  graph::papar_hybrid_cut(g, 16, 16, 200, {}, bench::papar_fabric(),
+                          injector ? &*injector : nullptr, &tracer);
+  report.critical_path_fractions = critpath_fractions(tracer);
   return report;
 }
 
