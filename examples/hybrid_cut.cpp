@@ -16,6 +16,11 @@
 // Set PAPAR_TRACE to a path to record the workflow's causal event graph and
 // write it there as a Chrome/Perfetto trace (open at https://ui.perfetto.dev;
 // analyse offline with tools/papar_trace).
+//
+// Set PAPAR_MEM_BUDGET to a byte size (e.g. "8m") to cap each simulated
+// rank's working memory: the shuffle/sort phases spill to disk past the
+// soft watermark (PAPAR_SPILL_DIR overrides the spill location) and the
+// result stays byte-identical — the PowerLyra check still passes.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -45,9 +50,21 @@ std::optional<papar::mp::FaultInjector> injector_from_env() {
   return std::make_optional<papar::mp::FaultInjector>(plan);
 }
 
-}  // namespace
+/// Engine options from PAPAR_MEM_BUDGET / PAPAR_SPILL_DIR (defaults when
+/// unset: no budget, temp-dir spill).
+papar::core::EngineOptions engine_options_from_env() {
+  papar::core::EngineOptions options;
+  if (const char* budget = std::getenv("PAPAR_MEM_BUDGET")) {
+    if (*budget != '\0') {
+      options.mem_budget = papar::parse_byte_size(budget, "PAPAR_MEM_BUDGET");
+      std::printf("memory budget: %zu bytes per rank\n", options.mem_budget);
+    }
+  }
+  if (const char* dir = std::getenv("PAPAR_SPILL_DIR")) options.spill_dir = dir;
+  return options;
+}
 
-int main(int argc, char** argv) {
+int run_example(int argc, char** argv) {
   using namespace papar;
   using namespace papar::graph;
 
@@ -68,7 +85,7 @@ int main(int argc, char** argv) {
   const char* trace_path = std::getenv("PAPAR_TRACE");
   obs::TraceRecorder tracer;
   const auto papar = papar_hybrid_cut(
-      g, static_cast<int>(partitions), partitions, threshold, {},
+      g, static_cast<int>(partitions), partitions, threshold, engine_options_from_env(),
       mp::NetworkModel::rdma(), injector ? &*injector : nullptr,
       trace_path != nullptr && *trace_path != '\0' ? &tracer : nullptr);
   std::printf("PaPar hybrid-cut: simulated makespan %.2f ms, shuffle %.2f MB\n",
@@ -84,6 +101,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fc.crashes),
                 static_cast<unsigned long long>(fc.retries), papar.stats.recoveries,
                 static_cast<unsigned long long>(papar.report.faults.checkpoint_restores));
+  }
+  if (papar.report.memory.any()) {
+    const auto& m = papar.report.memory;
+    std::printf("memory: budget %llu B, high water %llu B, spilled %llu B in "
+                "%llu runs, %llu backpressure stalls\n",
+                static_cast<unsigned long long>(m.budget_bytes),
+                static_cast<unsigned long long>(m.high_water_bytes),
+                static_cast<unsigned long long>(m.spill_bytes),
+                static_cast<unsigned long long>(m.spill_runs),
+                static_cast<unsigned long long>(m.backpressure_stalls));
   }
 
   if (trace_path != nullptr && *trace_path != '\0') {
@@ -131,4 +158,17 @@ int main(int argc, char** argv) {
               "time %.2f ms\n",
               distinct.size(), cc.iterations, cc.stats.makespan * 1e3);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_example(argc, argv);
+  } catch (const papar::Error& e) {
+    // Typed failures (e.g. BudgetExceededError under a too-tight
+    // PAPAR_MEM_BUDGET) exit cleanly with the diagnostic.
+    std::fprintf(stderr, "hybrid_cut: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,10 +1,15 @@
 #include "core/engine.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 
 #include "mapreduce/checkpoint.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
+#include "util/membudget.hpp"
 #include "util/parse.hpp"
 
 namespace papar::core {
@@ -409,10 +414,52 @@ PartitionResult WorkflowEngine::run(
   std::unique_ptr<mr::CheckpointStore> ckpt;
   if (runtime.fault_injector() != nullptr) {
     ckpt = std::make_unique<mr::CheckpointStore>(nranks, options_.checkpoint_dir);
+    // Recovery only restores the latest complete stage; older blobs are
+    // released as the job advances so long workflows stay bounded.
+    if (options_.ckpt_keep_last > 0) ckpt->set_keep_last(options_.ckpt_keep_last);
+  }
+
+  // Memory governance: a non-zero budget attaches a MemoryBudget for the
+  // duration of this run — credit-capped mailboxes, soft-watermark spill in
+  // the MapReduce phases, and typed BudgetExceededError past the hard limit.
+  std::unique_ptr<MemoryBudget> budget;
+  if (options_.mem_budget > 0) {
+    MemoryBudgetConfig bcfg;
+    bcfg.hard_limit = options_.mem_budget;
+    bcfg.soft_limit = options_.mem_budget / 5 * 4;
+    bcfg.mailbox_limit = options_.mem_budget / 4;
+    bcfg.spill_dir =
+        !options_.spill_dir.empty()
+            ? options_.spill_dir
+            : (std::filesystem::temp_directory_path() /
+               ("papar-spill-" + std::to_string(::getpid())))
+                  .string();
+    budget = std::make_unique<MemoryBudget>(std::move(bcfg));
+    if (obs::MetricsRegistry* metrics = runtime.metrics()) {
+      budget->set_counter_hook([metrics](const char* name, std::uint64_t delta) {
+        metrics->inc(name, delta);
+      });
+    }
+  }
+  struct BudgetGuard {
+    mp::Runtime* rt = nullptr;
+    ~BudgetGuard() {
+      if (rt != nullptr) rt->set_memory_budget(nullptr);
+    }
+  } budget_guard;
+  if (budget) {
+    runtime.set_memory_budget(budget.get());
+    budget_guard.rt = &runtime;
   }
 
   auto body = [&](mp::Comm& comm) {
-    comm.set_trace_stage("setup");
+    // Stage labels feed both the causal tracer and the memory budget's
+    // rank -> stage high-water breakdown (and BudgetExceededError's text).
+    auto enter_stage = [&](const std::string& name) {
+      comm.set_trace_stage(name);
+      if (auto* b = comm.memory_budget()) b->set_stage(comm.rank(), name);
+    };
+    enter_stage("setup");
     std::map<std::string, Dataset> datasets;
 
     auto job_boundary = [&](std::size_t idx) {
@@ -421,6 +468,11 @@ PartitionResult WorkflowEngine::run(
         boundary_bytes[idx] = comm.remote_bytes_so_far();
         boundary_messages[idx] = comm.remote_messages_so_far();
         boundary_time[idx] = comm.vtime();
+        // The fabric is quiescent inside the boundary sandwich and every
+        // dropped transmission has been retried to success, so the stage's
+        // per-message fault events are acknowledged: fold them into
+        // per-link aggregates to keep the trace table bounded.
+        if (auto* inj = runtime.fault_injector()) inj->prune_acknowledged();
       }
       comm.barrier();
     };
@@ -493,7 +545,7 @@ PartitionResult WorkflowEngine::run(
     for (std::size_t s = start_step; s < steps.size(); ++s) {
       const auto& step = steps[s];
       job_boundary(s);
-      comm.set_trace_stage("job:" + step.decl->id);
+      enter_stage("job:" + step.decl->id);
       if (ckpt) {
         // Saved between the boundary barrier and the stage's first
         // communication: saves are purely local, and scheduled crashes only
@@ -576,7 +628,7 @@ PartitionResult WorkflowEngine::run(
     // counted, so stage deltas sum exactly to the run totals.
     job_times[static_cast<std::size_t>(comm.rank())] = comm.vtime();
     job_boundary(nsteps);
-    comm.set_trace_stage("output");
+    enter_stage("output");
 
     std::vector<std::vector<std::string>> partitions;
     schema::Schema out_schema;
@@ -609,6 +661,9 @@ PartitionResult WorkflowEngine::run(
   };
 
   result.stats = runtime.run(body);
+  // Clean exit: checkpoint files have served their purpose. (A thrown run
+  // never reaches this, leaving them on disk for post-mortem inspection.)
+  if (ckpt) ckpt->remove_spill_files();
   // Replace the run totals with the pre-output-write snapshot.
   result.stats.rank_time = job_times;
   result.stats.makespan = *std::max_element(job_times.begin(), job_times.end());
@@ -631,6 +686,20 @@ PartitionResult WorkflowEngine::run(
     if (ckpt) {
       result.report.faults.checkpoint_saves = ckpt->saves();
       result.report.faults.checkpoint_restores = ckpt->restores();
+    }
+  }
+  if (budget) {
+    result.report.memory.budget_bytes = budget->config().hard_limit;
+    result.report.memory.high_water_bytes = budget->high_water();
+    result.report.memory.spill_bytes = budget->spill_bytes();
+    result.report.memory.spill_runs = budget->spill_runs();
+    result.report.memory.soft_crossings = budget->soft_crossings();
+    result.report.memory.backpressure_stalls = budget->backpressure_stalls();
+    result.report.memory.emergency_credits = budget->emergency_credits();
+    if (obs::MetricsRegistry* metrics = runtime.metrics()) {
+      // Event counters streamed in live through the budget hook; the peak
+      // is only known now.
+      metrics->inc("mem.high_water_bytes", budget->high_water());
     }
   }
   result.report.stages.reserve(nsteps);

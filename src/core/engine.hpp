@@ -37,8 +37,25 @@ struct EngineOptions {
   /// itself is controlled by the runtime: when a FaultInjector is attached,
   /// every rank checkpoints its inter-job datasets at each stage boundary
   /// (in memory; plus here when non-empty) so crash recovery re-executes
-  /// only the interrupted stage.
+  /// only the interrupted stage. Checkpoint files from a clean run are
+  /// removed on engine exit; a failed run keeps them for post-mortem.
   std::string checkpoint_dir;
+  /// Checkpoint retention: in-memory blobs of all but the newest K
+  /// complete stages are released as the job advances (recovery only ever
+  /// restores the latest complete stage). 0 keeps everything.
+  int ckpt_keep_last = 2;
+  /// Per-rank hard budget on tracked working bytes (parse with
+  /// parse_byte_size; 0 = ungoverned). Non-zero attaches a MemoryBudget to
+  /// the runtime for the run: the soft watermark sits at 80% of the hard
+  /// limit (shuffle/sort phases spill to disk past it), and mailboxes are
+  /// capped at a quarter of it under credit-based flow control. Runs that
+  /// genuinely cannot fit fail with a typed BudgetExceededError naming the
+  /// rank, stage, and high-water mark — never an OOM kill, never a hang.
+  std::size_t mem_budget = 0;
+  /// Spill directory for budget-governed runs; empty picks a per-process
+  /// directory under the system temp dir. Spill files are removed as soon
+  /// as each operation completes.
+  std::string spill_dir;
 };
 
 /// The materialized output of a workflow run.

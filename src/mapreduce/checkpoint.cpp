@@ -1,7 +1,9 @@
 #include "mapreduce/checkpoint.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "util/error.hpp"
 
@@ -33,9 +35,80 @@ void CheckpointStore::save(std::uint64_t stage, int rank, std::vector<unsigned c
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
     if (!out) throw DataError("cannot write checkpoint file '" + path + "'");
+    // Replays rewrite the same path; record each one once.
+    if (std::find(spill_paths_.begin(), spill_paths_.end(), path) ==
+        spill_paths_.end()) {
+      spill_paths_.push_back(path);
+    }
   }
   slots[static_cast<std::size_t>(rank)] = std::move(bytes);
   ++saves_;
+  enforce_retention_locked();
+}
+
+void CheckpointStore::set_keep_last(int k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keep_last_ = k;
+  enforce_retention_locked();
+}
+
+void CheckpointStore::enforce_retention_locked() {
+  if (keep_last_ <= 0) return;
+  // Newest-first walk over complete stages; release blobs past the K-th.
+  int complete_seen = 0;
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    bool complete = true;
+    for (const auto& slot : it->second) {
+      if (!slot) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    if (++complete_seen <= keep_last_) continue;
+    for (auto& slot : it->second) {
+      if (slot) {
+        released_bytes_ += slot->size();
+        slot.reset();
+      }
+    }
+  }
+  // Fully-released stages leave an entry of empty slots behind; erase them
+  // so the map itself stays bounded. (They read as "incomplete", which is
+  // correct: they can no longer satisfy a restore.)
+  for (auto it = stages_.begin(); it != stages_.end();) {
+    bool any = false;
+    for (const auto& slot : it->second) {
+      if (slot) {
+        any = true;
+        break;
+      }
+    }
+    it = any ? std::next(it) : stages_.erase(it);
+  }
+}
+
+std::uint64_t CheckpointStore::released_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return released_bytes_;
+}
+
+std::size_t CheckpointStore::remove_spill_files() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  for (const auto& path : spill_paths_) {
+    std::error_code ec;
+    if (std::filesystem::remove(path, ec)) ++removed;
+  }
+  spill_paths_.clear();
+  if (!spill_dir_.empty()) {
+    std::error_code ec;
+    if (std::filesystem::is_empty(spill_dir_, ec) && !ec) {
+      std::filesystem::remove(spill_dir_, ec);
+    }
+  }
+  spill_dir_ready_ = false;
+  return removed;
 }
 
 std::optional<std::vector<unsigned char>> CheckpointStore::load(std::uint64_t stage, int rank) {

@@ -32,6 +32,23 @@ class CheckpointStore {
 
   int nranks() const { return nranks_; }
 
+  /// Opt-in retention bound: once stage N is complete, in-memory blobs of
+  /// all but the newest `k` complete stages are released (recovery only
+  /// ever restores the latest complete stage, so older blobs are dead
+  /// weight that previously accumulated for the whole job). 0 — the
+  /// default — keeps everything. Incomplete stages are never released, and
+  /// spill files stay on disk until remove_spill_files().
+  void set_keep_last(int k);
+
+  /// In-memory blob bytes released by the retention bound so far.
+  std::uint64_t released_bytes() const;
+
+  /// Deletes every checkpoint file this store wrote (and the spill
+  /// directory, if empty afterwards); best-effort, returns the number of
+  /// files removed. The engine calls this on clean exit only, so failed
+  /// runs keep their on-disk checkpoints for post-mortem inspection.
+  std::size_t remove_spill_files();
+
   /// Saves `bytes` as rank `rank`'s checkpoint of `stage`, replacing any
   /// previous blob (a deterministic replay rewrites identical bytes).
   void save(std::uint64_t stage, int rank, std::vector<unsigned char> bytes);
@@ -54,6 +71,9 @@ class CheckpointStore {
   void clear();
 
  private:
+  /// Releases old complete stages per keep_last_. Caller holds mutex_.
+  void enforce_retention_locked();
+
   const int nranks_;
   const std::string spill_dir_;
   mutable std::mutex mutex_;
@@ -62,6 +82,10 @@ class CheckpointStore {
   std::uint64_t saves_ = 0;
   std::uint64_t restores_ = 0;
   bool spill_dir_ready_ = false;
+  int keep_last_ = 0;
+  std::uint64_t released_bytes_ = 0;
+  /// Every checkpoint file path ever written (for clean-exit removal).
+  std::vector<std::string> spill_paths_;
 };
 
 }  // namespace papar::mr

@@ -5,11 +5,42 @@
 #include <limits>
 #include <string>
 
+#include "mapreduce/spill.hpp"
 #include "util/hash.hpp"
+#include "util/membudget.hpp"
 
 namespace papar::mr {
 
 namespace {
+
+std::uint32_t read_seg_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void write_seg_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// True when the budget is configured for disk spill (soft watermark and a
+/// spill directory): the signal to route sort/rewrite phases through the
+/// bounded-memory paths.
+bool spill_ready(const MemoryBudget* budget) {
+  return budget != nullptr && budget->config().soft_limit > 0 &&
+         !budget->config().spill_dir.empty();
+}
+
+SpillConfig make_spill_config(MemoryBudget* budget, int rank) {
+  SpillConfig cfg;
+  cfg.budget = budget;
+  cfg.rank = rank;
+  cfg.dir = budget->config().spill_dir;
+  // Small floor so tiny budgets stay feasible: the external sort's scratch
+  // charge is min(run_bytes, page size), and a run must fit under the hard
+  // limit for the sort to start at all.
+  cfg.run_bytes =
+      std::max<std::size_t>(16u * 1024, budget->config().soft_limit / 4);
+  return cfg;
+}
 
 /// Records one virtual-time span per rank for a MapReduce phase. Costs one
 /// vtime() read at each end when a recorder is attached, nothing otherwise.
@@ -47,6 +78,20 @@ void MapReduce::map(int nmap, const MapTaskFn& fn) {
 
 void MapReduce::map_kv(const MapKvFn& fn) {
   PhaseSpan span(comm_, "mr.map_kv");
+  if (spill_ready(budget_)) {
+    // Bounded rewrite: emissions spool to disk past the soft watermark and
+    // the source page is freed before the output materializes, so the peak
+    // is max(input, output) + one spool buffer instead of input + output.
+    RewriteSpool spool(make_spill_config(budget_, comm_->rank()));
+    KvEmitter emitter(spool.buffer());
+    page_.for_each([&](std::string_view k, std::string_view v) {
+      fn(k, v, emitter);
+      spool.maybe_flush();
+    });
+    { auto old = page_.take_bytes(); }
+    spool.finish(page_);
+    return;
+  }
   KvBuffer fresh;
   KvEmitter emitter(fresh);
   page_.for_each([&](std::string_view k, std::string_view v) { fn(k, v, emitter); });
@@ -98,10 +143,33 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
         dest_bytes[static_cast<std::size_t>(dest)] += framed.size();
       });
 
+  // Credit-governed runtimes take the segmented path: many bounded
+  // segments per destination instead of one page-sized buffer per rank,
+  // so neither the send side nor any mailbox ever holds the whole stage.
+  if (budget_ != nullptr && budget_->config().mailbox_limit > 0) {
+    if (obs::Recorder* rec = comm_->recorder()) {
+      std::uint64_t bytes = 0;
+      for (std::size_t b : dest_bytes) bytes += b;
+      rec->add_counter("mr.shuffle.records", routed);
+      rec->add_counter("mr.shuffle.bytes", bytes);
+    }
+    shuffle_segmented(dest_bytes);
+    return;
+  }
+
   // Fill pass: bulk-copy each framed record into its destination page. The
   // pages come from the arena — storage recycled from the previous
   // shuffle's received buffers — so steady-state aggregate() loops allocate
   // nothing per call.
+  // With a (non-credit) budget attached, the arena counts as tracked
+  // working memory: a stage that cannot fit fails typed, not OOM.
+  BudgetScope arena_scope(
+      budget_, comm_->rank(),
+      [&dest_bytes] {
+        std::size_t total = 0;
+        for (std::size_t b : dest_bytes) total += b;
+        return total;
+      }());
   arena_.resize(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     auto& buf = arena_[static_cast<std::size_t>(r)];
@@ -132,6 +200,146 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
   for (auto& buf : arena_) buf.clear();
 }
 
+void MapReduce::shuffle_segmented(const std::vector<std::size_t>& dest_bytes) {
+  const int p = comm_->size();
+  const int self = comm_->rank();
+  constexpr std::size_t kSegHeader = 2 * sizeof(std::uint32_t);
+
+  // Segment payload target: small enough that p in-flight segments stay
+  // well under the soft watermark and two fit in a mailbox, large enough
+  // to amortize per-message latency.
+  const std::size_t soft = budget_->config().soft_limit;
+  const std::size_t cap = budget_->config().mailbox_limit;
+  std::size_t chunk =
+      std::max<std::size_t>(soft / (4 * static_cast<std::size_t>(p)), 4096);
+  chunk = std::min(chunk, std::max<std::size_t>(cap / 2, 256));
+  // No segment needs to be larger than the biggest destination's data: a
+  // generous budget must not inflate the staging buffers (or the measured
+  // high water) past what the exchange actually moves.
+  std::size_t max_dest = 0;
+  for (const std::size_t b : dest_bytes) max_dest = std::max(max_dest, b);
+  chunk = std::min(chunk, std::max<std::size_t>(max_dest, 256));
+
+  // Sizing pass: per-destination segment totals under the greedy cut. The
+  // final (possibly frame-less) segment every destination receives carries
+  // the count, so receivers always learn when a source is done.
+  std::vector<std::uint32_t> total(static_cast<std::size_t>(p), 1);
+  {
+    std::vector<std::size_t> fill(static_cast<std::size_t>(p), 0);
+    std::size_t i = 0;
+    page_.for_each_record(
+        [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
+          const auto d = static_cast<std::size_t>(route_cache_[i++]);
+          if (fill[d] > 0 && fill[d] + framed.size() > chunk) {
+            ++total[d];
+            fill[d] = 0;
+          }
+          fill[d] += framed.size();
+        });
+  }
+
+  // Receiver state: segments from one source arrive in sequence order
+  // (per-source FIFO), and the done mask stops consumption at the
+  // announced count so a fast peer's *next* collective cannot be stolen.
+  std::vector<std::uint32_t> expect(static_cast<std::size_t>(p), 0);  // 0 = unknown
+  std::vector<std::uint32_t> got(static_cast<std::size_t>(p), 0);
+  std::vector<char> done(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::vector<unsigned char>>> store(
+      static_cast<std::size_t>(p));
+  int open = p;
+  auto note_segment = [&](mp::Envelope& env) {
+    const auto src = static_cast<std::size_t>(env.source);
+    PAPAR_CHECK_MSG(env.payload.size() >= kSegHeader, "shuffle segment too short");
+    const std::uint32_t seq = read_seg_u32(env.payload.data());
+    const std::uint32_t announced = read_seg_u32(env.payload.data() + 4);
+    PAPAR_CHECK_MSG(seq == got[src], "shuffle segments out of order");
+    if (expect[src] == 0) {
+      expect[src] = announced;
+    } else {
+      PAPAR_CHECK_MSG(expect[src] == announced,
+                      "shuffle segment count changed mid-stream");
+    }
+    env.payload.erase(env.payload.begin(),
+                      env.payload.begin() + static_cast<std::ptrdiff_t>(kSegHeader));
+    store[src].push_back(std::move(env.payload));
+    if (++got[src] == expect[src]) {
+      done[src] = 1;
+      --open;
+    }
+  };
+
+  // Fill-and-stream pass. The p open segment buffers (≤ p * chunk bytes,
+  // about a quarter of the soft watermark) are this path's tracked
+  // transient; received segments replace the source page byte-for-byte.
+  std::vector<std::vector<unsigned char>> seg(static_cast<std::size_t>(p));
+  std::vector<std::uint32_t> seq_no(static_cast<std::size_t>(p), 0);
+  auto start_segment = [&](std::size_t d) {
+    auto& b = seg[d];
+    b.clear();
+    b.resize(kSegHeader);
+    write_seg_u32(b.data(), seq_no[d]);
+    write_seg_u32(b.data() + 4, total[d]);
+  };
+  // Tracked charge for the open buffers: each destination stages at most
+  // min(chunk, its data) + header, so the charge follows the data, not the
+  // worst-case p * chunk.
+  const std::size_t staged = [&] {
+    std::size_t sum = 0;
+    for (const std::size_t b : dest_bytes) sum += std::min(chunk, b) + kSegHeader;
+    return sum;
+  }();
+  BudgetScope scratch(budget_, self, staged);
+  for (std::size_t d = 0; d < static_cast<std::size_t>(p); ++d) start_segment(d);
+  mp::Envelope env;
+  std::size_t i = 0;
+  page_.for_each_record(
+      [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
+        const auto d = static_cast<std::size_t>(route_cache_[i++]);
+        auto& b = seg[d];
+        if (b.size() > kSegHeader && b.size() - kSegHeader + framed.size() > chunk) {
+          comm_->shuffle_send(static_cast<int>(d), std::move(b));
+          ++seq_no[d];
+          start_segment(d);
+          // Drain whatever already arrived: returning credits here is what
+          // keeps the whole exchange flowing without watchdog stalls.
+          while (open > 0 && comm_->try_shuffle_recv(done, env)) note_segment(env);
+        }
+        b.insert(b.end(), framed.begin(), framed.end());
+      });
+  // Free the source page before the final sends: the peak is then open
+  // segments + received store, never + the outgoing page as well.
+  { auto old = page_.take_bytes(); }
+  for (std::size_t d = 0; d < static_cast<std::size_t>(p); ++d) {
+    comm_->shuffle_send(static_cast<int>(d), std::move(seg[d]));
+    while (open > 0 && comm_->try_shuffle_recv(done, env)) note_segment(env);
+  }
+  seg.clear();
+  seg.shrink_to_fit();
+
+  // Drain stragglers, blocking per still-open source (FIFO makes a
+  // source-targeted blocking receive safe).
+  while (open > 0) {
+    if (comm_->try_shuffle_recv(done, env)) {
+      note_segment(env);
+      continue;
+    }
+    std::size_t src = 0;
+    while (done[src] != 0) ++src;
+    env = comm_->shuffle_recv(static_cast<int>(src));
+    note_segment(env);
+  }
+
+  // Rebuild in (source rank asc, sequence asc) order — byte-identical to
+  // the monolithic alltoallv result — freeing each segment as it lands.
+  for (auto& source_segs : store) {
+    for (auto& part : source_segs) {
+      page_.append_page(part.data(), part.size());
+      part = std::vector<unsigned char>();
+    }
+    source_segs.clear();
+  }
+}
+
 void MapReduce::aggregate() {
   const int p = comm_->size();
   shuffle_by([p](const KvPair& kv) {
@@ -152,8 +360,11 @@ void MapReduce::reduce(const ReduceFn& fn) {
     return page_.at(a).key < page_.at(b).key;
   });
 
+  const bool spooled = spill_ready(budget_);
+  RewriteSpool spool(spooled ? make_spill_config(budget_, comm_->rank())
+                             : SpillConfig{});
   KvBuffer fresh;
-  KvEmitter emitter(fresh);
+  KvEmitter emitter(spooled ? spool.buffer() : fresh);
   std::vector<std::string_view> values;
   std::size_t i = 0;
   while (i < offs.size()) {
@@ -168,17 +379,33 @@ void MapReduce::reduce(const ReduceFn& fn) {
       ++j;
     }
     fn(head.key, std::span<const std::string_view>(values.data(), values.size()), emitter);
+    if (spooled) spool.maybe_flush();
     i = j;
   }
-  page_ = std::move(fresh);
+  if (spooled) {
+    { auto old = page_.take_bytes(); }
+    spool.finish(page_);
+  } else {
+    page_ = std::move(fresh);
+  }
 }
 
 void MapReduce::local_sort(
     const std::function<bool(const KvPair&, const KvPair&)>& less) {
+  // reorder() materializes a full second copy of the page; when that copy
+  // would push the rank past its soft watermark, sort externally instead:
+  // sorted runs spill to disk and a streaming merge rebuilds the page,
+  // byte-identical to the in-memory result.
+  if (spill_ready(budget_) &&
+      budget_->should_spill(comm_->rank(), page_.byte_size())) {
+    external_stable_sort(page_, less, make_spill_config(budget_, comm_->rank()));
+    return;
+  }
   auto offs = page_.offsets();
   std::stable_sort(offs.begin(), offs.end(), [&](std::size_t a, std::size_t b) {
     return less(page_.at(a), page_.at(b));
   });
+  BudgetScope copy(budget_, comm_->rank(), page_.byte_size());
   page_.reorder(offs);
 }
 
@@ -368,19 +595,16 @@ void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
   }
 
   // Final stable local sort by the directed projection (full-byte
-  // tie-break makes the order total when requested).
-  auto offs = page_.offsets();
-  std::stable_sort(offs.begin(), offs.end(), [&](std::size_t a, std::size_t b) {
-    const auto ka = page_.at(a);
-    const auto kb = page_.at(b);
-    const std::uint64_t pa = directed(ka);
-    const std::uint64_t pb = directed(kb);
+  // tie-break makes the order total when requested). Routed through
+  // local_sort so budget-governed runs take the external-sort path.
+  local_sort([&](const KvPair& a, const KvPair& b) {
+    const std::uint64_t pa = directed(a);
+    const std::uint64_t pb = directed(b);
     if (pa != pb) return pa < pb;
     if (!tie_break_bytes) return false;
-    if (ka.key != kb.key) return ka.key < kb.key;
-    return ka.value < kb.value;
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
   });
-  page_.reorder(offs);
 }
 
 void MapReduce::gather(int root) {

@@ -22,6 +22,10 @@
 #include "mapreduce/kvbuffer.hpp"
 #include "mpsim/comm.hpp"
 
+namespace papar {
+class MemoryBudget;
+}
+
 namespace papar::mr {
 
 /// How sample_sort_u64 chooses reducer range splitters.
@@ -44,7 +48,14 @@ class MapReduce {
   /// Projects a record's sort key to an integer; sorting is by this value.
   using KeyProjection = std::function<std::uint64_t(std::string_view key, std::string_view value)>;
 
-  explicit MapReduce(mp::Comm& comm) : comm_(&comm) {}
+  /// Binds to the communicator and inherits its runtime's memory budget
+  /// (if one is attached): with a budget, the shuffle streams bounded
+  /// segments under credit-based flow control, and sort/rewrite phases
+  /// spill sealed frames to disk past the soft watermark instead of
+  /// holding a second in-memory copy. Output bytes are identical either
+  /// way.
+  explicit MapReduce(mp::Comm& comm)
+      : comm_(&comm), budget_(comm.memory_budget()) {}
 
   mp::Comm& comm() { return *comm_; }
 
@@ -124,7 +135,16 @@ class MapReduce {
  private:
   void shuffle_by(const std::function<int(const KvPair&)>& route);
 
+  /// Budget-aware shuffle body: streams many bounded segments per
+  /// destination (wire format [u32 seq][u32 segment-count][frames...])
+  /// instead of one monolithic page, draining incoming segments between
+  /// sends so mailbox credits keep circulating. Requires route_cache_ to
+  /// be filled by the sizing pass. `dest_bytes` is per-destination
+  /// payload bytes (observability counters only).
+  void shuffle_segmented(const std::vector<std::size_t>& dest_bytes);
+
   mp::Comm* comm_;
+  MemoryBudget* budget_ = nullptr;
   KvBuffer page_;
   // Reusable shuffle state. `arena_` holds the per-destination send pages;
   // after each alltoallv the received buffers are recycled into it, so a

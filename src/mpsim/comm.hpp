@@ -26,6 +26,10 @@
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
+namespace papar {
+class MemoryBudget;
+}
+
 namespace papar::mp {
 
 namespace detail {
@@ -80,7 +84,14 @@ class Comm {
 
   // -- Point-to-point ------------------------------------------------------
 
-  /// Blocking buffered send (never deadlocks; mailboxes are unbounded).
+  /// Blocking buffered send. Without a memory budget attached to the
+  /// runtime, mailboxes are unbounded and a send never blocks. With a
+  /// budget whose `mailbox_limit` is nonzero, sends are credit-based: a
+  /// send to a destination whose mailbox is over the byte cap blocks (never
+  /// drops) until the receiver drains messages and returns credits. An
+  /// empty mailbox always admits one message of any size, and the deadlock
+  /// watchdog converts a cycle of credit-starved senders into a single
+  /// counted emergency credit, so governed sends stall but cannot deadlock.
   void send(int dest, int tag, const void* data, std::size_t n);
   void send(int dest, int tag, const std::vector<unsigned char>& bytes) {
     send(dest, tag, bytes.data(), bytes.size());
@@ -119,6 +130,33 @@ class Comm {
 
   /// True if a matching message is already queued.
   bool probe(int source, int tag);
+
+  // -- Segmented shuffle primitives ---------------------------------------
+  //
+  // Building blocks for budget-aware shuffles that stream many bounded
+  // segments per destination instead of one monolithic buffer per rank
+  // (MapReduce::shuffle_by uses them when a memory budget is attached).
+  // They share the internal all-to-all tag, so per-(source, dest) program
+  // order is preserved relative to alltoallv traffic and a receiver that
+  // consumes exactly the announced number of segments can never steal a
+  // later collective's messages.
+
+  /// Sends one shuffle segment to `dest` (internal tag, ownership
+  /// transfer, full fabric accounting — identical to an alltoallv leg).
+  void shuffle_send(int dest, std::vector<unsigned char>&& bytes);
+
+  /// Blocking receive of the next shuffle segment from `source`.
+  Envelope shuffle_recv(int source);
+
+  /// Nonblocking receive of the earliest queued shuffle segment from any
+  /// source whose entry in `done_sources` is 0. Returns false when none is
+  /// queued. The mask lets callers stop consuming a source once its
+  /// announced segment count is reached, which keeps back-to-back shuffles
+  /// from interfering.
+  bool try_shuffle_recv(const std::vector<char>& done_sources, Envelope& out);
+
+  /// The memory budget attached to the runtime (nullptr = ungoverned).
+  MemoryBudget* memory_budget() const;
 
   // -- Collectives ---------------------------------------------------------
 
@@ -240,6 +278,13 @@ class Comm {
   [[noreturn]] void on_peer_failure(int dead, const char* what);
 
   Envelope recv_impl(int source, int tag, double timeout_seconds);
+
+  /// Nonblocking pop of the earliest queued message with `tag` from a
+  /// source not marked in `skip_sources`, with full recv bookkeeping
+  /// (clock propagation, credits, trace, metrics). Never counts a fault
+  /// comm event: retry polling must not perturb crash schedules.
+  bool try_recv_tagged(int tag, const std::vector<char>& skip_sources,
+                       Envelope& out);
 
   void deliver(int dest, int tag, const void* data, std::size_t n);
 

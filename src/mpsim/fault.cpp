@@ -220,6 +220,7 @@ void FaultInjector::bind(int nranks) {
   {
     std::lock_guard<std::mutex> lock(trace_mutex_);
     trace_.clear();
+    pruned_.clear();
   }
 }
 
@@ -311,14 +312,43 @@ FaultCounts FaultInjector::counts() const {
 
 std::size_t FaultInjector::trace_size() const {
   std::lock_guard<std::mutex> lock(trace_mutex_);
-  return trace_.size();
+  std::size_t folded = 0;
+  for (const auto& [key, agg] : pruned_) folded += agg.first;
+  return trace_.size() + folded;
+}
+
+std::size_t FaultInjector::prune_acknowledged() {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  std::size_t folded = 0;
+  std::vector<FaultEvent> kept;
+  for (const FaultEvent& e : trace_) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        kept.push_back(e);
+        break;
+      default: {
+        auto& agg = pruned_[{static_cast<int>(e.kind), e.src, e.dst}];
+        agg.first += 1;
+        if (e.seq > agg.second) agg.second = e.seq;
+        ++folded;
+        break;
+      }
+    }
+  }
+  trace_ = std::move(kept);
+  trace_.shrink_to_fit();
+  return folded;
 }
 
 std::string FaultInjector::trace_string() const {
   std::vector<FaultEvent> events;
+  std::map<std::tuple<int, int, int>, std::pair<std::uint64_t, std::uint64_t>>
+      pruned;
   {
     std::lock_guard<std::mutex> lock(trace_mutex_);
     events = trace_;
+    pruned = pruned_;
   }
   // Events are appended in wall-clock order, which varies run to run; the
   // canonical form sorts by content so equal fault sets compare equal.
@@ -338,6 +368,15 @@ std::string FaultInjector::trace_string() const {
               return a.seq < b.seq;
             });
   std::ostringstream out;
+  // Folded aggregates first (map order is already (kind, src, dst) sorted).
+  // Detection aggregates stay excluded for the same scheduling reason.
+  for (const auto& [key, agg] : pruned) {
+    const auto kind = static_cast<FaultKind>(std::get<0>(key));
+    if (kind == FaultKind::kDetect) continue;
+    out << fault_kind_name(kind) << ' ' << std::get<1>(key) << "->"
+        << std::get<2>(key) << " x" << agg.first << " (through #" << agg.second
+        << ")\n";
+  }
   for (const auto& e : events) {
     out << fault_kind_name(e.kind) << ' ' << e.src << "->" << e.dst << " #"
         << e.seq << '\n';

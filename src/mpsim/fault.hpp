@@ -23,9 +23,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -213,9 +216,22 @@ class FaultInjector {
   /// Canonical fault trace: one line per event, sorted so the string is
   /// identical across runs with the same seed (golden-compare material).
   /// Detection events are omitted — which peers observe a death first is
-  /// scheduling-dependent; use counts().detections for those.
+  /// scheduling-dependent; use counts().detections for those. Events folded
+  /// by prune_acknowledged() render as per-link `x<count>` summary lines
+  /// ahead of the per-event lines.
   std::string trace_string() const;
+  /// Events recorded so far, including ones folded into aggregates.
   std::size_t trace_size() const;
+
+  /// Folds per-message events (drop/duplicate/delay/detect) accumulated so
+  /// far into per-link aggregates, bounding the trace table. Safe to call
+  /// at a stage barrier: by then every dropped transmission has been
+  /// retried to success and every duplicate suppressed — the entries are
+  /// acknowledged and only their per-link totals carry information. Crash
+  /// and recovery events (bounded by the plan) are kept verbatim. Returns
+  /// the number of events folded. Call between runs, at deterministic
+  /// points, to keep same-seed traces comparable.
+  std::size_t prune_acknowledged();
 
  private:
   void record(FaultKind kind, int src, int dst, std::uint64_t seq);
@@ -242,6 +258,10 @@ class FaultInjector {
 
   mutable std::mutex trace_mutex_;
   std::vector<FaultEvent> trace_;
+  /// Aggregates from prune_acknowledged(): (kind, src, dst) -> {count,
+  /// highest seq folded}. Guarded by trace_mutex_.
+  std::map<std::tuple<int, int, int>, std::pair<std::uint64_t, std::uint64_t>>
+      pruned_;
 };
 
 }  // namespace papar::mp

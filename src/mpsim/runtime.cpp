@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/membudget.hpp"
 #include "util/timer.hpp"
 
 namespace papar::mp {
@@ -42,6 +43,13 @@ struct Mailbox {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<Message> queue;
+  /// Sum of queued payload sizes; the quantity credit-based flow control
+  /// caps at Shared::mailbox_cap. Guarded by `mutex`.
+  std::size_t queued_bytes = 0;
+  /// Emergency credits granted by the deadlock scan: each one admits a
+  /// single over-cap enqueue so a cycle of blocked senders always makes
+  /// progress instead of deadlocking. Guarded by `mutex`.
+  std::size_t credit_grants = 0;
 };
 
 // Per-rank execution state, maintained for the failure detector and the
@@ -52,8 +60,9 @@ enum RankState : int {
   kRunning = 0,
   kBlockedRecv,
   kBlockedBarrier,
-  kDone,    // body returned normally
-  kFailed,  // body threw (including scheduled crashes)
+  kBlockedSend,  // waiting for mailbox credits (backpressure, not deadlock)
+  kDone,         // body returned normally
+  kFailed,       // body threw (including scheduled crashes)
 };
 
 bool terminated_state(int s) { return s == kDone || s == kFailed; }
@@ -63,6 +72,7 @@ const char* rank_state_name(int s) {
     case kRunning: return "running";
     case kBlockedRecv: return "blocked in recv";
     case kBlockedBarrier: return "blocked in barrier";
+    case kBlockedSend: return "blocked in send (awaiting mailbox credits)";
     case kDone: return "done";
     case kFailed: return "failed";
   }
@@ -71,8 +81,11 @@ const char* rank_state_name(int s) {
 
 struct RankStatus {
   std::atomic<int> state{kRunning};
+  /// While kBlockedRecv: awaited source. While kBlockedSend: destination.
   std::atomic<int> blocked_source{0};
   std::atomic<int> blocked_tag{0};
+  /// Payload size a kBlockedSend rank is waiting to enqueue.
+  std::atomic<std::size_t> blocked_bytes{0};
   /// Barrier generation the rank is waiting on while kBlockedBarrier.
   /// Lets the deadlock scan tell a genuinely stuck waiter from one whose
   /// barrier already resolved but whose thread has not been scheduled yet.
@@ -116,6 +129,12 @@ struct Shared {
   /// Attached causal trace recorder (nullptr = tracing off). Ranks append
   /// to their own per-rank event vectors, so recording takes no lock.
   obs::TraceRecorder* tracer = nullptr;
+
+  /// Attached memory budget (nullptr = ungoverned). When its mailbox_limit
+  /// is nonzero, `mailbox_cap` mirrors it and remote sends block for
+  /// credits instead of growing the destination mailbox without bound.
+  MemoryBudget* budget = nullptr;
+  std::size_t mailbox_cap = 0;
 
   /// Attached metrics registry plus handles resolved at attach time so the
   /// per-message path is a pointer check and an atomic update.
@@ -166,15 +185,20 @@ struct Shared {
       barrier_pending_max = 0.0;
       barrier_resolved_time = 0.0;
     }
-    for (auto& mb : mailboxes) {
+    for (int r = 0; r < size; ++r) {
+      auto& mb = mailboxes[static_cast<std::size_t>(r)];
       std::lock_guard<std::mutex> lock(mb.mutex);
+      if (budget != nullptr) budget->sub_mailbox(r, mb.queued_bytes);
       mb.queue.clear();
+      mb.queued_bytes = 0;
+      mb.credit_grants = 0;
     }
     for (int r = 0; r < size; ++r) {
       auto& st = status[static_cast<std::size_t>(r)];
       st.state.store(kRunning, std::memory_order_relaxed);
       st.blocked_source.store(0, std::memory_order_relaxed);
       st.blocked_tag.store(0, std::memory_order_relaxed);
+      st.blocked_bytes.store(0, std::memory_order_relaxed);
       st.death_vtime.store(0.0, std::memory_order_relaxed);
     }
     terminated.store(0, std::memory_order_relaxed);
@@ -263,6 +287,7 @@ void Shared::try_detect_deadlock() {
   std::lock_guard<std::mutex> lock(detect_mutex, std::adopt_lock);
   const std::uint64_t before = progress.load(std::memory_order_acquire);
   int blocked = 0;
+  int first_blocked_sender = -1;
   for (int r = 0; r < size; ++r) {
     const auto& st = status[static_cast<std::size_t>(r)];
     const int s = st.state.load(std::memory_order_acquire);
@@ -278,6 +303,19 @@ void Shared::try_detect_deadlock() {
         // by itself; that is progress, not deadlock.
         if (awaited_terminated(r, src) >= 0) return;
         ++blocked;
+        break;
+      }
+      case kBlockedSend: {
+        // Backpressure stall: the sender is waiting for mailbox credits.
+        // A terminated destination makes the sender throw PeerFailureError
+        // on its own — progress, not deadlock.
+        const int dest = st.blocked_source.load(std::memory_order_relaxed);
+        if (terminated_state(status[static_cast<std::size_t>(dest)].state.load(
+                std::memory_order_acquire))) {
+          return;
+        }
+        ++blocked;
+        if (first_blocked_sender < 0) first_blocked_sender = r;
         break;
       }
       case kBlockedBarrier: {
@@ -302,20 +340,51 @@ void Shared::try_detect_deadlock() {
     }
   }
   if (blocked == 0) return;  // run is simply over
-  // Is any blocked receive already satisfiable from its mailbox?
+  // Is any blocked receive already satisfiable from its mailbox, or any
+  // blocked send already admissible (credits freed or a grant pending)?
   for (int r = 0; r < size; ++r) {
     const auto& st = status[static_cast<std::size_t>(r)];
-    if (st.state.load(std::memory_order_acquire) != kBlockedRecv) continue;
-    const int src = st.blocked_source.load(std::memory_order_relaxed);
-    const int tag = st.blocked_tag.load(std::memory_order_relaxed);
-    auto& mb = mailboxes[static_cast<std::size_t>(r)];
-    std::lock_guard<std::mutex> mb_lock(mb.mutex);
-    for (const auto& m : mb.queue) {
-      if ((src == kAnySource || m.source == src) && m.tag == tag) return;
+    const int s = st.state.load(std::memory_order_acquire);
+    if (s == kBlockedRecv) {
+      const int src = st.blocked_source.load(std::memory_order_relaxed);
+      const int tag = st.blocked_tag.load(std::memory_order_relaxed);
+      auto& mb = mailboxes[static_cast<std::size_t>(r)];
+      std::lock_guard<std::mutex> mb_lock(mb.mutex);
+      for (const auto& m : mb.queue) {
+        if ((src == kAnySource || m.source == src) && m.tag == tag) return;
+      }
+    } else if (s == kBlockedSend) {
+      const int dest = st.blocked_source.load(std::memory_order_relaxed);
+      const std::size_t n = st.blocked_bytes.load(std::memory_order_relaxed);
+      auto& mb = mailboxes[static_cast<std::size_t>(dest)];
+      std::lock_guard<std::mutex> mb_lock(mb.mutex);
+      if (mb.queued_bytes == 0 || mb.queued_bytes + n <= mailbox_cap ||
+          mb.credit_grants > 0) {
+        return;  // the sender can proceed; it just has not been scheduled
+      }
     }
   }
   // Nothing moved while we scanned? Then nothing ever will.
   if (progress.load(std::memory_order_acquire) != before) return;
+
+  if (first_blocked_sender >= 0) {
+    // A cycle of credit-starved senders is backpressure, not true deadlock:
+    // grant one emergency credit to the lowest-ranked blocked sender so it
+    // enqueues its (single) over-cap message and the system keeps moving.
+    // Memory overshoot is bounded to one payload per grant and the grant is
+    // counted, so chronic overshoot is visible in the metrics.
+    const auto& st = status[static_cast<std::size_t>(first_blocked_sender)];
+    const int dest = st.blocked_source.load(std::memory_order_relaxed);
+    auto& mb = mailboxes[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> mb_lock(mb.mutex);
+      ++mb.credit_grants;
+    }
+    if (budget != nullptr) budget->note_emergency_credit(dest);
+    progress.fetch_add(1, std::memory_order_release);
+    mb.cv.notify_all();
+    return;
+  }
 
   std::ostringstream dump;
   dump << "every live rank is blocked with no deliverable message\n";
@@ -332,7 +401,20 @@ void Shared::try_detect_deadlock() {
         dump << src;
       }
       dump << ", tag=" << st.blocked_tag.load(std::memory_order_relaxed) << ")";
+    } else if (s == kBlockedSend) {
+      dump << "(dest=" << st.blocked_source.load(std::memory_order_relaxed)
+           << ", tag=" << st.blocked_tag.load(std::memory_order_relaxed)
+           << ", bytes=" << st.blocked_bytes.load(std::memory_order_relaxed)
+           << ")";
     }
+    if (mailbox_cap > 0) {
+      auto& mb = mailboxes[static_cast<std::size_t>(r)];
+      std::lock_guard<std::mutex> mb_lock(mb.mutex);
+      dump << "; mailbox " << mb.queue.size() << " msgs, " << mb.queued_bytes
+           << "/" << mailbox_cap << " B";
+      if (mb.credit_grants > 0) dump << ", " << mb.credit_grants << " grants";
+    }
+    if (budget != nullptr) dump << "; " << budget->describe(r);
     dump << '\n';
   }
   {
@@ -548,10 +630,61 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   auto& mb = shared_->mailboxes[static_cast<std::size_t>(dest)];
   std::size_t queue_depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mb.mutex);
+    std::unique_lock<std::mutex> lock(mb.mutex);
+    if (remote && shared_->mailbox_cap > 0) {
+      // Credit-based flow control: block (never drop) while the destination
+      // mailbox is over budget. An empty mailbox always admits one message,
+      // whatever its size, so a single payload larger than the cap cannot
+      // wedge the fabric. The wait is wall-clock only — virtual clocks are
+      // a property of the simulated fabric, and flow-control stalls on the
+      // simulator host are not simulated network time.
+      auto* s = shared_;
+      const std::size_t cap = s->mailbox_cap;
+      auto& st = s->status[static_cast<std::size_t>(rank_)];
+      bool stalled = false;
+      while (mb.queued_bytes > 0 && mb.queued_bytes + n > cap) {
+        if (mb.credit_grants > 0) {
+          --mb.credit_grants;
+          break;
+        }
+        if (s->abort_deadlock.load(std::memory_order_acquire)) {
+          st.state.store(detail::kRunning, std::memory_order_release);
+          throw DeadlockError(s->abort_reason_copy());
+        }
+        if (detail::terminated_state(
+                s->status[static_cast<std::size_t>(dest)].state.load(
+                    std::memory_order_acquire))) {
+          // The destination will never drain its mailbox; blocking here
+          // would hang forever, so surface the failure to the sender.
+          st.state.store(detail::kRunning, std::memory_order_release);
+          lock.unlock();
+          on_peer_failure(dest, "is sending to");
+        }
+        if (!stalled) {
+          stalled = true;
+          if (s->budget != nullptr) s->budget->note_backpressure(rank_);
+        }
+        st.blocked_source.store(dest, std::memory_order_relaxed);
+        st.blocked_tag.store(tag, std::memory_order_relaxed);
+        st.blocked_bytes.store(n, std::memory_order_relaxed);
+        st.state.store(detail::kBlockedSend, std::memory_order_release);
+        const bool watchdog_expired =
+            mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+        if (watchdog_expired) {
+          // Scan without holding the mailbox lock (the scanner takes every
+          // mailbox lock in turn; never nest them).
+          lock.unlock();
+          s->try_detect_deadlock();
+          lock.lock();
+        }
+      }
+      st.state.store(detail::kRunning, std::memory_order_release);
+    }
     mb.queue.push_back(std::move(msg));
+    mb.queued_bytes += n;
     if (shared_->metrics != nullptr) queue_depth = mb.queue.size();
   }
+  if (shared_->budget != nullptr) shared_->budget->add_mailbox(dest, n);
   shared_->progress.fetch_add(1, std::memory_order_release);
   mb.cv.notify_all();
   if (shared_->metrics != nullptr) {
@@ -648,7 +781,14 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         if (env.source != rank_) {
           vtime_ += static_cast<double>(env.payload.size()) / shared_->network.bandwidth;
         }
+        const std::size_t freed = env.payload.size();
         mb.queue.erase(it);
+        mb.queued_bytes -= freed > mb.queued_bytes ? mb.queued_bytes : freed;
+        if (s->budget != nullptr) s->budget->sub_mailbox(rank_, freed);
+        if (s->mailbox_cap > 0) {
+          // Returning credits may unblock senders waiting on this mailbox.
+          mb.cv.notify_all();
+        }
         if (obs::TraceRecorder* tracer = s->tracer) {
           obs::TraceEvent ev;
           ev.kind = obs::TraceEventKind::kRecv;
@@ -707,6 +847,75 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
     }
   }
 }
+
+bool Comm::try_recv_tagged(int tag, const std::vector<char>& skip_sources,
+                           Envelope& out) {
+  charge_compute();
+  auto* s = shared_;
+  const double recv_begin = vtime_;
+  auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+    if (it->tag != tag) continue;
+    if (it->source >= 0 &&
+        static_cast<std::size_t>(it->source) < skip_sources.size() &&
+        skip_sources[static_cast<std::size_t>(it->source)] != 0) {
+      continue;
+    }
+    s->progress.fetch_add(1, std::memory_order_release);
+    out.source = it->source;
+    out.tag = it->tag;
+    out.payload = std::move(it->payload);
+    const double arrival = it->arrival;
+    const std::uint64_t trace_id = it->trace_id;
+    const std::uint32_t sender_stage = it->sender_stage;
+    const double sent = it->sent;
+    vtime_ = std::max(vtime_, arrival);
+    if (out.source != rank_) {
+      vtime_ += static_cast<double>(out.payload.size()) / s->network.bandwidth;
+    }
+    const std::size_t freed = out.payload.size();
+    mb.queue.erase(it);
+    mb.queued_bytes -= freed > mb.queued_bytes ? mb.queued_bytes : freed;
+    if (s->budget != nullptr) s->budget->sub_mailbox(rank_, freed);
+    if (s->mailbox_cap > 0) mb.cv.notify_all();
+    if (obs::TraceRecorder* tracer = s->tracer) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEventKind::kRecv;
+      ev.stage = trace_stage_;
+      ev.attempt = attempt_;
+      ev.begin = recv_begin;
+      ev.end = vtime_;
+      ev.peer = out.source;
+      ev.tag = out.tag;
+      ev.bytes = out.payload.size();
+      ev.msg_id = trace_id;
+      ev.sender_stage = sender_stage;
+      ev.blocked = std::max(0.0, arrival - recv_begin);
+      tracer->record(rank_, ev);
+    }
+    if (s->m_latency != nullptr) {
+      s->m_latency->observe(std::max(0.0, vtime_ - sent));
+    }
+    return true;
+  }
+  return false;
+}
+
+void Comm::shuffle_send(int dest, std::vector<unsigned char>&& bytes) {
+  charge_compute();
+  deliver(dest, detail::kAlltoallTag, std::move(bytes));
+}
+
+Envelope Comm::shuffle_recv(int source) {
+  return recv_impl(source, detail::kAlltoallTag, -1.0);
+}
+
+bool Comm::try_shuffle_recv(const std::vector<char>& done_sources, Envelope& out) {
+  return try_recv_tagged(detail::kAlltoallTag, done_sources, out);
+}
+
+MemoryBudget* Comm::memory_budget() const { return shared_->budget; }
 
 bool Comm::probe(int source, int tag) {
   charge_compute();
@@ -873,14 +1082,29 @@ std::vector<std::vector<unsigned char>> Comm::alltoallv(
   // between the sender and the receiver's mailbox. If a source dies before
   // sending its buffer, the matching recv throws PeerFailureError — a
   // partial delivery is never mistaken for an empty buffer.
+  std::vector<std::vector<unsigned char>> out(static_cast<std::size_t>(p));
+  std::vector<char> got(static_cast<std::size_t>(p), 0);
+  const bool credits = shared_->mailbox_cap > 0;
   for (int step = 0; step < p; ++step) {
     const int dest = (rank_ + step) % p;
     deliver(dest, detail::kAlltoallTag,
             std::move(send_bufs[static_cast<std::size_t>(dest)]));
+    if (credits) {
+      // Under credit-based flow control, drain opportunistically between
+      // sends so this rank's mailbox returns credits while it is still
+      // posting — without this, every rank posts p sends before its first
+      // recv and tight budgets stall on emergency credits. Per-source FIFO
+      // plus the skip mask keeps this byte-identical to the drain loop.
+      Envelope env;
+      while (try_recv_tagged(detail::kAlltoallTag, got, env)) {
+        got[static_cast<std::size_t>(env.source)] = 1;
+        out[static_cast<std::size_t>(env.source)] = std::move(env.payload);
+      }
+    }
   }
-  std::vector<std::vector<unsigned char>> out(static_cast<std::size_t>(p));
   for (int step = 0; step < p; ++step) {
     const int src = (rank_ - step + p) % p;
+    if (got[static_cast<std::size_t>(src)] != 0) continue;
     out[static_cast<std::size_t>(src)] = recv(src, detail::kAlltoallTag).payload;
   }
   return out;
@@ -915,6 +1139,19 @@ void Runtime::set_tracer(obs::TraceRecorder* tracer) {
 }
 
 obs::TraceRecorder* Runtime::tracer() const { return shared_->tracer; }
+
+void Runtime::set_memory_budget(MemoryBudget* budget) {
+  if (budget != nullptr) {
+    if (budget->nranks() != nranks_) budget->bind(nranks_);
+    shared_->budget = budget;
+    shared_->mailbox_cap = budget->config().mailbox_limit;
+  } else {
+    shared_->budget = nullptr;
+    shared_->mailbox_cap = 0;
+  }
+}
+
+MemoryBudget* Runtime::memory_budget() const { return shared_->budget; }
 
 void Runtime::set_metrics(obs::MetricsRegistry* metrics) {
   shared_->metrics = metrics;

@@ -17,6 +17,10 @@
 #include "mpsim/network.hpp"
 #include "obs/obs.hpp"
 
+namespace papar {
+class MemoryBudget;
+}
+
 namespace papar::obs {
 class TraceRecorder;
 class MetricsRegistry;
@@ -75,6 +79,16 @@ class Runtime {
   /// detached first. The fault-free hot path is gated on this one pointer.
   void set_tracer(obs::TraceRecorder* tracer);
   obs::TraceRecorder* tracer() const;
+
+  /// Attaches a memory budget (nullptr to detach). The budget is bound to
+  /// this runtime's rank count and must outlive the runtime or be detached
+  /// first. With a budget attached: mailbox bytes are accounted per rank,
+  /// and when the budget's `mailbox_limit` is nonzero, remote sends obey
+  /// credit-based flow control (see Comm::send). The deadlock watchdog
+  /// reports per-rank credit state in its dump and converts all-blocked
+  /// sender cycles into counted emergency credits instead of DeadlockError.
+  void set_memory_budget(MemoryBudget* budget);
+  MemoryBudget* memory_budget() const;
 
   /// Attaches a metrics registry (nullptr to detach): the runtime feeds
   /// virtual-time histograms (message latency, payload size, mailbox queue

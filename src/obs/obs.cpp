@@ -169,7 +169,14 @@ std::string StageReport::to_json() const {
      << ",\"retries\":" << faults.retries << ",\"detections\":" << faults.detections
      << ",\"recoveries\":" << faults.recoveries
      << ",\"checkpoint_saves\":" << faults.checkpoint_saves
-     << ",\"checkpoint_restores\":" << faults.checkpoint_restores << "},\"stages\":[";
+     << ",\"checkpoint_restores\":" << faults.checkpoint_restores << "},\"memory\":{"
+     << "\"budget_bytes\":" << memory.budget_bytes
+     << ",\"high_water_bytes\":" << memory.high_water_bytes
+     << ",\"spill_bytes\":" << memory.spill_bytes
+     << ",\"spill_runs\":" << memory.spill_runs
+     << ",\"soft_crossings\":" << memory.soft_crossings
+     << ",\"backpressure_stalls\":" << memory.backpressure_stalls
+     << ",\"emergency_credits\":" << memory.emergency_credits << "},\"stages\":[";
   bool first = true;
   for (const auto& s : stages) {
     if (!first) os << ",";
@@ -207,6 +214,19 @@ StageReport StageReport::from_json(std::string_view text) {
     report.faults.recoveries = u64("recoveries");
     report.faults.checkpoint_saves = u64("checkpoint_saves");
     report.faults.checkpoint_restores = u64("checkpoint_restores");
+  }
+  // Reports written before the memory section existed lack the key.
+  if (const json::Value* m = root.find("memory")) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(m->at(key).number);
+    };
+    report.memory.budget_bytes = u64("budget_bytes");
+    report.memory.high_water_bytes = u64("high_water_bytes");
+    report.memory.spill_bytes = u64("spill_bytes");
+    report.memory.spill_runs = u64("spill_runs");
+    report.memory.soft_crossings = u64("soft_crossings");
+    report.memory.backpressure_stalls = u64("backpressure_stalls");
+    report.memory.emergency_credits = u64("emergency_credits");
   }
   for (const auto& v : root.at("stages").array) {
     StageRecord s;
@@ -251,6 +271,19 @@ void StageReport::print(std::FILE* out) const {
                  static_cast<unsigned long long>(faults.recoveries),
                  static_cast<unsigned long long>(faults.checkpoint_saves),
                  static_cast<unsigned long long>(faults.checkpoint_restores));
+  }
+  if (memory.any()) {
+    std::fprintf(out,
+                 "memory: budget=%llu high_water=%llu spill_bytes=%llu "
+                 "spill_runs=%llu soft_crossings=%llu backpressure=%llu "
+                 "emergency_credits=%llu\n",
+                 static_cast<unsigned long long>(memory.budget_bytes),
+                 static_cast<unsigned long long>(memory.high_water_bytes),
+                 static_cast<unsigned long long>(memory.spill_bytes),
+                 static_cast<unsigned long long>(memory.spill_runs),
+                 static_cast<unsigned long long>(memory.soft_crossings),
+                 static_cast<unsigned long long>(memory.backpressure_stalls),
+                 static_cast<unsigned long long>(memory.emergency_credits));
   }
 }
 

@@ -145,6 +145,29 @@ struct FaultStats {
   }
 };
 
+/// Memory-governance tallies for one run (papar_mem_* metrics). All zero
+/// when no MemoryBudget was attached; populated by the engine.
+struct MemoryStats {
+  /// Per-rank hard limit on tracked working bytes (0 = ungoverned run).
+  std::uint64_t budget_bytes = 0;
+  /// Peak tracked + mailbox bytes over all ranks.
+  std::uint64_t high_water_bytes = 0;
+  /// Bytes and sorted runs / spool flushes written to spill files.
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_runs = 0;
+  /// Times a rank's tracked usage crossed the soft watermark.
+  std::uint64_t soft_crossings = 0;
+  /// Sends that blocked on mailbox credits, and deadlock-watchdog credit
+  /// grants that unblocked an all-blocked sender cycle.
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t emergency_credits = 0;
+
+  bool any() const {
+    return budget_bytes || high_water_bytes || spill_bytes || spill_runs ||
+           soft_crossings || backpressure_stalls || emergency_credits;
+  }
+};
+
 /// Per-job breakdown attached to a PartitionResult.
 struct StageReport {
   std::vector<StageRecord> stages;
@@ -154,6 +177,8 @@ struct StageReport {
   std::uint64_t remote_messages = 0;
   /// Fault/recovery activity of the run (all-zero when faults were off).
   FaultStats faults;
+  /// Memory-governance activity (all-zero when no budget was attached).
+  MemoryStats memory;
 
   std::uint64_t stage_bytes_total() const;
 

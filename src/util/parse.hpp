@@ -33,4 +33,33 @@ T parse_number(std::string_view text, std::string_view what) {
   return value;
 }
 
+/// Parses a byte size with an optional K/M/G suffix (powers of 1024,
+/// case-insensitive, trailing "B" allowed: "64K", "512MB", "1g", "4096").
+/// Throws ConfigError naming `what` on malformed input or overflow.
+inline std::size_t parse_byte_size(std::string_view text, std::string_view what) {
+  std::size_t suffix_len = 0;
+  std::size_t multiplier = 1;
+  std::string_view digits = text;
+  if (!digits.empty() && (digits.back() == 'b' || digits.back() == 'B')) {
+    digits.remove_suffix(1);
+    suffix_len = 1;
+  }
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': multiplier = std::size_t{1} << 10; break;
+      case 'm': case 'M': multiplier = std::size_t{1} << 20; break;
+      case 'g': case 'G': multiplier = std::size_t{1} << 30; break;
+      default: multiplier = 1; break;
+    }
+    if (multiplier != 1) digits.remove_suffix(1);
+  }
+  (void)suffix_len;  // a bare "B" suffix ("4096B") is accepted
+  const std::size_t value = parse_number<std::size_t>(digits, what);
+  if (multiplier != 1 && value > (std::size_t(-1) / multiplier)) {
+    throw ConfigError(std::string(what) + ": value `" + std::string(text) +
+                      "` is out of range");
+  }
+  return value * multiplier;
+}
+
 }  // namespace papar

@@ -432,5 +432,97 @@ TEST(CheckpointStore, MapReducePageRoundTrips) {
   EXPECT_TRUE(store.stage_complete(0));
 }
 
+TEST(FaultInjector, PruneFoldsAcknowledgedEventsIntoAggregates) {
+  FaultInjector inj(FaultPlan::parse("seed=11,drop=0.2,dup=0.1,delay=0.3"));
+  inj.bind(2);
+  for (int i = 0; i < 300; ++i) (void)inj.next_decision(0, 1);
+  const std::size_t before = inj.trace_size();
+  ASSERT_GT(before, 0u);
+  EXPECT_GT(inj.prune_acknowledged(), 0u);
+  // Folding bounds the table without losing the count of recorded events.
+  EXPECT_EQ(inj.trace_size(), before);
+  const std::string trace = inj.trace_string();
+  EXPECT_NE(trace.find(" x"), std::string::npos);         // aggregate lines
+  EXPECT_NE(trace.find("drop 0->1"), std::string::npos);  // per-link totals
+  // A second prune with no new events folds nothing and keeps the canonical
+  // trace stable — this is what lets the engine prune at every stage
+  // barrier while same-seed runs stay golden-comparable.
+  EXPECT_EQ(inj.prune_acknowledged(), 0u);
+  EXPECT_EQ(inj.trace_string(), trace);
+}
+
+TEST(FaultInjector, PruneKeepsCrashEventsVerbatim) {
+  FaultInjector inj(FaultPlan::parse("seed=4,drop=0.5,crash=1@3"));
+  inj.bind(2);
+  bool crashed = false;
+  for (int e = 0; e < 5; ++e) crashed = crashed || inj.on_comm_event(1);
+  ASSERT_TRUE(crashed);
+  for (int i = 0; i < 50; ++i) (void)inj.next_decision(0, 1);
+  (void)inj.prune_acknowledged();
+  const std::string trace = inj.trace_string();
+  // Drops fold into aggregates; the crash stays a verbatim per-event line.
+  EXPECT_NE(trace.find(" x"), std::string::npos);
+  EXPECT_NE(trace.find("crash 1->1"), std::string::npos);
+}
+
+TEST(CheckpointStore, KeepLastReleasesOldCompleteStages) {
+  mr::CheckpointStore store(2);
+  store.set_keep_last(2);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    store.save(s, 0, bytes_of("a"));
+    store.save(s, 1, bytes_of("b"));
+  }
+  // Stages 3 and 4 are retained (2 ranks x 1 B each); stages 0-2 released.
+  EXPECT_EQ(store.bytes_stored(), 4u);
+  EXPECT_EQ(store.released_bytes(), 6u);
+  ASSERT_TRUE(store.latest_complete(10).has_value());
+  EXPECT_EQ(*store.latest_complete(10), 4u);
+  EXPECT_FALSE(store.load(0, 0).has_value());
+  EXPECT_TRUE(store.load(4, 0).has_value());
+}
+
+TEST(CheckpointStore, RetentionSkipsIncompleteStages) {
+  mr::CheckpointStore store(2);
+  store.set_keep_last(1);
+  store.save(0, 0, bytes_of("a0"));
+  store.save(0, 1, bytes_of("a1"));
+  store.save(1, 0, bytes_of("b0"));  // stage 1 never completes
+  store.save(2, 0, bytes_of("c0"));
+  store.save(2, 1, bytes_of("c1"));
+  // Stage 2 is the kept complete stage; stage 0 is released; the
+  // incomplete stage 1 is never touched (it may still complete).
+  EXPECT_FALSE(store.load(0, 0).has_value());
+  EXPECT_TRUE(store.load(1, 0).has_value());
+  EXPECT_TRUE(store.load(2, 1).has_value());
+}
+
+TEST(CheckpointStore, DefaultRetentionKeepsEveryStage) {
+  mr::CheckpointStore store(2);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    store.save(s, 0, bytes_of("x"));
+    store.save(s, 1, bytes_of("y"));
+  }
+  EXPECT_EQ(store.bytes_stored(), 8u);
+  EXPECT_EQ(store.released_bytes(), 0u);
+  EXPECT_TRUE(store.load(0, 0).has_value());
+}
+
+TEST(CheckpointStore, RemoveSpillFilesClearsDiskAndAllowsReuse) {
+  const auto dir = std::filesystem::temp_directory_path() / "papar_ckpt_rm_test";
+  std::filesystem::remove_all(dir);
+  mr::CheckpointStore store(1, dir.string());
+  store.save(0, 0, bytes_of("one"));
+  store.save(1, 0, bytes_of("two"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "stage0.rank0.ckpt"));
+  EXPECT_EQ(store.remove_spill_files(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(dir));
+  // In-memory blobs still serve restores, and a later save recreates the
+  // directory from scratch.
+  EXPECT_TRUE(store.load(0, 0).has_value());
+  store.save(2, 0, bytes_of("three"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "stage2.rank0.ckpt"));
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace papar::mp

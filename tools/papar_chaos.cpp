@@ -1,0 +1,330 @@
+// papar_chaos — chaos/soak harness for the resource-governance layer.
+//
+// Composes the deterministic fault injector (DESIGN.md §10) with memory
+// budgets (DESIGN.md §12) and skewed inputs over the paper's two case-study
+// workloads, and asserts the robustness contract on every cell of the
+// matrix:
+//
+//   fault plan × memory budget × skew seed × workload
+//     -> either the run completes and its partitions are byte-identical to
+//        the fault-free, unbudgeted baseline,
+//     -> or it fails with a *typed* papar error (BudgetExceededError for
+//        budgets that genuinely cannot fit, DataError/RuntimeApiError for
+//        unrecoverable fault schedules).
+//
+// Anything else — a digest mismatch, an untyped exception, an OOM kill, a
+// hang — fails the harness. Budgets are derived from a measured
+// high-water probe of each workload (generous = 2x peak, tight = peak/4,
+// tiny = peak/16), so the matrix stays meaningful as the workloads evolve.
+// The harness also checks that its private spill directory is empty after
+// every cell: spill files must never outlive the operation that wrote
+// them, even on the error paths.
+//
+// Usage: papar_chaos [--quick] [--nodes N] [--seeds N] [--verbose]
+//
+//   --quick    small inputs and one seed per workload (the soak-smoke
+//              ctest cell); without it the full matrix runs at example
+//              scale with three seeds.
+//   --verbose  print every cell, not just failures and the summary.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "core/engine.hpp"
+#include "graph/generator.hpp"
+#include "graph/papar_hybrid.hpp"
+#include "mpsim/fault.hpp"
+#include "util/error.hpp"
+#include "util/membudget.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using namespace papar;
+
+struct ChaosOptions {
+  bool quick = false;
+  bool verbose = false;
+  int nodes = 4;
+  int seeds = 3;
+};
+
+/// FNV-1a over the partition assignment; the "byte-identical" check is one
+/// u64 per run.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+  void mix_value(const T& v) {
+    mix(&v, sizeof(v));
+  }
+};
+
+/// One workload run: digest of the output plus the run's memory tallies.
+struct RunOutcome {
+  std::uint64_t digest = 0;
+  obs::MemoryStats memory;
+};
+
+using Workload = std::function<RunOutcome(std::uint64_t seed,
+                                          core::EngineOptions options,
+                                          mp::FaultInjector* faults)>;
+
+Workload make_hybrid_workload(const ChaosOptions& opt) {
+  const graph::VertexId vertices = opt.quick ? 2000 : 20000;
+  const std::size_t edges = opt.quick ? 20000 : 200000;
+  const int nodes = opt.nodes;
+  return [=](std::uint64_t seed, core::EngineOptions options,
+             mp::FaultInjector* faults) {
+    graph::ZipfGraphOptions gopt;
+    gopt.num_vertices = vertices;
+    gopt.num_edges = edges;
+    gopt.zipf_s = 1.25;
+    gopt.seed = seed;
+    const graph::Graph g = graph::generate_zipf(gopt);
+    const auto result = graph::papar_hybrid_cut(
+        g, nodes, static_cast<std::size_t>(nodes), /*threshold=*/64,
+        std::move(options), mp::NetworkModel::rdma(), faults);
+    RunOutcome out;
+    Digest d;
+    for (const std::uint32_t p : result.partitioning.edge_partition) d.mix_value(p);
+    out.digest = d.h;
+    out.memory = result.report.memory;
+    return out;
+  };
+}
+
+Workload make_blast_workload(const ChaosOptions& opt) {
+  const std::size_t sequences = opt.quick ? 4000 : 20000;
+  const int nodes = opt.nodes;
+  return [=](std::uint64_t seed, core::EngineOptions options,
+             mp::FaultInjector* faults) {
+    blast::GeneratorOptions gopt = blast::env_nr_like();
+    gopt.sequence_count = sequences;
+    gopt.seed = seed;
+    const blast::Database db = blast::generate_database(gopt);
+    const auto result = blast::partition_with_papar(
+        db, nodes, static_cast<std::size_t>(nodes) * 2, blast::Policy::kCyclic,
+        std::move(options), mp::NetworkModel::rdma(), faults);
+    RunOutcome out;
+    Digest d;
+    for (const auto& part : result.partitions.partitions) {
+      for (const auto& entry : part) {
+        d.mix_value(entry.seq_start);
+        d.mix_value(entry.seq_size);
+        d.mix_value(entry.desc_start);
+        d.mix_value(entry.desc_size);
+      }
+    }
+    out.digest = d.h;
+    out.memory = result.report.memory;
+    return out;
+  };
+}
+
+struct Tally {
+  int completed = 0;
+  int typed_budget = 0;   // BudgetExceededError (budget genuinely too small)
+  int typed_other = 0;    // other papar::Error (unrecoverable fault schedule)
+  int failed = 0;         // digest mismatch / untyped exception / leaked files
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t backpressure_stalls = 0;
+};
+
+/// A budget tier of the matrix, derived from the workload's measured peak.
+struct BudgetTier {
+  const char* name;
+  std::size_t bytes;  // 0 = ungoverned
+};
+
+bool spill_dir_clean(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return true;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    (void)entry;
+    return false;
+  }
+  return !ec;
+}
+
+int run_chaos(int argc, char** argv) {
+  ChaosOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError("missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--quick") {
+      opt.quick = true;
+    } else if (flag == "--verbose") {
+      opt.verbose = true;
+    } else if (flag == "--nodes") {
+      opt.nodes = parse_number<int>(next(), "--nodes");
+    } else if (flag == "--seeds") {
+      opt.seeds = parse_number<int>(next(), "--seeds");
+    } else if (flag == "--help" || flag == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--nodes N] [--seeds N] [--verbose]\n",
+                   argv[0]);
+      return 0;
+    } else {
+      throw ConfigError("unknown flag `" + flag + "`");
+    }
+  }
+  if (opt.nodes < 2) throw ConfigError("--nodes must be >= 2");
+  if (opt.seeds < 1) throw ConfigError("--seeds must be >= 1");
+  if (opt.quick) opt.seeds = 1;
+
+  const std::vector<std::pair<const char*, Workload>> workloads = {
+      {"hybrid", make_hybrid_workload(opt)},
+      {"blast", make_blast_workload(opt)},
+  };
+  // Fault plans stress distinct recovery paths: lossy fabric (retransmit),
+  // reordering/duplication (dedup), and mid-run crashes (checkpoint
+  // recovery) — alone and combined with drops.
+  const std::vector<std::pair<const char*, const char*>> plans = {
+      {"none", ""},
+      {"drop", "drop=0.05"},
+      {"dup+delay", "dup=0.02,delay=0.05"},
+      {"crash", "crash=1@40"},
+      {"crash+drop", "drop=0.03,crash=1@60"},
+  };
+
+  const std::filesystem::path spill_root =
+      std::filesystem::temp_directory_path() /
+      ("papar-chaos-" + std::to_string(static_cast<long>(::getpid())));
+
+  Tally tally;
+  for (const auto& [wl_name, workload] : workloads) {
+    for (int s = 0; s < opt.seeds; ++s) {
+      const std::uint64_t seed = 1 + static_cast<std::uint64_t>(s) * 7919;
+
+      // Baseline digest (no faults, no budget) and high-water probe (a
+      // generous budget that neither spills nor throws, but measures the
+      // peak so the tight tiers mean the same thing on every workload).
+      const RunOutcome baseline = workload(seed, {}, nullptr);
+      core::EngineOptions probe_options;
+      probe_options.mem_budget = std::size_t{1} << 30;
+      probe_options.spill_dir = (spill_root / "probe").string();
+      const RunOutcome probe = workload(seed, probe_options, nullptr);
+      if (probe.digest != baseline.digest) {
+        std::fprintf(stderr, "FAIL %s seed=%llu: probe digest mismatch\n",
+                     wl_name, static_cast<unsigned long long>(seed));
+        ++tally.failed;
+        continue;
+      }
+      const std::size_t peak = probe.memory.high_water_bytes;
+      const std::vector<BudgetTier> tiers = {
+          {"off", 0},
+          {"generous", peak * 2},
+          {"tight", peak / 4},
+          {"tiny", peak / 16},
+      };
+
+      for (const auto& [plan_name, plan_spec] : plans) {
+        for (const auto& tier : tiers) {
+          core::EngineOptions options;
+          options.mem_budget = tier.bytes;
+          const std::filesystem::path cell_dir =
+              spill_root / (std::string(wl_name) + "-" + plan_name + "-" + tier.name);
+          if (tier.bytes > 0) options.spill_dir = cell_dir.string();
+
+          std::optional<mp::FaultInjector> injector;
+          if (*plan_spec != '\0') {
+            mp::FaultPlan plan = mp::FaultPlan::parse_arg(plan_spec);
+            plan.seed = seed;
+            injector.emplace(plan);
+          }
+
+          const char* status = nullptr;
+          std::string detail;
+          try {
+            const RunOutcome run =
+                workload(seed, options, injector ? &*injector : nullptr);
+            tally.spill_bytes += run.memory.spill_bytes;
+            tally.backpressure_stalls += run.memory.backpressure_stalls;
+            if (run.digest == baseline.digest) {
+              status = "ok";
+              ++tally.completed;
+            } else {
+              status = "FAIL(digest)";
+              ++tally.failed;
+            }
+          } catch (const BudgetExceededError& e) {
+            status = "typed(budget)";
+            detail = e.what();
+            ++tally.typed_budget;
+          } catch (const papar::Error& e) {
+            status = "typed";
+            detail = e.what();
+            ++tally.typed_other;
+          } catch (const std::exception& e) {
+            status = "FAIL(untyped)";
+            detail = e.what();
+            ++tally.failed;
+          }
+          // Spill files must not outlive the run, success or failure.
+          if (!spill_dir_clean(cell_dir)) {
+            status = "FAIL(leaked spill files)";
+            ++tally.failed;
+          }
+          const bool failure = std::strncmp(status, "FAIL", 4) == 0;
+          if (opt.verbose || failure) {
+            std::fprintf(stderr, "%-24s %s seed=%llu faults=%-10s budget=%-8s (%zu B)%s%s\n",
+                         status, wl_name, static_cast<unsigned long long>(seed),
+                         plan_name, tier.name, tier.bytes,
+                         detail.empty() ? "" : " — ", detail.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_root, ec);
+
+  std::fprintf(stderr,
+               "papar_chaos: %d completed byte-identical, %d typed budget "
+               "failures, %d typed fault failures, %d hard failures; "
+               "%llu B spilled, %llu backpressure stalls\n",
+               tally.completed, tally.typed_budget, tally.typed_other,
+               tally.failed, static_cast<unsigned long long>(tally.spill_bytes),
+               static_cast<unsigned long long>(tally.backpressure_stalls));
+  if (tally.spill_bytes == 0) {
+    std::fprintf(stderr, "papar_chaos: FAIL — no cell engaged the spill path; "
+                         "the tight tiers are not exercising the budget\n");
+    return 1;
+  }
+  if (tally.completed == 0) {
+    std::fprintf(stderr, "papar_chaos: FAIL — no cell completed\n");
+    return 1;
+  }
+  return tally.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_chaos(argc, argv);
+  } catch (const papar::Error& e) {
+    std::fprintf(stderr, "papar_chaos: %s\n", e.what());
+    return 1;
+  }
+}

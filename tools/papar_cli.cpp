@@ -15,6 +15,7 @@
 //         [--trace trace.json] [--metrics out.prom]
 //         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
 //         [--fault-seed 7] [--ckpt-dir out/ckpt]
+//         [--mem-budget 64m] [--spill-dir out/spill]
 //
 // Every --arg name=value binds a workflow argument; every --file key=path
 // loads a file for an input whose resolved path equals `key`. Partition p
@@ -41,6 +42,14 @@
 // on, the engine checkpoints inter-job state at every stage boundary and
 // recovers crashed stages automatically; --ckpt-dir additionally spills
 // each checkpoint blob to disk.
+//
+// --mem-budget caps each simulated rank's tracked working memory (sizes
+// accept k/m/g suffixes). Past the 80% soft watermark the shuffle and sort
+// phases spill to disk (--spill-dir, default under the system temp dir) and
+// mailboxes run under credit-based flow control; runs that truly cannot fit
+// fail with a typed BudgetExceededError, never an OOM kill or a hang. The
+// papar_mem_* series in --metrics reports spill volume, watermark
+// crossings, and backpressure stalls.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -89,7 +98,8 @@ void usage(const char* argv0) {
                "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n"
                "          [--trace <file>] [--metrics <file>]\n"
                "          [--faults <spec|file>] [--fault-seed N]\n"
-               "          [--ckpt-dir <dir>]\n",
+               "          [--ckpt-dir <dir>]\n"
+               "          [--mem-budget <size>] [--spill-dir <dir>]\n",
                argv0);
 }
 
@@ -128,6 +138,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.fault_seed = parse_number<std::uint64_t>(next(), "--fault-seed");
     } else if (flag == "--ckpt-dir") {
       opt.engine.checkpoint_dir = next();
+    } else if (flag == "--mem-budget") {
+      opt.engine.mem_budget = parse_byte_size(next(), "--mem-budget");
+    } else if (flag == "--spill-dir") {
+      opt.engine.spill_dir = next();
     } else if (flag == "--compress") {
       opt.engine.compress_packed = true;
     } else if (flag == "--naive-splitters") {
