@@ -141,7 +141,7 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                {"output_path", "partitions"},
                                {"num_partitions", std::to_string(num_partitions)}},
                               options);
-  mp::Runtime runtime(nranks, network);
+  mp::Runtime runtime(nranks, network, options.scheduler);
   if (faults != nullptr) runtime.set_fault_injector(faults);
   if (tracer != nullptr) runtime.set_tracer(tracer);
   auto result = engine.run(runtime, {{"db.index", index_file_image(db)}});

@@ -56,6 +56,12 @@ struct EngineOptions {
   /// directory under the system temp dir. Spill files are removed as soon
   /// as each operation completes.
   std::string spill_dir;
+  /// How virtual ranks are executed: one OS thread per rank (the default,
+  /// faithful to the paper's 16-node scale) or N rank fibers multiplexed
+  /// over a fixed worker pool (`--scheduler=fibers --workers K`), which
+  /// scales the same workflows to 1024 ranks (DESIGN.md §13). Case-study
+  /// drivers that build their own Runtime pass this through.
+  mp::SchedulerOptions scheduler;
 };
 
 /// The materialized output of a workflow run.

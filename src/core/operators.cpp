@@ -50,10 +50,11 @@ double read_double_field(const schema::Schema& schema, std::string_view wire,
 
 /// Projects a wire record of `in` onto `out` by field name (types must
 /// match), appending into `projected` (cleared first). Used by the final
-/// distribute to drop add-on attributes without per-record allocation.
+/// distribute to drop add-on attributes without per-record allocation;
+/// `ranges` is caller-owned scratch hoisted out of the record loop.
 void project_record_into(const schema::Schema& in, const schema::Schema& out,
-                         std::string_view wire, std::string& projected) {
-  static thread_local std::vector<std::pair<std::size_t, std::size_t>> ranges;
+                         std::string_view wire, std::string& projected,
+                         std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
   field_ranges_into(in, wire, ranges);
   projected.clear();
   for (std::size_t i = 0; i < out.field_count(); ++i) {
@@ -72,7 +73,7 @@ void project_record_into(const schema::Schema& in, const schema::Schema& out,
 // -- Shared helpers -----------------------------------------------------------
 
 std::uint64_t project_entry_field(const Dataset& ds, std::string_view value,
-                                  std::size_t field) {
+                                  std::size_t field, std::string& scratch) {
   if (ds.format == DataFormat::kOrig) {
     return schema::project_field(ds.schema, value, field);
   }
@@ -112,16 +113,26 @@ std::uint64_t project_entry_field(const Dataset& ds, std::string_view value,
         return schema::project_string(key_bytes.substr(sizeof(std::uint32_t)));
     }
   }
-  static thread_local std::string head_scratch;
-  const auto head = first_record_of_entry(ds, value, head_scratch);
+  const auto head = first_record_of_entry(ds, value, scratch);
   return schema::project_field(ds.schema, head, field);
+}
+
+std::uint64_t project_entry_field(const Dataset& ds, std::string_view value,
+                                  std::size_t field) {
+  std::string scratch;
+  return project_entry_field(ds, value, field, scratch);
+}
+
+std::int64_t entry_field_int(const Dataset& ds, std::string_view value,
+                             std::size_t field, std::string& scratch) {
+  const auto head = first_record_of_entry(ds, value, scratch);
+  return read_int_field(ds.schema, head, field);
 }
 
 std::int64_t entry_field_int(const Dataset& ds, std::string_view value,
                              std::size_t field) {
-  static thread_local std::string head_scratch;
-  const auto head = first_record_of_entry(ds, value, head_scratch);
-  return read_int_field(ds.schema, head, field);
+  std::string scratch;
+  return entry_field_int(ds, value, field, scratch);
 }
 
 // -- Add-ons ------------------------------------------------------------------
@@ -163,9 +174,10 @@ void sort_op(mp::Comm& comm, Dataset& ds, const SortArgs& args) {
   // Copy the metadata sample_sort needs; `ds` itself must not be captured
   // mutable (the page has been moved out).
   const Dataset meta{ds.schema, ds.format, ds.group_key_field, {}};
+  std::string head_scratch;
   mr.sample_sort_u64(
-      [&meta, field](std::string_view, std::string_view value) {
-        return project_entry_field(meta, value, field);
+      [&meta, field, &head_scratch](std::string_view, std::string_view value) {
+        return project_entry_field(meta, value, field, head_scratch);
       },
       args.ascending, args.splitter, /*oversample=*/32, /*tie_break_bytes=*/true);
   ds.page = std::move(mr.mutable_local());
@@ -209,6 +221,7 @@ void group_op(mp::Comm& comm, Dataset& ds, const GroupArgs& args) {
   const AddOnSpec addon = args.addon.value_or(AddOnSpec{});
   const bool has_addon = args.addon.has_value();
   const bool compress = args.compress;
+  std::string rec;  // unpacked-output scratch, reused across groups
   mr.reduce([&](std::string_view key, std::span<const std::string_view> values,
                 mr::KvEmitter& emit) {
     // Apply the add-on over the group.
@@ -277,7 +290,6 @@ void group_op(mp::Comm& comm, Dataset& ds, const GroupArgs& args) {
       for (auto v : values) enc.add(v, attr);
       emit.emit(key, enc.take());
     } else {
-      static thread_local std::string rec;
       for (auto v : values) {
         rec.assign(v);
         rec.append(attr);
@@ -357,8 +369,9 @@ std::vector<Dataset> split_op(mp::Comm& comm, Dataset&& ds, const SplitArgs& arg
     out.format = ds.format;
     out.group_key_field = ds.group_key_field;
   }
+  std::string head_scratch;
   ds.page.for_each([&](std::string_view key, std::string_view value) {
-    const std::int64_t x = entry_field_int(ds, value, field);
+    const std::int64_t x = entry_field_int(ds, value, field, head_scratch);
     for (std::size_t i = 0; i < args.conditions.size(); ++i) {
       if (args.conditions[i].matches(x)) {
         outs[i].page.add(key, value);
@@ -440,12 +453,12 @@ DistributedDataset distribute_op(mp::Comm& comm, std::vector<Dataset*> inputs,
     mr::MapReduce mr(comm);
     std::uint64_t entry_idx = entry_offset;
     std::uint64_t record_idx = record_offset;
+    PlacementContext ctx;  // hoisted so ctx.scratch capacity is reused
+    ctx.num_partitions = args.num_partitions;
+    ctx.global_total = entry_total;
+    ctx.dataset = &ds;
     ds.page.for_each([&](std::string_view, std::string_view value) {
-      PlacementContext ctx;
-      ctx.num_partitions = args.num_partitions;
-      ctx.global_total = entry_total;
       ctx.global_index = entry_idx;
-      ctx.dataset = &ds;
       ctx.value = value;
       const std::size_t partition = place_entry(args.policy, ctx);
       char keybuf[sizeof(std::uint32_t) + sizeof(std::uint64_t)];
@@ -472,17 +485,18 @@ DistributedDataset distribute_op(mp::Comm& comm, std::vector<Dataset*> inputs,
     // add-on attributes so output format equals input format), and stamp
     // individual records.
     const bool needs_projection = !(ds.schema == out_schema);
+    std::string projected;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
     mr.mutable_local().for_each([&](std::string_view key, std::string_view value) {
       std::uint32_t partition;
       std::uint64_t stamp;
       std::memcpy(&partition, key.data(), sizeof(partition));
       std::memcpy(&stamp, key.data() + sizeof(partition), sizeof(stamp));
       std::uint64_t member = 0;
-      static thread_local std::string projected;
       auto emit_record = [&](std::string_view rec) {
         std::string_view out_rec = rec;
         if (needs_projection) {
-          project_record_into(ds.schema, out_schema, rec, projected);
+          project_record_into(ds.schema, out_schema, rec, projected, ranges);
           out_rec = projected;
         }
         const std::uint64_t st = content_stamps ? key_hash(out_rec) : stamp + member;

@@ -138,11 +138,21 @@ void unpack_op(Dataset& ds);
 // -- Shared helpers ------------------------------------------------------------
 
 /// Order-preserving u64 projection of `field` for an entry of `ds`
-/// (first record's field when packed).
+/// (first record's field when packed). `scratch` is caller-owned storage
+/// for reconstructing compressed group heads — callers in per-record loops
+/// hoist one string so its capacity is reused. Scratch must be owned by the
+/// logical rank, never by the OS thread: under the fiber scheduler many
+/// ranks share one thread, so `thread_local` here is a correctness bug
+/// (DESIGN.md §13).
+std::uint64_t project_entry_field(const Dataset& ds, std::string_view value,
+                                  std::size_t field, std::string& scratch);
 std::uint64_t project_entry_field(const Dataset& ds, std::string_view value,
                                   std::size_t field);
 
-/// Signed integer value of `field` for an entry of `ds`.
+/// Signed integer value of `field` for an entry of `ds`. Same scratch
+/// contract as project_entry_field.
+std::int64_t entry_field_int(const Dataset& ds, std::string_view value,
+                             std::size_t field, std::string& scratch);
 std::int64_t entry_field_int(const Dataset& ds, std::string_view value,
                              std::size_t field);
 

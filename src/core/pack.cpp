@@ -175,7 +175,10 @@ void for_each_group_record(const schema::Schema& schema, std::size_t key_field,
     const auto klen = r.get<std::uint32_t>();
     const auto key_bytes = r.get_bytes(klen);
     std::string_view rest = packed.substr(r.position());
-    static thread_local std::string scratch;
+    // Plain local, reused across the loop: callbacks may suspend the rank
+    // fiber, so no scratch here may outlive the call or live in a
+    // thread_local shared with other ranks (DESIGN.md §13).
+    std::string scratch;
     std::size_t pos = 0;
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::string_view tail = rest.substr(pos);

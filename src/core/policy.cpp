@@ -28,13 +28,12 @@ namespace {
 /// string fields the u32 length prefix is stripped so the hash depends only
 /// on the field's value.
 std::string_view entry_field_bytes(const Dataset& ds, std::string_view value,
-                                   std::size_t index) {
+                                   std::size_t index, std::string& scratch) {
   std::string_view wire;
-  static thread_local std::string head_scratch;
   if (ds.format == DataFormat::kOrig) {
     wire = value;
   } else {
-    wire = group_head(ds.schema, ds.group_key_field.value_or(0), value, head_scratch);
+    wire = group_head(ds.schema, ds.group_key_field.value_or(0), value, scratch);
   }
   auto [off, len] = field_range(ds.schema, wire, index);
   if (ds.schema.field(index).type == schema::FieldType::kString) {
@@ -67,11 +66,11 @@ std::size_t place_entry(DistrPolicyKind kind, const PlacementContext& ctx) {
       if (ds.format == DataFormat::kPacked) {
         // Low-degree group: the whole vertex (group key) picks one partition.
         const std::size_t key_field = ds.group_key_field.value_or(0);
-        const auto key = entry_field_bytes(ds, ctx.value, key_field);
+        const auto key = entry_field_bytes(ds, ctx.value, key_field, ctx.scratch);
         return key_hash(key) % ctx.num_partitions;
       }
       // High-degree edge: scatter by the first field (the source vertex).
-      const auto src = entry_field_bytes(ds, ctx.value, 0);
+      const auto src = entry_field_bytes(ds, ctx.value, 0, ctx.scratch);
       return key_hash(src) % ctx.num_partitions;
     }
   }

@@ -42,6 +42,12 @@ struct PlacementContext {
   const Dataset* dataset = nullptr;
   /// The entry's value bytes (record or packed group).
   std::string_view value;
+  /// Caller-owned scratch for reconstructing compressed group heads
+  /// (mutable: logically not part of the placement inputs). Hoist the
+  /// context out of per-entry loops so the capacity is reused. Rank-owned
+  /// by construction — policies must not stash per-rank state in
+  /// thread_local storage (DESIGN.md §13).
+  mutable std::string scratch;
 };
 
 /// Partition assignment for one entry under the given policy.

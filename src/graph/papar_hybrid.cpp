@@ -72,7 +72,7 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                {"num_partitions", std::to_string(num_partitions)},
                                {"threshold", std::to_string(threshold)}},
                               options);
-  mp::Runtime runtime(nranks, network);
+  mp::Runtime runtime(nranks, network, options.scheduler);
   if (faults != nullptr) runtime.set_fault_injector(faults);
   if (tracer != nullptr) runtime.set_tracer(tracer);
   auto result = engine.run(runtime, {{"edges.txt", to_edge_list_text(g)}});

@@ -4,12 +4,15 @@
 // send/recv, nonblocking isend/irecv completed by Request::wait (the paper's
 // MPI backend uses Isend/Irecv/Wait for the data shuffle), and the
 // collectives MR-MPI needs (barrier, bcast, gather(v), alltoallv, allreduce,
-// allgather). Ranks are threads; payloads move through per-rank mailboxes.
+// allgather). Ranks execute either as one OS thread each (--scheduler=threads)
+// or as fibers multiplexed over a worker pool (--scheduler=fibers, DESIGN.md
+// §13); payloads move through per-rank mailboxes either way.
 //
 // Virtual time: every rank carries a clock. Compute is charged from the
-// thread's CPU-time counter (CLOCK_THREAD_CPUTIME_ID) each time the rank
-// enters the runtime, so only cycles this rank actually executed count even
-// when all ranks share one core. Messages are stamped with
+// hosting thread's CPU-time counter (CLOCK_THREAD_CPUTIME_ID) each time the
+// rank enters the runtime, re-based at every scheduler slice so only cycles
+// this rank actually executed count even when many ranks share one core or
+// one worker thread. Messages are stamped with
 // sender-clock + network cost; a receive advances the receiver's clock to at
 // least the stamp (Lamport propagation). The run's makespan is the maximum
 // final clock over ranks.
@@ -59,9 +62,10 @@ class Request {
   /// Blocks until the operation finishes; for receives, returns the message.
   Envelope wait();
 
-  /// Deadline-aware wait: like wait(), but a receive that does not complete
-  /// within `timeout_seconds` throws TimeoutError instead of blocking
-  /// forever. Send requests are already complete and return immediately.
+  /// Deadline-aware wait: like wait(), but a receive whose matching message
+  /// does not arrive within `timeout_seconds` of *virtual* time throws
+  /// TimeoutError (see Comm::recv's timeout overload for the exact
+  /// semantics). Send requests are already complete and return immediately.
   Envelope wait_for(double timeout_seconds);
 
   /// True if wait() would not block.
@@ -113,8 +117,14 @@ class Comm {
   Envelope recv(int source, int tag);
 
   /// Deadline-aware receive: throws TimeoutError if no matching message
-  /// arrives within `timeout_seconds` (measured while blocked; the expired
-  /// wait is also charged to the virtual clock as modeled time).
+  /// arrives by virtual time `vtime() + timeout_seconds`. The deadline is
+  /// measured on the rank's virtual clock, not wall time — under the fiber
+  /// scheduler a rank can sit unscheduled for arbitrary real time without
+  /// its deadlines firing. A timeout fires in two ways: a matching message
+  /// whose arrival stamp exceeds the deadline throws immediately (the
+  /// message stays queued for a later receive), and a quiescent system with
+  /// no satisfiable work fires the earliest pending deadline. Either way
+  /// the rank's clock advances to the deadline before the throw.
   Envelope recv(int source, int tag, double timeout_seconds);
 
   /// Nonblocking send; the returned request is already complete.

@@ -39,6 +39,9 @@ namespace papar::mp {
 // -- Fault-path error types --------------------------------------------------
 
 /// A deadline-aware recv/wait expired before a matching message arrived.
+/// Deadlines are virtual-time: `vtime() + timeout_seconds` on the waiting
+/// rank's clock, independent of how real time is shared between ranks by
+/// the scheduler (DESIGN.md §13).
 class TimeoutError : public Error {
  public:
   explicit TimeoutError(const std::string& what) : Error("timeout: " + what) {}

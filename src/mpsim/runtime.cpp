@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "mpsim/sched.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/membudget.hpp"
@@ -50,6 +51,14 @@ struct Mailbox {
   /// single over-cap enqueue so a cycle of blocked senders always makes
   /// progress instead of deadlocking. Guarded by `mutex`.
   std::size_t credit_grants = 0;
+  /// Fiber-mode waiter registration, guarded by `mutex`. Registration
+  /// happens in the same critical section as the failed predicate check,
+  /// so an enqueue (or credit return) either precedes the check or sees
+  /// the waiter — a parked fiber can never miss its wakeup. Wakes are
+  /// sticky and spurious resumes are re-checked, so stale entries are
+  /// harmless.
+  bool recv_waiting = false;      // the owning rank is parked in recv
+  std::vector<int> send_waiters;  // ranks parked awaiting credits here
 };
 
 // Per-rank execution state, maintained for the failure detector and the
@@ -93,6 +102,14 @@ struct RankStatus {
   /// Virtual clock at which the rank terminated (feeds the heartbeat
   /// failure-detection latency model).
   std::atomic<double> death_vtime{0.0};
+  /// While kBlockedRecv with a deadline-aware recv/wait_for: the virtual
+  /// deadline (recv-begin clock + timeout). Negative = no deadline.
+  /// Deadlines are virtual, not wall-clock, so multiplexing many ranks
+  /// over few workers cannot fire false timeouts (see DESIGN.md §13).
+  std::atomic<double> blocked_deadline{-1.0};
+  /// Set by the deadlock scan when the system went quiescent with this
+  /// rank's deadline unmet; the rank observes it and throws TimeoutError.
+  std::atomic<bool> timeout_fired{false};
 };
 }  // namespace
 
@@ -114,6 +131,14 @@ struct Shared {
   std::uint64_t barrier_generation = 0;
   double barrier_pending_max = 0.0;
   double barrier_resolved_time = 0.0;
+  /// Fiber-mode barrier waiters (guarded by barrier_mutex; same
+  /// registration discipline as Mailbox's waiter slots).
+  std::vector<int> barrier_waiters;
+
+  /// The fiber scheduler hosting this attempt's ranks, or nullptr in
+  /// threaded mode (and between runs). Set by Runtime::run around each
+  /// attempt; every blocking site branches on this one pointer.
+  FiberScheduler* fibers = nullptr;
 
   std::atomic<std::uint64_t> remote_messages{0};
   std::atomic<std::uint64_t> remote_bytes{0};
@@ -184,6 +209,7 @@ struct Shared {
       barrier_count = 0;
       barrier_pending_max = 0.0;
       barrier_resolved_time = 0.0;
+      barrier_waiters.clear();
     }
     for (int r = 0; r < size; ++r) {
       auto& mb = mailboxes[static_cast<std::size_t>(r)];
@@ -192,6 +218,8 @@ struct Shared {
       mb.queue.clear();
       mb.queued_bytes = 0;
       mb.credit_grants = 0;
+      mb.recv_waiting = false;
+      mb.send_waiters.clear();
     }
     for (int r = 0; r < size; ++r) {
       auto& st = status[static_cast<std::size_t>(r)];
@@ -200,6 +228,8 @@ struct Shared {
       st.blocked_tag.store(0, std::memory_order_relaxed);
       st.blocked_bytes.store(0, std::memory_order_relaxed);
       st.death_vtime.store(0.0, std::memory_order_relaxed);
+      st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+      st.timeout_fired.store(false, std::memory_order_relaxed);
     }
     terminated.store(0, std::memory_order_relaxed);
     abort_deadlock.store(false, std::memory_order_relaxed);
@@ -226,6 +256,7 @@ struct Shared {
     }
     { std::lock_guard<std::mutex> lock(barrier_mutex); }
     barrier_cv.notify_all();
+    if (fibers != nullptr) fibers->wake_all();
   }
 
   /// Marks a rank as terminated exactly once (idempotent: the crash path
@@ -298,10 +329,19 @@ void Shared::try_detect_deadlock() {
       case kFailed:
         break;
       case kBlockedRecv: {
+        // A rank whose fired timeout has not been consumed yet will throw
+        // TimeoutError as soon as it is scheduled; that is pending
+        // progress, not deadlock.
+        if (st.timeout_fired.load(std::memory_order_relaxed)) return;
         const int src = st.blocked_source.load(std::memory_order_relaxed);
         // A rank waiting on a terminated peer will throw PeerFailureError
-        // by itself; that is progress, not deadlock.
-        if (awaited_terminated(r, src) >= 0) return;
+        // by itself; that is progress, not deadlock. (Under fibers the
+        // termination broadcast already woke it; the extra wake is a
+        // harmless belt-and-braces resume.)
+        if (awaited_terminated(r, src) >= 0) {
+          if (fibers != nullptr) fibers->wake(r);
+          return;
+        }
         ++blocked;
         break;
       }
@@ -312,6 +352,7 @@ void Shared::try_detect_deadlock() {
         const int dest = st.blocked_source.load(std::memory_order_relaxed);
         if (terminated_state(status[static_cast<std::size_t>(dest)].state.load(
                 std::memory_order_acquire))) {
+          if (fibers != nullptr) fibers->wake(r);
           return;
         }
         ++blocked;
@@ -332,6 +373,7 @@ void Shared::try_detect_deadlock() {
         }
         if (st.blocked_generation.load(std::memory_order_relaxed) !=
             current_generation) {
+          if (fibers != nullptr) fibers->wake(r);
           return;
         }
         ++blocked;
@@ -351,7 +393,12 @@ void Shared::try_detect_deadlock() {
       auto& mb = mailboxes[static_cast<std::size_t>(r)];
       std::lock_guard<std::mutex> mb_lock(mb.mutex);
       for (const auto& m : mb.queue) {
-        if ((src == kAnySource || m.source == src) && m.tag == tag) return;
+        if ((src == kAnySource || m.source == src) && m.tag == tag) {
+          // Satisfiable: the rank only needs to be scheduled. Threads get
+          // there via the watchdog re-check; a parked fiber needs a wake.
+          if (fibers != nullptr) fibers->wake(r);
+          return;
+        }
       }
     } else if (s == kBlockedSend) {
       const int dest = st.blocked_source.load(std::memory_order_relaxed);
@@ -360,6 +407,7 @@ void Shared::try_detect_deadlock() {
       std::lock_guard<std::mutex> mb_lock(mb.mutex);
       if (mb.queued_bytes == 0 || mb.queued_bytes + n <= mailbox_cap ||
           mb.credit_grants > 0) {
+        if (fibers != nullptr) fibers->wake(r);
         return;  // the sender can proceed; it just has not been scheduled
       }
     }
@@ -383,7 +431,42 @@ void Shared::try_detect_deadlock() {
     if (budget != nullptr) budget->note_emergency_credit(dest);
     progress.fetch_add(1, std::memory_order_release);
     mb.cv.notify_all();
+    if (fibers != nullptr) fibers->wake(first_blocked_sender);
     return;
+  }
+
+  // Quiescent with no deliverable message: before declaring deadlock, fire
+  // the earliest pending virtual recv deadline. The virtual clock only
+  // advances when ranks run, so "everyone is parked and nothing can move"
+  // is exactly the point at which an unmet deadline is known to be unmet
+  // forever — firing it is progress (the expired rank unblocks and runs).
+  // Ties break toward the lower rank for determinism.
+  {
+    int timeout_rank = -1;
+    double earliest = 0.0;
+    for (int r = 0; r < size; ++r) {
+      const auto& st = status[static_cast<std::size_t>(r)];
+      if (st.state.load(std::memory_order_acquire) != kBlockedRecv) continue;
+      const double d = st.blocked_deadline.load(std::memory_order_relaxed);
+      if (d < 0.0) continue;
+      if (timeout_rank < 0 || d < earliest) {
+        earliest = d;
+        timeout_rank = r;
+      }
+    }
+    if (timeout_rank >= 0) {
+      auto& st = status[static_cast<std::size_t>(timeout_rank)];
+      st.timeout_fired.store(true, std::memory_order_release);
+      progress.fetch_add(1, std::memory_order_release);
+      auto& mb = mailboxes[static_cast<std::size_t>(timeout_rank)];
+      {
+        std::lock_guard<std::mutex> mb_lock(mb.mutex);
+        mb.recv_waiting = false;
+      }
+      mb.cv.notify_all();
+      if (fibers != nullptr) fibers->wake(timeout_rank);
+      return;
+    }
   }
 
   std::ostringstream dump;
@@ -629,6 +712,7 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   const std::uint64_t trace_id = msg.trace_id;
   auto& mb = shared_->mailboxes[static_cast<std::size_t>(dest)];
   std::size_t queue_depth = 0;
+  bool wake_receiver = false;
   {
     std::unique_lock<std::mutex> lock(mb.mutex);
     if (remote && shared_->mailbox_cap > 0) {
@@ -668,14 +752,26 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
         st.blocked_tag.store(tag, std::memory_order_relaxed);
         st.blocked_bytes.store(n, std::memory_order_relaxed);
         st.state.store(detail::kBlockedSend, std::memory_order_release);
-        const bool watchdog_expired =
-            mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
-        if (watchdog_expired) {
-          // Scan without holding the mailbox lock (the scanner takes every
-          // mailbox lock in turn; never nest them).
+        if (detail::FiberScheduler* fibers = s->fibers) {
+          // Register while still holding mb.mutex (same critical section
+          // as the failed credit check), then park with no locks held.
+          auto& waiters = mb.send_waiters;
+          if (std::find(waiters.begin(), waiters.end(), rank_) == waiters.end()) {
+            waiters.push_back(rank_);
+          }
           lock.unlock();
-          s->try_detect_deadlock();
+          fibers->park(rank_);
           lock.lock();
+        } else {
+          const bool watchdog_expired =
+              mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+          if (watchdog_expired) {
+            // Scan without holding the mailbox lock (the scanner takes every
+            // mailbox lock in turn; never nest them).
+            lock.unlock();
+            s->try_detect_deadlock();
+            lock.lock();
+          }
         }
       }
       st.state.store(detail::kRunning, std::memory_order_release);
@@ -683,10 +779,15 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
     mb.queue.push_back(std::move(msg));
     mb.queued_bytes += n;
     if (shared_->metrics != nullptr) queue_depth = mb.queue.size();
+    if (mb.recv_waiting) {
+      mb.recv_waiting = false;
+      wake_receiver = true;
+    }
   }
   if (shared_->budget != nullptr) shared_->budget->add_mailbox(dest, n);
   shared_->progress.fetch_add(1, std::memory_order_release);
   mb.cv.notify_all();
+  if (wake_receiver && shared_->fibers != nullptr) shared_->fibers->wake(dest);
   if (shared_->metrics != nullptr) {
     shared_->m_payload->observe(static_cast<double>(n));
     shared_->m_queue->observe(static_cast<double>(queue_depth));
@@ -738,6 +839,14 @@ namespace {
 bool matches(const detail::Message& m, int source, int tag) {
   return (source == kAnySource || m.source == source) && m.tag == tag;
 }
+
+std::string timeout_what(int source, int tag, int rank, double timeout_seconds) {
+  return "recv(source=" +
+         (source == kAnySource ? std::string("any") : std::to_string(source)) +
+         ", tag=" + std::to_string(tag) + ") on rank " + std::to_string(rank) +
+         " expired after " + std::to_string(timeout_seconds) +
+         "s of virtual time";
+}
 }  // namespace
 
 Envelope Comm::recv(int source, int tag) { return recv_impl(source, tag, -1.0); }
@@ -755,17 +864,31 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
   auto& st = s->status[static_cast<std::size_t>(rank_)];
   st.blocked_source.store(source, std::memory_order_relaxed);
   st.blocked_tag.store(tag, std::memory_order_relaxed);
+  // Deadlines are virtual: the wait expires when no matching message can
+  // arrive by `recv_begin + timeout` on the simulated clock — never because
+  // the simulator host was slow or the rank sat parked behind other fibers.
+  // Identical semantics in both scheduler modes.
   const bool has_deadline = timeout_seconds >= 0.0;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(has_deadline ? timeout_seconds : 0.0));
+  const double deadline_v = recv_begin + timeout_seconds;
+  st.timeout_fired.store(false, std::memory_order_relaxed);
   auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(mb.mutex);
   for (;;) {
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
       if (matches(*it, source, tag)) {
+        if (has_deadline && it->arrival > deadline_v) {
+          // The matching message exists but virtually arrives after the
+          // deadline: the wait expires first. The message stays queued for
+          // a later (or retried) receive.
+          st.state.store(detail::kRunning, std::memory_order_release);
+          st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+          st.timeout_fired.store(false, std::memory_order_relaxed);
+          vtime_ = std::max(vtime_, deadline_v);
+          throw TimeoutError(timeout_what(source, tag, rank_, timeout_seconds));
+        }
         st.state.store(detail::kRunning, std::memory_order_release);
+        st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+        st.timeout_fired.store(false, std::memory_order_relaxed);
         s->progress.fetch_add(1, std::memory_order_release);
         Envelope env;
         env.source = it->source;
@@ -788,6 +911,10 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         if (s->mailbox_cap > 0) {
           // Returning credits may unblock senders waiting on this mailbox.
           mb.cv.notify_all();
+          if (s->fibers != nullptr && !mb.send_waiters.empty()) {
+            for (const int w : mb.send_waiters) s->fibers->wake(w);
+            mb.send_waiters.clear();
+          }
         }
         if (obs::TraceRecorder* tracer = s->tracer) {
           obs::TraceEvent ev;
@@ -812,38 +939,50 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
     }
     if (s->abort_deadlock.load(std::memory_order_acquire)) {
       st.state.store(detail::kRunning, std::memory_order_release);
+      st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+      st.timeout_fired.store(false, std::memory_order_relaxed);
       throw DeadlockError(s->abort_reason_copy());
     }
     if (const int dead = s->awaited_terminated(rank_, source); dead >= 0) {
       st.state.store(detail::kRunning, std::memory_order_release);
+      st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+      st.timeout_fired.store(false, std::memory_order_relaxed);
       on_peer_failure(dead, "is receiving from");
     }
-    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    if (has_deadline && st.timeout_fired.load(std::memory_order_acquire)) {
+      // The deadlock scan found the system quiescent with this deadline
+      // still unmet: no message can arrive by deadline_v anymore. The
+      // expired wait is modeled time — the rank sat on the deadline.
       st.state.store(detail::kRunning, std::memory_order_release);
-      // The expired wait is modeled work: the rank sat on the deadline.
-      vtime_ += timeout_seconds;
-      throw TimeoutError("recv(source=" +
-                         (source == kAnySource ? std::string("any")
-                                               : std::to_string(source)) +
-                         ", tag=" + std::to_string(tag) + ") on rank " +
-                         std::to_string(rank_) + " expired after " +
-                         std::to_string(timeout_seconds) + "s");
+      st.blocked_deadline.store(-1.0, std::memory_order_relaxed);
+      st.timeout_fired.store(false, std::memory_order_relaxed);
+      vtime_ = std::max(vtime_, deadline_v);
+      throw TimeoutError(timeout_what(source, tag, rank_, timeout_seconds));
+    }
+    // Publish the deadline before the blocked state so the scan can never
+    // observe a deadline-less blocked-with-deadline rank.
+    if (has_deadline) {
+      st.blocked_deadline.store(deadline_v, std::memory_order_relaxed);
     }
     st.state.store(detail::kBlockedRecv, std::memory_order_release);
-    bool watchdog_expired;
-    if (has_deadline) {
-      const auto until = std::min(
-          deadline, std::chrono::steady_clock::now() + s->watchdog);
-      watchdog_expired = mb.cv.wait_until(lock, until) == std::cv_status::timeout;
-    } else {
-      watchdog_expired = mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
-    }
-    if (watchdog_expired) {
-      // Scan for deadlock without holding our mailbox lock (the scanner
-      // takes every mailbox lock in turn; never nest them).
+    if (detail::FiberScheduler* fibers = s->fibers) {
+      // Register while still holding mb.mutex (same critical section as
+      // the failed match scan), then park with no locks held.
+      mb.recv_waiting = true;
       lock.unlock();
-      s->try_detect_deadlock();
+      fibers->park(rank_);
       lock.lock();
+      mb.recv_waiting = false;
+    } else {
+      const bool watchdog_expired =
+          mb.cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+      if (watchdog_expired) {
+        // Scan for deadlock without holding our mailbox lock (the scanner
+        // takes every mailbox lock in turn; never nest them).
+        lock.unlock();
+        s->try_detect_deadlock();
+        lock.lock();
+      }
     }
   }
 }
@@ -878,7 +1017,13 @@ bool Comm::try_recv_tagged(int tag, const std::vector<char>& skip_sources,
     mb.queue.erase(it);
     mb.queued_bytes -= freed > mb.queued_bytes ? mb.queued_bytes : freed;
     if (s->budget != nullptr) s->budget->sub_mailbox(rank_, freed);
-    if (s->mailbox_cap > 0) mb.cv.notify_all();
+    if (s->mailbox_cap > 0) {
+      mb.cv.notify_all();
+      if (s->fibers != nullptr && !mb.send_waiters.empty()) {
+        for (const int w : mb.send_waiters) s->fibers->wake(w);
+        mb.send_waiters.clear();
+      }
+    }
     if (obs::TraceRecorder* tracer = s->tracer) {
       obs::TraceEvent ev;
       ev.kind = obs::TraceEventKind::kRecv;
@@ -943,6 +1088,10 @@ void Comm::barrier() {
     ++s->barrier_generation;
     s->progress.fetch_add(1, std::memory_order_release);
     s->barrier_cv.notify_all();
+    if (s->fibers != nullptr && !s->barrier_waiters.empty()) {
+      for (const int w : s->barrier_waiters) s->fibers->wake(w);
+      s->barrier_waiters.clear();
+    }
   } else {
     for (;;) {
       if (s->barrier_generation != my_generation) break;
@@ -960,12 +1109,24 @@ void Comm::barrier() {
       }
       st.blocked_generation.store(my_generation, std::memory_order_relaxed);
       st.state.store(detail::kBlockedBarrier, std::memory_order_release);
-      const bool watchdog_expired =
-          s->barrier_cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
-      if (watchdog_expired) {
+      if (detail::FiberScheduler* fibers = s->fibers) {
+        // Register under barrier_mutex (same critical section as the
+        // generation check), then park with no locks held.
+        auto& waiters = s->barrier_waiters;
+        if (std::find(waiters.begin(), waiters.end(), rank_) == waiters.end()) {
+          waiters.push_back(rank_);
+        }
         lock.unlock();
-        s->try_detect_deadlock();
+        fibers->park(rank_);
         lock.lock();
+      } else {
+        const bool watchdog_expired =
+            s->barrier_cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
+        if (watchdog_expired) {
+          lock.unlock();
+          s->try_detect_deadlock();
+          lock.lock();
+        }
       }
     }
     st.state.store(detail::kRunning, std::memory_order_release);
@@ -1113,7 +1274,8 @@ std::vector<std::vector<unsigned char>> Comm::alltoallv(
 // ---------------------------------------------------------------------------
 // Runtime
 
-Runtime::Runtime(int nranks, NetworkModel network) : nranks_(nranks) {
+Runtime::Runtime(int nranks, NetworkModel network, SchedulerOptions sched)
+    : nranks_(nranks), sched_(sched) {
   PAPAR_CHECK_MSG(nranks >= 1, "runtime needs at least one rank");
   shared_ = std::make_unique<detail::Shared>(nranks, network);
 }
@@ -1193,34 +1355,62 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
     }
 
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(nranks_));
-    for (int r = 0; r < nranks_; ++r) {
-      threads.emplace_back([&, r] {
-        Comm& comm = comms[static_cast<std::size_t>(r)];
-        comm.last_cpu_ = thread_cpu_seconds();
-        try {
-          fn(comm);
-          comm.charge_compute();
-          if (obs::TraceRecorder* tracer = shared_->tracer) {
-            obs::TraceEvent ev;
-            ev.kind = obs::TraceEventKind::kRankDone;
-            ev.stage = comm.trace_stage_;
-            ev.attempt = comm.attempt_;
-            ev.begin = comm.vtime_;
-            ev.end = comm.vtime_;
-            tracer->record(r, ev);
-          }
-          shared_->declare_terminated(r, detail::kDone, comm.vtime_);
-        } catch (...) {
-          errors[static_cast<std::size_t>(r)] = std::current_exception();
-          // Crash paths already declared; anything else terminates here so
-          // peers blocked on this rank unwind instead of hanging.
-          shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
+    const auto rank_body = [&](int r) {
+      Comm& comm = comms[static_cast<std::size_t>(r)];
+      try {
+        fn(comm);
+        comm.charge_compute();
+        if (obs::TraceRecorder* tracer = shared_->tracer) {
+          obs::TraceEvent ev;
+          ev.kind = obs::TraceEventKind::kRankDone;
+          ev.stage = comm.trace_stage_;
+          ev.attempt = comm.attempt_;
+          ev.begin = comm.vtime_;
+          ev.end = comm.vtime_;
+          tracer->record(r, ev);
         }
-      });
+        shared_->declare_terminated(r, detail::kDone, comm.vtime_);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Crash paths already declared; anything else terminates here so
+        // peers blocked on this rank unwind instead of hanging.
+        shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
+      }
+    };
+    if (sched_.mode == SchedulerMode::kFibers) {
+      // Fresh scheduler per attempt: recovery restarts every rank on a
+      // clean fiber with an empty run queue.
+      detail::FiberScheduler fibers(nranks_, sched_);
+      shared_->fibers = &fibers;
+      const std::function<void(int)> body = rank_body;
+      const std::function<void(int)> on_resume = [&](int r) {
+        // Slice boundary: re-base the rank's thread-CPU mark on the worker
+        // hosting this slice, so CPU burnt by other ranks sharing the
+        // worker (or by this rank on a previous worker) is never charged
+        // here. This is the clock-slicing rule of DESIGN.md §13.
+        comms[static_cast<std::size_t>(r)].last_cpu_ = thread_cpu_seconds();
+      };
+      const std::function<void()> on_idle = [&] {
+        shared_->try_detect_deadlock();
+      };
+      try {
+        fibers.run(body, on_resume, on_idle);
+      } catch (...) {
+        shared_->fibers = nullptr;
+        throw;
+      }
+      shared_->fibers = nullptr;
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(nranks_));
+      for (int r = 0; r < nranks_; ++r) {
+        threads.emplace_back([&, r] {
+          comms[static_cast<std::size_t>(r)].last_cpu_ = thread_cpu_seconds();
+          rank_body(r);
+        });
+      }
+      for (auto& t : threads) t.join();
     }
-    for (auto& t : threads) t.join();
 
     // Classify the attempt's errors. Fault-path unwinds (crash, the peer
     // failures and deadlocks it cascades into) are recoverable; anything

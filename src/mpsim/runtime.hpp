@@ -1,10 +1,13 @@
 // Runtime: spawns N simulated ranks and reports run statistics.
 //
 // Substitution for the paper's 16-node cluster (see DESIGN.md §2): each rank
-// is an OS thread with its own mailbox and virtual clock. `run` blocks until
-// every rank's function returns, then reports per-rank virtual times, the
-// makespan, and fabric traffic totals. Exceptions thrown inside a rank are
-// re-thrown from run() after all ranks are joined.
+// has its own mailbox and virtual clock, and executes either on its own OS
+// thread (SchedulerMode::kThreads, the original design) or as one of N
+// fibers multiplexed over a fixed worker pool (SchedulerMode::kFibers, which
+// scales to 1024 ranks — see DESIGN.md §13). `run` blocks until every rank's
+// function returns, then reports per-rank virtual times, the makespan, and
+// fabric traffic totals. Exceptions thrown inside a rank are re-thrown from
+// run() after all ranks are joined.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,7 @@
 #include "mpsim/comm.hpp"
 #include "mpsim/fault.hpp"
 #include "mpsim/network.hpp"
+#include "mpsim/sched.hpp"
 #include "obs/obs.hpp"
 
 namespace papar {
@@ -43,8 +47,10 @@ struct RunStats {
 
 class Runtime {
  public:
-  /// A runtime for `nranks` simulated ranks over the given fabric.
-  explicit Runtime(int nranks, NetworkModel network = NetworkModel::rdma());
+  /// A runtime for `nranks` simulated ranks over the given fabric, executed
+  /// by the given scheduler (defaults to one OS thread per rank).
+  explicit Runtime(int nranks, NetworkModel network = NetworkModel::rdma(),
+                   SchedulerOptions sched = {});
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -52,6 +58,7 @@ class Runtime {
 
   int size() const { return nranks_; }
   const NetworkModel& network() const;
+  const SchedulerOptions& scheduler() const { return sched_; }
 
   /// Attaches an observability recorder: collectives bump per-kind traffic
   /// counters, each run() records one whole-rank span per rank, and code
@@ -104,6 +111,7 @@ class Runtime {
 
  private:
   int nranks_;
+  SchedulerOptions sched_;
   std::unique_ptr<detail::Shared> shared_;
 };
 

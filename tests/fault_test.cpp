@@ -274,6 +274,9 @@ TEST(FaultRuntime, UnrecoverableCrashSurfacesRankCrashedError) {
 // -- Timeouts and failure detection -------------------------------------------
 
 TEST(FaultRuntime, RecvTimeoutThrowsAndChargesClock) {
+  // Deadlines are virtual (DESIGN.md §13): the sender models 0.2s of work
+  // before sending, so its message arrives at virtual time ~0.2 — past the
+  // receiver's 0.05s deadline — regardless of wall-clock scheduling.
   Runtime rt(2, NetworkModel::zero());
   rt.run([&](Comm& comm) {
     if (comm.rank() == 0) {
@@ -283,8 +286,26 @@ TEST(FaultRuntime, RecvTimeoutThrowsAndChargesClock) {
       // The late message is still delivered and consumable afterwards.
       EXPECT_EQ(str_of(comm.recv(1, 7).payload), "late");
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      comm.charge_modeled(0.2);
       comm.send(0, 7, bytes_of("late"));
+    }
+  });
+}
+
+TEST(FaultRuntime, RecvTimeoutFiresAtQuiescenceWithoutAMatchingMessage) {
+  // No matching message is ever in flight when the deadline expires: the
+  // watchdog scan must fire the virtual deadline once the system goes
+  // quiescent instead of declaring deadlock (rank 1 blocks on a message
+  // rank 0 only sends after its timeout).
+  Runtime rt(2, NetworkModel::zero());
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double before = comm.vtime();
+      EXPECT_THROW(comm.recv(1, 9, 0.05), TimeoutError);
+      EXPECT_GE(comm.vtime(), before + 0.05);
+      comm.send(1, 8, bytes_of("after timeout"));
+    } else {
+      EXPECT_EQ(str_of(comm.recv(0, 8).payload), "after timeout");
     }
   });
 }
@@ -297,7 +318,7 @@ TEST(FaultRuntime, RequestWaitForTimesOut) {
       EXPECT_THROW(req.wait_for(0.05), TimeoutError);
       EXPECT_EQ(str_of(comm.recv(1, 9).payload), "eventually");
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      comm.charge_modeled(0.2);
       comm.send(0, 9, bytes_of("eventually"));
     }
   });

@@ -81,7 +81,10 @@ struct RunOutcome {
   obs::MemoryStats memory;
 };
 
-using Workload = std::function<RunOutcome(std::uint64_t seed,
+/// `nranks` is the simulated rank count; the partition count stays tied to
+/// opt.nodes so digests are comparable across rank counts (the fiber soak
+/// below runs the same cells at hundreds of ranks).
+using Workload = std::function<RunOutcome(std::uint64_t seed, int nranks,
                                           core::EngineOptions options,
                                           mp::FaultInjector* faults)>;
 
@@ -89,7 +92,7 @@ Workload make_hybrid_workload(const ChaosOptions& opt) {
   const graph::VertexId vertices = opt.quick ? 2000 : 20000;
   const std::size_t edges = opt.quick ? 20000 : 200000;
   const int nodes = opt.nodes;
-  return [=](std::uint64_t seed, core::EngineOptions options,
+  return [=](std::uint64_t seed, int nranks, core::EngineOptions options,
              mp::FaultInjector* faults) {
     graph::ZipfGraphOptions gopt;
     gopt.num_vertices = vertices;
@@ -98,7 +101,7 @@ Workload make_hybrid_workload(const ChaosOptions& opt) {
     gopt.seed = seed;
     const graph::Graph g = graph::generate_zipf(gopt);
     const auto result = graph::papar_hybrid_cut(
-        g, nodes, static_cast<std::size_t>(nodes), /*threshold=*/64,
+        g, nranks, static_cast<std::size_t>(nodes), /*threshold=*/64,
         std::move(options), mp::NetworkModel::rdma(), faults);
     RunOutcome out;
     Digest d;
@@ -112,14 +115,14 @@ Workload make_hybrid_workload(const ChaosOptions& opt) {
 Workload make_blast_workload(const ChaosOptions& opt) {
   const std::size_t sequences = opt.quick ? 4000 : 20000;
   const int nodes = opt.nodes;
-  return [=](std::uint64_t seed, core::EngineOptions options,
+  return [=](std::uint64_t seed, int nranks, core::EngineOptions options,
              mp::FaultInjector* faults) {
     blast::GeneratorOptions gopt = blast::env_nr_like();
     gopt.sequence_count = sequences;
     gopt.seed = seed;
     const blast::Database db = blast::generate_database(gopt);
     const auto result = blast::partition_with_papar(
-        db, nodes, static_cast<std::size_t>(nodes) * 2, blast::Policy::kCyclic,
+        db, nranks, static_cast<std::size_t>(nodes) * 2, blast::Policy::kCyclic,
         std::move(options), mp::NetworkModel::rdma(), faults);
     RunOutcome out;
     Digest d;
@@ -218,11 +221,11 @@ int run_chaos(int argc, char** argv) {
       // Baseline digest (no faults, no budget) and high-water probe (a
       // generous budget that neither spills nor throws, but measures the
       // peak so the tight tiers mean the same thing on every workload).
-      const RunOutcome baseline = workload(seed, {}, nullptr);
+      const RunOutcome baseline = workload(seed, opt.nodes, {}, nullptr);
       core::EngineOptions probe_options;
       probe_options.mem_budget = std::size_t{1} << 30;
       probe_options.spill_dir = (spill_root / "probe").string();
-      const RunOutcome probe = workload(seed, probe_options, nullptr);
+      const RunOutcome probe = workload(seed, opt.nodes, probe_options, nullptr);
       if (probe.digest != baseline.digest) {
         std::fprintf(stderr, "FAIL %s seed=%llu: probe digest mismatch\n",
                      wl_name, static_cast<unsigned long long>(seed));
@@ -256,7 +259,7 @@ int run_chaos(int argc, char** argv) {
           std::string detail;
           try {
             const RunOutcome run =
-                workload(seed, options, injector ? &*injector : nullptr);
+                workload(seed, opt.nodes, options, injector ? &*injector : nullptr);
             tally.spill_bytes += run.memory.spill_bytes;
             tally.backpressure_stalls += run.memory.backpressure_stalls;
             if (run.digest == baseline.digest) {
@@ -293,6 +296,51 @@ int run_chaos(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  // Fiber-scheduler soak: the same workloads multiplexed over 4 workers at
+  // hundreds of ranks, with a lossy-fabric-plus-crash plan, must still be
+  // byte-identical to the few-rank threaded baseline. This is the scale
+  // regime where the wall-clock watchdogs the virtual-deadline conversion
+  // replaced would have fired spuriously (256 ranks time-sharing 4 workers
+  // make real elapsed time meaningless as a progress signal).
+  const int soak_ranks = opt.quick ? 64 : 256;
+  for (const auto& [wl_name, workload] : workloads) {
+    const std::uint64_t seed = 1;
+    const RunOutcome baseline = workload(seed, opt.nodes, {}, nullptr);
+    core::EngineOptions options;
+    options.scheduler.mode = mp::SchedulerMode::kFibers;
+    options.scheduler.workers = 4;
+    options.scheduler.seed = seed;
+    mp::FaultPlan plan = mp::FaultPlan::parse_arg("drop=0.03,crash=1@60");
+    plan.seed = seed;
+    mp::FaultInjector injector(plan);
+    const char* status = nullptr;
+    std::string detail;
+    try {
+      const RunOutcome run = workload(seed, soak_ranks, options, &injector);
+      if (run.digest == baseline.digest) {
+        status = "ok";
+        ++tally.completed;
+      } else {
+        status = "FAIL(digest)";
+        ++tally.failed;
+      }
+    } catch (const papar::Error& e) {
+      status = "FAIL(error)";
+      detail = e.what();
+      ++tally.failed;
+    } catch (const std::exception& e) {
+      status = "FAIL(untyped)";
+      detail = e.what();
+      ++tally.failed;
+    }
+    const bool failure = std::strncmp(status, "FAIL", 4) == 0;
+    if (opt.verbose || failure) {
+      std::fprintf(stderr, "%-24s %s fiber-soak ranks=%d workers=4 faults=crash+drop%s%s\n",
+                   status, wl_name, soak_ranks,
+                   detail.empty() ? "" : " — ", detail.c_str());
     }
   }
 

@@ -95,7 +95,8 @@ void usage(const char* argv0) {
                "usage: %s --input-config <xml> [--input-config <xml>...]\n"
                "          --workflow <xml>\n"
                "          --arg name=value [...] --file key=path [...]\n"
-               "          [--nodes N] [--compress] [--naive-splitters] [--stats]\n"
+               "          [--nodes N | --ranks N] [--scheduler threads|fibers]\n"
+               "          [--workers N] [--compress] [--naive-splitters] [--stats]\n"
                "          [--trace <file>] [--metrics <file>]\n"
                "          [--faults <spec|file>] [--fault-seed N]\n"
                "          [--ckpt-dir <dir>]\n"
@@ -130,8 +131,14 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (flag == "--file") {
       const auto [k, v] = split_kv(next(), "--file");
       opt.files[k] = v;
-    } else if (flag == "--nodes") {
-      opt.nodes = parse_number<int>(next(), "--nodes");
+    } else if (flag == "--nodes" || flag == "--ranks") {
+      // --ranks is the scheduler-era alias: under --scheduler=fibers the
+      // simulated node count is no longer bounded by host threads.
+      opt.nodes = parse_number<int>(next(), flag.c_str());
+    } else if (flag == "--scheduler") {
+      opt.engine.scheduler.mode = mp::parse_scheduler_mode(next());
+    } else if (flag == "--workers") {
+      opt.engine.scheduler.workers = parse_number<int>(next(), "--workers");
     } else if (flag == "--faults") {
       opt.faults = next();
     } else if (flag == "--fault-seed") {
@@ -238,7 +245,7 @@ int run(int argc, char** argv) {
                  contents[key].size(), key.c_str());
   }
 
-  mp::Runtime runtime(opt.nodes);
+  mp::Runtime runtime(opt.nodes, mp::NetworkModel::rdma(), opt.engine.scheduler);
   obs::Recorder recorder;
   obs::TraceRecorder tracer;
   obs::MetricsRegistry metrics;
