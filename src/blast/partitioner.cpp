@@ -133,7 +133,8 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       core::EngineOptions options,
                                       mp::NetworkModel network,
                                       mp::FaultInjector* faults,
-                                      obs::TraceRecorder* tracer) {
+                                      obs::TraceRecorder* tracer,
+                                      obs::Recorder* recorder) {
   const auto spec = schema::parse_input_spec(xml::parse(blast_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(blast_workflow_xml(policy)));
   core::WorkflowEngine engine(std::move(wf), {{"blast_db", spec}},
@@ -144,6 +145,7 @@ PaparBlastResult partition_with_papar(const Database& db, int nranks,
   mp::Runtime runtime(nranks, network, options.scheduler);
   if (faults != nullptr) runtime.set_fault_injector(faults);
   if (tracer != nullptr) runtime.set_tracer(tracer);
+  if (recorder != nullptr) runtime.set_recorder(recorder);
   auto result = engine.run(runtime, {{"db.index", index_file_image(db)}});
 
   PaparBlastResult out;

@@ -26,8 +26,9 @@
 #include "util/thread_pool.hpp"
 
 namespace papar::obs {
+class Recorder;
 class TraceRecorder;
-}
+}  // namespace papar::obs
 
 namespace papar::blast {
 
@@ -75,13 +76,15 @@ struct PaparBlastResult {
 /// the run then survives the plan's injected crashes via checkpoint
 /// recovery and still returns the fault-free partitions. `tracer`
 /// (optional) records the run's causal event graph for obs/critpath.hpp
-/// analyses.
+/// analyses. `recorder` (optional) collects the run's named counters
+/// (collective traffic, mr.shuffle.wire_bytes, sort.* engine tallies).
 PaparBlastResult partition_with_papar(const Database& db, int nranks,
                                       std::size_t num_partitions, Policy policy,
                                       core::EngineOptions options = {},
                                       mp::NetworkModel network = mp::NetworkModel::rdma(),
                                       mp::FaultInjector* faults = nullptr,
-                                      obs::TraceRecorder* tracer = nullptr);
+                                      obs::TraceRecorder* tracer = nullptr,
+                                      obs::Recorder* recorder = nullptr);
 
 /// The Fig. 8 workflow configuration XML used by partition_with_papar
 /// (exposed for examples and documentation).

@@ -63,7 +63,8 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    core::EngineOptions options,
                                    mp::NetworkModel network,
                                    mp::FaultInjector* faults,
-                                   obs::TraceRecorder* tracer) {
+                                   obs::TraceRecorder* tracer,
+                                   obs::Recorder* recorder) {
   const auto spec = schema::parse_input_spec(xml::parse(edge_input_spec_xml()));
   auto wf = core::parse_workflow(xml::parse(hybrid_workflow_xml()));
   core::WorkflowEngine engine(std::move(wf), {{"graph_edge", spec}},
@@ -75,6 +76,7 @@ PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
   mp::Runtime runtime(nranks, network, options.scheduler);
   if (faults != nullptr) runtime.set_fault_injector(faults);
   if (tracer != nullptr) runtime.set_tracer(tracer);
+  if (recorder != nullptr) runtime.set_recorder(recorder);
   auto result = engine.run(runtime, {{"edges.txt", to_edge_list_text(g)}});
 
   // Convert partitions of (vertex_a, vertex_b) records back into an

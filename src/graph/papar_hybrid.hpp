@@ -15,8 +15,9 @@
 #include "mpsim/network.hpp"
 
 namespace papar::obs {
+class Recorder;
 class TraceRecorder;
-}
+}  // namespace papar::obs
 
 namespace papar::graph {
 
@@ -32,14 +33,17 @@ struct PaparHybridResult {
 /// injector to the internal runtime; the run then survives the plan's
 /// injected crashes via checkpoint recovery and still returns the
 /// fault-free partitioning. `tracer` (optional) records the run's causal
-/// event graph for obs/critpath.hpp analyses.
+/// event graph for obs/critpath.hpp analyses. `recorder` (optional)
+/// collects the run's named counters (collective traffic,
+/// mr.shuffle.wire_bytes, sort.* engine tallies).
 PaparHybridResult papar_hybrid_cut(const Graph& g, int nranks,
                                    std::size_t num_partitions,
                                    std::uint32_t threshold,
                                    core::EngineOptions options = {},
                                    mp::NetworkModel network = mp::NetworkModel::rdma(),
                                    mp::FaultInjector* faults = nullptr,
-                                   obs::TraceRecorder* tracer = nullptr);
+                                   obs::TraceRecorder* tracer = nullptr,
+                                   obs::Recorder* recorder = nullptr);
 
 /// The Fig. 10 workflow configuration XML (exposed for examples/docs).
 std::string hybrid_workflow_xml();

@@ -1,0 +1,196 @@
+#include "mapreduce/columnar.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "mapreduce/kvbuffer.hpp"
+
+namespace papar::mr {
+
+namespace {
+
+constexpr std::uint8_t kKeysFixed = 0x1;
+constexpr std::uint8_t kValsFixed = 0x2;
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::size_t varint_len(std::uint32_t v) {
+  std::size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void put_varint(std::vector<unsigned char>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+/// Reads one LEB128 size at `p`, never past `end`; returns the advanced
+/// cursor. Overlong encodings and values beyond u32 are malformed input.
+const unsigned char* get_varint(const unsigned char* p, const unsigned char* end,
+                                std::uint32_t& v) {
+  std::uint64_t acc = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (p == end) throw DataError("columnar batch truncated (size varint)");
+    const unsigned char byte = *p++;
+    acc |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      if (acc > std::numeric_limits<std::uint32_t>::max()) {
+        throw DataError("columnar batch size varint overflows u32");
+      }
+      v = static_cast<std::uint32_t>(acc);
+      return p;
+    }
+  }
+  throw DataError("columnar batch size varint too long");
+}
+
+}  // namespace
+
+void ColumnarWriter::add(std::string_view key, std::string_view value) {
+  PAPAR_CHECK_MSG(key.size() <= std::numeric_limits<std::uint32_t>::max() &&
+                      value.size() <= std::numeric_limits<std::uint32_t>::max(),
+                  "record too large for a columnar batch");
+  if (!key_sizes_.empty()) {
+    keys_fixed_ = keys_fixed_ && key.size() == key_sizes_.front();
+    vals_fixed_ = vals_fixed_ && value.size() == val_sizes_.front();
+  }
+  key_sizes_.push_back(static_cast<std::uint32_t>(key.size()));
+  val_sizes_.push_back(static_cast<std::uint32_t>(value.size()));
+  key_heap_.insert(key_heap_.end(), key.begin(), key.end());
+  val_heap_.insert(val_heap_.end(), value.begin(), value.end());
+}
+
+std::size_t ColumnarWriter::encoded_size() const {
+  std::size_t size = sizeof(std::uint32_t) + 1;  // count + flags
+  if (!key_sizes_.empty()) {
+    if (keys_fixed_) {
+      size += varint_len(key_sizes_.front());
+    } else {
+      for (const std::uint32_t s : key_sizes_) size += varint_len(s);
+    }
+    if (vals_fixed_) {
+      size += varint_len(val_sizes_.front());
+    } else {
+      for (const std::uint32_t s : val_sizes_) size += varint_len(s);
+    }
+  }
+  return size + key_heap_.size() + val_heap_.size();
+}
+
+void ColumnarWriter::finish_into(std::vector<unsigned char>& out) {
+  out.reserve(out.size() + encoded_size());
+  put_u32(out, static_cast<std::uint32_t>(key_sizes_.size()));
+  std::uint8_t flags = 0;
+  if (keys_fixed_) flags |= kKeysFixed;
+  if (vals_fixed_) flags |= kValsFixed;
+  out.push_back(flags);
+  if (!key_sizes_.empty()) {
+    if (keys_fixed_) {
+      put_varint(out, key_sizes_.front());
+    } else {
+      for (const std::uint32_t s : key_sizes_) put_varint(out, s);
+    }
+    if (vals_fixed_) {
+      put_varint(out, val_sizes_.front());
+    } else {
+      for (const std::uint32_t s : val_sizes_) put_varint(out, s);
+    }
+  }
+  out.insert(out.end(), key_heap_.begin(), key_heap_.end());
+  out.insert(out.end(), val_heap_.begin(), val_heap_.end());
+  clear();
+}
+
+void ColumnarWriter::clear() {
+  key_sizes_.clear();
+  val_sizes_.clear();
+  key_heap_.clear();
+  val_heap_.clear();
+  keys_fixed_ = true;
+  vals_fixed_ = true;
+}
+
+std::size_t append_columnar(KvBuffer& page, const unsigned char* data, std::size_t n) {
+  constexpr std::size_t kBatchHeader = sizeof(std::uint32_t) + 1;
+  if (n < kBatchHeader) throw DataError("columnar batch truncated (header)");
+  const std::uint32_t count = get_u32(data);
+  const std::uint8_t flags = data[sizeof(std::uint32_t)];
+  if ((flags & ~(kKeysFixed | kValsFixed)) != 0) {
+    throw DataError("columnar batch has unknown flags");
+  }
+  std::size_t off = kBatchHeader;
+  if (count == 0) {
+    if (off != n) throw DataError("columnar batch has trailing bytes");
+    return off;
+  }
+
+  const bool keys_fixed = (flags & kKeysFixed) != 0;
+  const bool vals_fixed = (flags & kValsFixed) != 0;
+  const unsigned char* p = data + off;
+  const unsigned char* const end = data + n;
+
+  // Decode the varint size columns (a shared stride elides the column to
+  // one entry), summing in u64 so the heap boundary can't overflow before
+  // it is validated against the batch length.
+  std::uint32_t key_stride = 0;
+  std::uint32_t val_stride = 0;
+  std::vector<std::uint32_t> key_lens;
+  std::vector<std::uint32_t> val_lens;
+  std::uint64_t key_total = 0;
+  std::uint64_t val_total = 0;
+  if (keys_fixed) {
+    p = get_varint(p, end, key_stride);
+    key_total = static_cast<std::uint64_t>(key_stride) * count;
+  } else {
+    key_lens.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      p = get_varint(p, end, key_lens[i]);
+      key_total += key_lens[i];
+    }
+  }
+  if (vals_fixed) {
+    p = get_varint(p, end, val_stride);
+    val_total = static_cast<std::uint64_t>(val_stride) * count;
+  } else {
+    val_lens.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      p = get_varint(p, end, val_lens[i]);
+      val_total += val_lens[i];
+    }
+  }
+  if (key_total + val_total != static_cast<std::uint64_t>(end - p)) {
+    throw DataError("columnar batch heap size mismatch");
+  }
+  const unsigned char* key_heap = p;
+  const unsigned char* val_heap = key_heap + key_total;
+
+  std::size_t key_off = 0;
+  std::size_t val_off = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t klen = keys_fixed ? key_stride : key_lens[i];
+    const std::uint32_t vlen = vals_fixed ? val_stride : val_lens[i];
+    page.add(std::string_view(reinterpret_cast<const char*>(key_heap + key_off), klen),
+             std::string_view(reinterpret_cast<const char*>(val_heap + val_off), vlen));
+    key_off += klen;
+    val_off += vlen;
+  }
+  return n;
+}
+
+}  // namespace papar::mr

@@ -1,0 +1,132 @@
+// Columnar shuffle batches: the --pages=framed|columnar wire encoding.
+//
+// The in-memory KvBuffer page keeps MR-MPI's framed layout
+// ([u32 klen][u32 vlen][key][value] back to back) — spill frames,
+// checkpoints, and the zero-copy page shuffle all depend on those byte
+// offsets. What the shuffle puts ON THE WIRE is a separate choice: a
+// columnar batch stores all key sizes together, all value sizes together,
+// then one contiguous key heap and one contiguous value heap. Two wins:
+//
+//  * fixed-stride elision — when every key (or value) in a batch has the
+//    same length, the whole size column collapses to one shared stride,
+//    which is the common case for the paper's fixed-width records (BLAST
+//    offsets, hybrid-core edges) and removes the 8-byte per-record framing
+//    tax;
+//  * varint size columns — variable-length records (e.g. text keys) spend
+//    1 byte per size below 128 instead of the frame's fixed u32, so even
+//    non-uniform batches beat the framed encoding;
+//  * the receiver's sort operator reads keys from one contiguous column
+//    instead of striding over interleaved frames.
+//
+// Wire format of one batch (sizes are LEB128 varints, u32 range):
+//
+//   [u32 count][u8 flags]
+//   flags bit0: key sizes are one shared varint stride (else varint * count)
+//   flags bit1: value sizes are one shared varint stride (else varint * count)
+//   [key sizes][value sizes][key heap][value heap]
+//
+// Batches decode back into a framed KvBuffer in record order, so a columnar
+// shuffle yields byte-identical pages to the framed one — the A/B knob
+// (PageFormat, --pages) changes wire bytes only, never partitions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace papar::mr {
+
+class KvBuffer;
+
+/// How the shuffle serializes records onto the simulated fabric.
+enum class PageFormat {
+  /// Ship the framed page bytes as-is (the measured baseline).
+  kFramed,
+  /// Re-encode each destination's records as a columnar batch.
+  kColumnar,
+};
+
+namespace columnar_detail {
+inline std::atomic<PageFormat>& default_format_slot() {
+  static std::atomic<PageFormat> format{PageFormat::kFramed};
+  return format;
+}
+}  // namespace columnar_detail
+
+/// Process-wide default consulted by the shuffle (the --pages knob lands
+/// here). All ranks of a simulated run share the process, so sender and
+/// receiver always agree on the encoding.
+inline PageFormat default_page_format() {
+  return columnar_detail::default_format_slot().load(std::memory_order_relaxed);
+}
+inline void set_default_page_format(PageFormat format) {
+  columnar_detail::default_format_slot().store(format, std::memory_order_relaxed);
+}
+
+inline const char* page_format_name(PageFormat format) {
+  return format == PageFormat::kColumnar ? "columnar" : "framed";
+}
+
+/// Parses the --pages knob value ("framed" | "columnar").
+inline PageFormat parse_page_format(std::string_view name) {
+  if (name == "framed") return PageFormat::kFramed;
+  if (name == "columnar") return PageFormat::kColumnar;
+  throw ConfigError("unknown page format `" + std::string(name) +
+                    "` (expected framed or columnar)");
+}
+
+/// Installs a process-wide default format for its lifetime and restores the
+/// previous default on exit (workflow runs scope the --pages knob this way).
+class PageFormatScope {
+ public:
+  explicit PageFormatScope(PageFormat format) : prev_(default_page_format()) {
+    set_default_page_format(format);
+  }
+  ~PageFormatScope() { set_default_page_format(prev_); }
+
+  PageFormatScope(const PageFormatScope&) = delete;
+  PageFormatScope& operator=(const PageFormatScope&) = delete;
+
+ private:
+  PageFormat prev_;
+};
+
+/// Accumulates records column-wise and encodes them as one wire batch.
+/// Reusable: finish_into() resets the writer for the next batch.
+class ColumnarWriter {
+ public:
+  void add(std::string_view key, std::string_view value);
+
+  std::size_t count() const { return key_sizes_.size(); }
+  bool empty() const { return key_sizes_.empty(); }
+
+  /// Exact size in bytes of the batch finish_into() would append now.
+  std::size_t encoded_size() const;
+
+  /// Appends the encoded batch to `out` and resets the writer. Capacity of
+  /// the internal columns is retained, so a writer reused across segments
+  /// stops allocating once it has seen its largest batch.
+  void finish_into(std::vector<unsigned char>& out);
+
+  void clear();
+
+ private:
+  std::vector<std::uint32_t> key_sizes_;
+  std::vector<std::uint32_t> val_sizes_;
+  std::vector<unsigned char> key_heap_;
+  std::vector<unsigned char> val_heap_;
+  bool keys_fixed_ = true;
+  bool vals_fixed_ = true;
+};
+
+/// Decodes the columnar batch at `data` and appends its records, in batch
+/// order, to `page` (framed). Returns the number of bytes consumed, which
+/// must equal `n` — a batch is always shipped whole. Malformed input fails
+/// with a typed DataError, never a read past `data + n`.
+std::size_t append_columnar(KvBuffer& page, const unsigned char* data, std::size_t n);
+
+}  // namespace papar::mr

@@ -5,7 +5,10 @@
 #include <limits>
 #include <string>
 
+#include "mapreduce/columnar.hpp"
 #include "mapreduce/spill.hpp"
+#include "sortlib/radix.hpp"
+#include "sortlib/sort.hpp"
 #include "util/hash.hpp"
 #include "util/membudget.hpp"
 
@@ -123,6 +126,7 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
       for (const auto& b : send) bytes += b.size();
       rec->add_counter("mr.shuffle.records", routed);
       rec->add_counter("mr.shuffle.bytes", bytes);
+      rec->add_counter("mr.shuffle.wire_bytes", bytes);
     }
     auto received = comm_->alltoallv(std::move(send));
     for (const auto& part : received) page_.append_page(part.data(), part.size());
@@ -157,12 +161,13 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
     return;
   }
 
-  // Fill pass: bulk-copy each framed record into its destination page. The
-  // pages come from the arena — storage recycled from the previous
-  // shuffle's received buffers — so steady-state aggregate() loops allocate
-  // nothing per call.
+  // Fill pass. The destination pages come from the arena — storage
+  // recycled from the previous shuffle's received buffers — so
+  // steady-state aggregate() loops allocate nothing per call.
   // With a (non-credit) budget attached, the arena counts as tracked
-  // working memory: a stage that cannot fit fails typed, not OOM.
+  // working memory: a stage that cannot fit fails typed, not OOM. The
+  // framed byte totals drive the charge under both wire formats (for
+  // columnar they bound the batch working set from above).
   BudgetScope arena_scope(
       budget_, comm_->rank(),
       [&dest_bytes] {
@@ -170,32 +175,61 @@ void MapReduce::shuffle_by(const std::function<int(const KvPair&)>& route) {
         for (std::size_t b : dest_bytes) total += b;
         return total;
       }());
+  const PageFormat format = default_page_format();
   arena_.resize(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    auto& buf = arena_[static_cast<std::size_t>(r)];
-    buf.clear();
-    buf.reserve(dest_bytes[static_cast<std::size_t>(r)]);
+  if (format == PageFormat::kColumnar) {
+    // Columnar fill: accumulate each destination's records column-wise and
+    // encode one batch per rank — fixed-stride size columns collapse to a
+    // single u32, so uniform records shed the 8-byte per-record framing.
+    std::vector<ColumnarWriter> writers(static_cast<std::size_t>(p));
+    std::size_t i = 0;
+    page_.for_each_record(
+        [&](std::span<const unsigned char>, std::string_view k, std::string_view v) {
+          writers[static_cast<std::size_t>(route_cache_[i++])].add(k, v);
+        });
+    page_.clear();
+    for (int r = 0; r < p; ++r) {
+      auto& buf = arena_[static_cast<std::size_t>(r)];
+      buf.clear();
+      writers[static_cast<std::size_t>(r)].finish_into(buf);
+    }
+  } else {
+    // Framed fill: bulk-copy each framed record into its destination page.
+    for (int r = 0; r < p; ++r) {
+      auto& buf = arena_[static_cast<std::size_t>(r)];
+      buf.clear();
+      buf.reserve(dest_bytes[static_cast<std::size_t>(r)]);
+    }
+    std::size_t i = 0;
+    page_.for_each_record(
+        [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
+          auto& buf = arena_[static_cast<std::size_t>(route_cache_[i++])];
+          buf.insert(buf.end(), framed.begin(), framed.end());
+        });
+    page_.clear();
   }
-  std::size_t i = 0;
-  page_.for_each_record(
-      [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
-        auto& buf = arena_[static_cast<std::size_t>(route_cache_[i++])];
-        buf.insert(buf.end(), framed.begin(), framed.end());
-      });
-  page_.clear();
 
   if (obs::Recorder* rec = comm_->recorder()) {
     std::uint64_t bytes = 0;
     for (std::size_t b : dest_bytes) bytes += b;
+    std::uint64_t wire = 0;
+    for (const auto& buf : arena_) wire += buf.size();
     rec->add_counter("mr.shuffle.records", routed);
     rec->add_counter("mr.shuffle.bytes", bytes);
+    // Actual fabric payload under the selected wire format; the saving of
+    // columnar over framed is (bytes - wire_bytes).
+    rec->add_counter("mr.shuffle.wire_bytes", wire);
   }
 
   // Ownership-transfer shuffle: the arena pages move into the destination
   // mailboxes uncopied; the buffers received back become the next
   // shuffle's arena storage.
   auto received = comm_->alltoallv(std::move(arena_));
-  for (const auto& part : received) page_.append_page(part.data(), part.size());
+  if (format == PageFormat::kColumnar) {
+    for (const auto& part : received) append_columnar(page_, part.data(), part.size());
+  } else {
+    for (const auto& part : received) page_.append_page(part.data(), part.size());
+  }
   arena_ = std::move(received);
   for (auto& buf : arena_) buf.clear();
 }
@@ -271,8 +305,16 @@ void MapReduce::shuffle_segmented(const std::vector<std::size_t>& dest_bytes) {
   // Fill-and-stream pass. The p open segment buffers (≤ p * chunk bytes,
   // about a quarter of the soft watermark) are this path's tracked
   // transient; received segments replace the source page byte-for-byte.
+  // Under the columnar wire format each segment carries one columnar batch
+  // after the header; the greedy cut still runs on framed record sizes, so
+  // segment boundaries — and therefore the announced totals above — are
+  // identical to the framed stream's.
+  const bool columnar = default_page_format() == PageFormat::kColumnar;
+  std::vector<ColumnarWriter> writers(columnar ? static_cast<std::size_t>(p) : 0);
+  std::vector<std::size_t> framed_fill(columnar ? static_cast<std::size_t>(p) : 0, 0);
   std::vector<std::vector<unsigned char>> seg(static_cast<std::size_t>(p));
   std::vector<std::uint32_t> seq_no(static_cast<std::size_t>(p), 0);
+  std::uint64_t wire_bytes = 0;
   auto start_segment = [&](std::size_t d) {
     auto& b = seg[d];
     b.clear();
@@ -291,30 +333,51 @@ void MapReduce::shuffle_segmented(const std::vector<std::size_t>& dest_bytes) {
   BudgetScope scratch(budget_, self, staged);
   for (std::size_t d = 0; d < static_cast<std::size_t>(p); ++d) start_segment(d);
   mp::Envelope env;
+  auto flush_segment = [&](std::size_t d) {
+    if (columnar) {
+      writers[d].finish_into(seg[d]);
+      framed_fill[d] = 0;
+    }
+    wire_bytes += seg[d].size() - kSegHeader;
+    comm_->shuffle_send(static_cast<int>(d), std::move(seg[d]));
+    ++seq_no[d];
+    start_segment(d);
+    // Drain whatever already arrived: returning credits here is what
+    // keeps the whole exchange flowing without watchdog stalls.
+    while (open > 0 && comm_->try_shuffle_recv(done, env)) note_segment(env);
+  };
   std::size_t i = 0;
   page_.for_each_record(
-      [&](std::span<const unsigned char> framed, std::string_view, std::string_view) {
+      [&](std::span<const unsigned char> framed, std::string_view k, std::string_view v) {
         const auto d = static_cast<std::size_t>(route_cache_[i++]);
-        auto& b = seg[d];
-        if (b.size() > kSegHeader && b.size() - kSegHeader + framed.size() > chunk) {
-          comm_->shuffle_send(static_cast<int>(d), std::move(b));
-          ++seq_no[d];
-          start_segment(d);
-          // Drain whatever already arrived: returning credits here is what
-          // keeps the whole exchange flowing without watchdog stalls.
-          while (open > 0 && comm_->try_shuffle_recv(done, env)) note_segment(env);
+        if (columnar) {
+          if (framed_fill[d] > 0 && framed_fill[d] + framed.size() > chunk) {
+            flush_segment(d);
+          }
+          writers[d].add(k, v);
+          framed_fill[d] += framed.size();
+        } else {
+          auto& b = seg[d];
+          if (b.size() > kSegHeader && b.size() - kSegHeader + framed.size() > chunk) {
+            flush_segment(d);
+          }
+          b.insert(b.end(), framed.begin(), framed.end());
         }
-        b.insert(b.end(), framed.begin(), framed.end());
       });
   // Free the source page before the final sends: the peak is then open
   // segments + received store, never + the outgoing page as well.
   { auto old = page_.take_bytes(); }
   for (std::size_t d = 0; d < static_cast<std::size_t>(p); ++d) {
+    if (columnar) writers[d].finish_into(seg[d]);
+    wire_bytes += seg[d].size() - kSegHeader;
     comm_->shuffle_send(static_cast<int>(d), std::move(seg[d]));
     while (open > 0 && comm_->try_shuffle_recv(done, env)) note_segment(env);
   }
   seg.clear();
   seg.shrink_to_fit();
+  if (obs::Recorder* rec = comm_->recorder()) {
+    rec->add_counter("mr.shuffle.wire_bytes", wire_bytes);
+  }
 
   // Drain stragglers, blocking per still-open source (FIFO makes a
   // source-targeted blocking receive safe).
@@ -333,7 +396,11 @@ void MapReduce::shuffle_segmented(const std::vector<std::size_t>& dest_bytes) {
   // the monolithic alltoallv result — freeing each segment as it lands.
   for (auto& source_segs : store) {
     for (auto& part : source_segs) {
-      page_.append_page(part.data(), part.size());
+      if (columnar) {
+        append_columnar(page_, part.data(), part.size());
+      } else {
+        page_.append_page(part.data(), part.size());
+      }
       part = std::vector<unsigned char>();
     }
     source_segs.clear();
@@ -392,6 +459,10 @@ void MapReduce::reduce(const ReduceFn& fn) {
 
 void MapReduce::local_sort(
     const std::function<bool(const KvPair&, const KvPair&)>& less) {
+  if (obs::Recorder* rec = comm_->recorder()) {
+    rec->add_counter("sort.records", page_.count());
+    rec->add_counter("sort.engine_merge", 1);
+  }
   // reorder() materializes a full second copy of the page; when that copy
   // would push the rank past its soft watermark, sort externally instead:
   // sorted runs spill to disk and a streaming merge rebuilds the page,
@@ -407,6 +478,85 @@ void MapReduce::local_sort(
   });
   BudgetScope copy(budget_, comm_->rank(), page_.byte_size());
   page_.reorder(offs);
+}
+
+void MapReduce::local_sort_by_projection(
+    const std::function<std::uint64_t(const KvPair&)>& proj, bool tie_break_bytes) {
+  const std::size_t n = page_.count();
+  const sortlib::SortEngine engine = sortlib::default_sort_engine();
+  const bool want_radix =
+      engine == sortlib::SortEngine::kRadix ||
+      (engine == sortlib::SortEngine::kAuto && n >= sortlib::kRadixAutoCutoff);
+  // Budget-governed ranks past the watermark sort externally (runs spill to
+  // disk): the projection column would be exactly the second in-memory copy
+  // that path exists to avoid.
+  const bool spilling = spill_ready(budget_) &&
+                        budget_->should_spill(comm_->rank(), page_.byte_size());
+  if (!want_radix || spilling) {
+    local_sort([&](const KvPair& a, const KvPair& b) {
+      const std::uint64_t pa = proj(a);
+      const std::uint64_t pb = proj(b);
+      if (pa != pb) return pa < pb;
+      if (!tie_break_bytes) return false;
+      if (a.key != b.key) return a.key < b.key;
+      return a.value < b.value;
+    });
+    return;
+  }
+
+  // Radix path: one contiguous {projection, index} column, sorted stably by
+  // projection in O(passes * n). Stability keeps equal projections in page
+  // order — the same permutation the stable comparator sort produces — and
+  // the requested total order is restored by tie-breaking each
+  // equal-projection run by raw record bytes afterwards.
+  struct Entry {
+    std::uint64_t proj;
+    std::uint32_t idx;
+  };
+  const auto offs = page_.offsets();
+  PAPAR_CHECK_MSG(offs.size() <= std::numeric_limits<std::uint32_t>::max(),
+                  "page too large for the projection-sort index column");
+  sortlib::RadixStats rstats;
+  std::vector<std::size_t> order(offs.size());
+  {
+    std::vector<Entry> entries;
+    entries.reserve(offs.size());
+    for (std::size_t i = 0; i < offs.size(); ++i) {
+      entries.push_back(Entry{proj(page_.at(offs[i])), static_cast<std::uint32_t>(i)});
+    }
+    std::vector<Entry> scratch(entries.size());
+    BudgetScope column(budget_, comm_->rank(), 2 * entries.size() * sizeof(Entry));
+    sortlib::lsd_radix_sort_seq(
+        std::span<Entry>(entries), std::span<Entry>(scratch),
+        [](const Entry& e) { return e.proj; }, &rstats);
+    if (tie_break_bytes) {
+      std::size_t i = 0;
+      while (i < entries.size()) {
+        std::size_t j = i + 1;
+        while (j < entries.size() && entries[j].proj == entries[i].proj) ++j;
+        if (j - i > 1) {
+          std::stable_sort(entries.begin() + static_cast<std::ptrdiff_t>(i),
+                           entries.begin() + static_cast<std::ptrdiff_t>(j),
+                           [&](const Entry& a, const Entry& b) {
+                             const KvPair ra = page_.at(offs[a.idx]);
+                             const KvPair rb = page_.at(offs[b.idx]);
+                             if (ra.key != rb.key) return ra.key < rb.key;
+                             return ra.value < rb.value;
+                           });
+        }
+        i = j;
+      }
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) order[i] = offs[entries[i].idx];
+  }
+  if (obs::Recorder* rec = comm_->recorder()) {
+    rec->add_counter("sort.records", n);
+    rec->add_counter("sort.engine_radix", 1);
+    rec->add_counter("sort.radix_passes", rstats.passes);
+    rec->add_counter("sort.radix_passes_skipped", rstats.skipped_passes);
+  }
+  BudgetScope copy(budget_, comm_->rank(), page_.byte_size());
+  page_.reorder(order);
 }
 
 namespace {
@@ -595,16 +745,10 @@ void MapReduce::sample_sort_u64(const KeyProjection& proj, bool ascending,
   }
 
   // Final stable local sort by the directed projection (full-byte
-  // tie-break makes the order total when requested). Routed through
-  // local_sort so budget-governed runs take the external-sort path.
-  local_sort([&](const KvPair& a, const KvPair& b) {
-    const std::uint64_t pa = directed(a);
-    const std::uint64_t pb = directed(b);
-    if (pa != pb) return pa < pb;
-    if (!tie_break_bytes) return false;
-    if (a.key != b.key) return a.key < b.key;
-    return a.value < b.value;
-  });
+  // tie-break makes the order total when requested). The projection sort
+  // takes the radix column path when the engine allows it and falls back
+  // to the comparator sort (external under a tight budget) otherwise.
+  local_sort_by_projection(directed, tie_break_bytes);
 }
 
 void MapReduce::gather(int root) {

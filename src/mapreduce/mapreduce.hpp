@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mapreduce/checkpoint.hpp"
+#include "mapreduce/columnar.hpp"
 #include "mapreduce/kvbuffer.hpp"
 #include "mpsim/comm.hpp"
 
@@ -142,6 +143,16 @@ class MapReduce {
   /// be filled by the sizing pass. `dest_bytes` is per-destination
   /// payload bytes (observability counters only).
   void shuffle_segmented(const std::vector<std::size_t>& dest_bytes);
+
+  /// Final local sort of sample_sort_u64: stable order by the directed
+  /// projection, tie-broken by raw record bytes when requested. Takes the
+  /// LSD radix path over a contiguous {projection, index} column when the
+  /// process-wide SortEngine allows it (kAuto past the cutoff, or kRadix),
+  /// byte-identical to the comparator stable sort; kMergesort and
+  /// budget-spill runs keep the comparator path.
+  void local_sort_by_projection(
+      const std::function<std::uint64_t(const KvPair&)>& proj,
+      bool tie_break_bytes);
 
   mp::Comm* comm_;
   MemoryBudget* budget_ = nullptr;

@@ -4,31 +4,57 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "sortlib/simd.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace papar::sortlib {
 
-/// Merges sorted [first, mid) and [mid, last) into `out`. Ties take the left
-/// run first, so merges built from stable runs stay stable.
+/// Merges sorted [a_first, a_last) and [b_first, b_last) — not necessarily
+/// contiguous — into `out`. Ties take the A run first, so merges built from
+/// stable runs stay stable.
+///
+/// u64 runs under the default ascending order route through the dispatched
+/// bitonic merge kernel (simd.hpp); for a plain value type the merged byte
+/// sequence is uniquely determined by the input multiset, so the kernel is
+/// byte-identical to the scalar loop.
 template <typename T, typename Less>
-void merge_runs(const T* first, const T* mid, const T* last, T* out, Less&& less) {
-  const T* a = first;
-  const T* b = mid;
-  while (a != mid && b != last) {
+void merge_two(const T* a_first, const T* a_last, const T* b_first, const T* b_last,
+               T* out, Less&& less) {
+  if constexpr (std::is_same_v<std::remove_cv_t<T>, std::uint64_t> &&
+                (std::is_same_v<std::decay_t<Less>, std::less<std::uint64_t>> ||
+                 std::is_same_v<std::decay_t<Less>, std::less<>>)) {
+    if (static_cast<std::size_t>((a_last - a_first) + (b_last - b_first)) >= 16) {
+      simd::merge_two_u64(a_first, a_last, b_first, b_last, out);
+      return;
+    }
+  }
+  const T* a = a_first;
+  const T* b = b_first;
+  while (a != a_last && b != b_last) {
     if (less(*b, *a)) {
       *out++ = *b++;
     } else {
       *out++ = *a++;
     }
   }
-  while (a != mid) *out++ = *a++;
-  while (b != last) *out++ = *b++;
+  while (a != a_last) *out++ = *a++;
+  while (b != b_last) *out++ = *b++;
+}
+
+/// Merges sorted [first, mid) and [mid, last) into `out`. Ties take the left
+/// run first.
+template <typename T, typename Less>
+void merge_runs(const T* first, const T* mid, const T* last, T* out, Less&& less) {
+  merge_two(first, mid, mid, last, out, less);
 }
 
 /// Loser tree over k sorted runs: pop() yields the globally smallest head in
@@ -167,27 +193,23 @@ void merge_level(const T* src, T* dst, const std::vector<std::size_t>& lens,
 
 }  // namespace merge_detail
 
-/// Merges k sorted runs into `out` (out.size() must equal the total run
-/// length) using the pool: `jobs`-1 splitter values are sampled from the
-/// runs, every run is sliced at lower_bound(splitter), and each of the
-/// resulting jobs merges its slices — whose final destination window is
-/// known from the boundary prefix sums — independently. `jobs` = 0 picks a
-/// job count from the pool size.
+namespace merge_detail {
+
+/// Shared core of the two parallel_multiway_merge front ends.
 ///
-/// The runs may alias `out` (parallel_sort merges its chunk runs in place):
-/// the first parallel pass only reads the runs and writes into internal
-/// scratch; later passes ping-pong between scratch and `out` strictly inside
-/// job-private windows, with a pool barrier in between.
-///
-/// The output is identical to a sequential stable k-way merge that resolves
-/// ties by run index (LoserTree): slicing every run at lower_bound of the
-/// same splitter keeps each group of mutually-equal elements inside one job,
-/// and the in-job bottom-up pairwise merges (merge_runs: ties take the left
-/// run) realize the same run-order tie-break.
+/// `runs_in_scratch` selects the buffer topology:
+///  - false (legacy): the runs may alias `out`; pass 1 reads the runs and
+///    writes only `scratch`, pass 2 ping-pongs scratch <-> out ending in
+///    `out` (pass-1 parity fold leaves an odd number of pass-2 levels).
+///  - true: the runs live inside `scratch` and `out` is disjoint from them;
+///    pass 1 writes straight into the final `out` windows (the fold parity
+///    flips so pass 2 runs an even number of levels), which is what lets
+///    parallel_sort land the cross-chunk merge in the caller's buffer with
+///    no copy-back.
 template <typename T, typename Less>
-void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> out,
-                             Less less, ThreadPool& pool, std::size_t jobs = 0,
-                             MultiwayMergeStats* stats = nullptr) {
+void multiway_merge_impl(std::vector<std::span<const T>> runs, std::span<T> out,
+                         std::span<T> scratch_space, bool runs_in_scratch, Less less,
+                         ThreadPool& pool, std::size_t jobs, MultiwayMergeStats* stats) {
   WallTimer timer;
   // Drop empty runs; run order (the tie-break order) is preserved.
   std::erase_if(runs, [](std::span<const T> r) { return r.empty(); });
@@ -249,26 +271,38 @@ void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> 
     offsets[j] = total;
   }
 
-  std::vector<T> scratch(n);
+  std::vector<T> owned_scratch;
+  if (scratch_space.size() < n) {
+    PAPAR_CHECK_MSG(!runs_in_scratch, "runs_in_scratch requires caller scratch");
+    owned_scratch.resize(n);
+    scratch_space = std::span<T>(owned_scratch);
+  }
+  T* const scratch = scratch_space.data();
+  // Where pass 1 lands its merged/copied slices: straight into `out` when
+  // the runs occupy scratch, into scratch otherwise.
+  T* const pass1_base = runs_in_scratch ? out.data() : scratch;
+  T* const pass2_other = runs_in_scratch ? scratch : out.data();
   // Run lengths inside each job's window after pass 1 (runs laid
-  // back-to-back in scratch).
+  // back-to-back at pass1_base).
   std::vector<std::vector<std::size_t>> job_lens(jobs);
 
-  // Pass 1 (reads the runs, writes only scratch): either copy the slices
-  // into the job window or — when the total number of merge levels would
-  // otherwise be even — fold the first pairwise merge level into the pass,
-  // so that pass 2 always runs an odd number of levels and finishes in
-  // `out`.
+  // Pass 1 (reads the runs, writes only pass1_base): either copy the slices
+  // into the job window or fold the first pairwise merge level into the
+  // pass, choosing the fold so the number of pass-2 levels lands the final
+  // ping-pong in `out` (odd when pass 1 wrote scratch, even when pass 1
+  // wrote `out`).
   pool.parallel_for(jobs, [&](std::size_t begin, std::size_t end, std::size_t) {
     std::vector<std::size_t> lens;
     for (std::size_t j = begin; j < end; ++j) {
       lens.clear();
-      T* window = scratch.data() + offsets[j];
-      const bool merge_first = merge_detail::ceil_log2([&] {
+      T* window = pass1_base + offsets[j];
+      const std::size_t levels = merge_detail::ceil_log2([&] {
         std::size_t m = 0;
         for (std::size_t i = 0; i < k; ++i) m += bounds[j + 1][i] > bounds[j][i] ? 1 : 0;
         return std::max<std::size_t>(m, 1);
-      }()) % 2 == 0;
+      }());
+      const std::size_t want_parity = runs_in_scratch ? 0u : 1u;
+      const bool merge_first = levels >= 1 && levels % 2 != want_parity;
       std::size_t cursor = 0;
       std::size_t pending_begin = 0;  // first slice of an unmerged pair
       std::size_t pending_len = 0;
@@ -286,22 +320,10 @@ void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> 
           pending_begin = i;
           pending_len = len;
         } else {
-          // Merge the pending slice with this one straight into scratch.
+          // Merge the pending slice with this one straight into the window
+          // (merge_two: ties take the left run, i.e. the lower run index).
           const T* prev = runs[pending_begin].data() + bounds[j][pending_begin];
-          const T* a = prev;
-          const T* a_end = prev + pending_len;
-          const T* b = slice;
-          const T* b_end = slice + len;
-          T* dst = window + cursor;
-          while (a != a_end && b != b_end) {
-            if (less(*b, *a)) {
-              *dst++ = *b++;
-            } else {
-              *dst++ = *a++;
-            }
-          }
-          while (a != a_end) *dst++ = *a++;
-          while (b != b_end) *dst++ = *b++;
+          merge_two(prev, prev + pending_len, slice, slice + len, window + cursor, less);
           lens.push_back(pending_len + len);
           cursor += pending_len + len;
           pending_len = 0;
@@ -317,15 +339,16 @@ void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> 
   });
 
   // Pass 2 (job-private windows only): bottom-up pairwise merge levels
-  // ping-ponging scratch <-> out. Pass 1's parity choice makes the loop end
-  // in `out`; the trailing copy is a safety net for the one-run case.
+  // ping-ponging between the buffer pass 1 wrote and the other one. Pass
+  // 1's parity choice makes the loop end in `out`; the trailing copy is a
+  // safety net for the one-run case.
   pool.parallel_for(jobs, [&](std::size_t begin, std::size_t end, std::size_t) {
     std::vector<std::size_t> next;
     for (std::size_t j = begin; j < end; ++j) {
       const std::size_t size = offsets[j + 1] - offsets[j];
       if (size == 0) continue;
-      T* cur = scratch.data() + offsets[j];
-      T* other = out.data() + offsets[j];
+      T* cur = pass1_base + offsets[j];
+      T* other = pass2_other + offsets[j];
       std::vector<std::size_t>& lens = job_lens[j];
       while (lens.size() > 1) {
         merge_detail::merge_level(cur, other, lens, next, less);
@@ -343,6 +366,50 @@ void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> 
     stats->merge_seconds = timer.seconds() - partition_seconds;
     stats->jobs = jobs;
   }
+}
+
+}  // namespace merge_detail
+
+/// Merges k sorted runs into `out` (out.size() must equal the total run
+/// length) using the pool: `jobs`-1 splitter values are sampled from the
+/// runs, every run is sliced at lower_bound(splitter), and each of the
+/// resulting jobs merges its slices — whose final destination window is
+/// known from the boundary prefix sums — independently. `jobs` = 0 picks a
+/// job count from the pool size.
+///
+/// The runs may alias `out` (they are read before the out window is
+/// written): the first parallel pass only reads the runs and writes into
+/// internal scratch; later passes ping-pong between scratch and `out`
+/// strictly inside job-private windows, with a pool barrier in between.
+///
+/// The output is identical to a sequential stable k-way merge that resolves
+/// ties by run index (LoserTree): slicing every run at lower_bound of the
+/// same splitter keeps each group of mutually-equal elements inside one job,
+/// and the in-job bottom-up pairwise merges (merge_runs: ties take the left
+/// run) realize the same run-order tie-break.
+template <typename T, typename Less>
+void parallel_multiway_merge(std::vector<std::span<const T>> runs, std::span<T> out,
+                             Less less, ThreadPool& pool, std::size_t jobs = 0,
+                             MultiwayMergeStats* stats = nullptr) {
+  merge_detail::multiway_merge_impl(std::move(runs), out, std::span<T>{}, false, less,
+                                    pool, jobs, stats);
+}
+
+/// Variant for runs that already live inside a caller-owned scratch buffer
+/// disjoint from `out` (parallel_sort lands its sorted chunks there): pass 1
+/// merges the run slices straight into their final `out` windows and the
+/// ping-pong parity is arranged to finish in `out`, so the merge needs no
+/// internal allocation and no copy-back. `scratch` is clobbered.
+template <typename T, typename Less>
+void parallel_multiway_merge_from_scratch(std::vector<std::span<const T>> runs,
+                                          std::span<T> out, std::span<T> scratch,
+                                          Less less, ThreadPool& pool,
+                                          std::size_t jobs = 0,
+                                          MultiwayMergeStats* stats = nullptr) {
+  PAPAR_CHECK_MSG(scratch.size() >= out.size(),
+                  "from_scratch merge needs scratch covering the output");
+  merge_detail::multiway_merge_impl(std::move(runs), out, scratch, true, less, pool,
+                                    jobs, stats);
 }
 
 }  // namespace papar::sortlib

@@ -3,13 +3,68 @@
 // ASPaS [Hou, Wang, Feng, ICS'15] builds its mergesort from SIMD sorting
 // networks; this library plays the same role with scalar compare-exchange
 // networks the compiler can turn into conditional moves. The 8-input network
-// is Batcher's odd-even construction (19 compare-exchanges, depth 6).
+// is Batcher's odd-even construction (19 compare-exchanges, depth 6); the
+// 16-input network is generated from the same construction at compile time
+// (63 compare-exchanges, depth 10) so the schedule cannot drift from the
+// algorithm. The vectorized block sorters in simd.hpp replay exactly these
+// schedules across SIMD registers, which is what keeps scalar and SIMD
+// outputs byte-identical.
+//
+// Why two widths: the bottom-up mergesort in sort.hpp picks the leaf width
+// (8 or 16) by pass-count parity so its ping-pong ends in the caller's
+// buffer without a copy-back; both networks sort in place, which is what
+// makes the parity trick possible.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 namespace papar::sortlib {
+
+namespace network_detail {
+
+/// Number of compare-exchanges in Batcher's odd-even merge sort network for
+/// `n` inputs (n a power of two): 19 for n=8, 63 for n=16.
+constexpr std::size_t batcher_ce_count(std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t p = 1; p < n; p *= 2) {
+    for (std::size_t k = p; k >= 1; k /= 2) {
+      for (std::size_t j = k % p; j + k < n; j += 2 * k) {
+        const std::size_t imax = (k - 1) < (n - j - k - 1) ? (k - 1) : (n - j - k - 1);
+        for (std::size_t i = 0; i <= imax; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+/// The full compare-exchange schedule of Batcher's odd-even merge sort for
+/// `N` inputs, as (low index, high index) pairs in execution order.
+template <std::size_t N>
+constexpr auto batcher_schedule() {
+  std::array<std::pair<std::uint8_t, std::uint8_t>, batcher_ce_count(N)> ces{};
+  std::size_t idx = 0;
+  for (std::size_t p = 1; p < N; p *= 2) {
+    for (std::size_t k = p; k >= 1; k /= 2) {
+      for (std::size_t j = k % p; j + k < N; j += 2 * k) {
+        const std::size_t imax = (k - 1) < (N - j - k - 1) ? (k - 1) : (N - j - k - 1);
+        for (std::size_t i = 0; i <= imax; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            ces[idx++] = {static_cast<std::uint8_t>(i + j),
+                          static_cast<std::uint8_t>(i + j + k)};
+          }
+        }
+      }
+    }
+  }
+  return ces;
+}
+
+}  // namespace network_detail
 
 /// Compare-exchange: after the call, !(less(b, a)) holds.
 template <typename T, typename Less>
@@ -41,12 +96,25 @@ inline void sort8(T* a, Less&& less) {
   cmp_exchange(a[3], a[4], less);
 }
 
-/// Sorts n <= 8 elements: the full network for n == 8, insertion sort for
-/// shorter tails (they occur only once per input).
+/// Sorts exactly 16 elements with the generated Batcher odd-even network.
+template <typename T, typename Less>
+inline void sort16(T* a, Less&& less) {
+  constexpr auto schedule = network_detail::batcher_schedule<16>();
+  for (const auto& [lo, hi] : schedule) {
+    cmp_exchange(a[lo], a[hi], less);
+  }
+}
+
+/// Sorts n <= 16 elements: the full network for n == 8 / n == 16, insertion
+/// sort for other lengths (they occur only once per input).
 template <typename T, typename Less>
 inline void sort_small(T* a, std::size_t n, Less&& less) {
   if (n == 8) {
     sort8(a, less);
+    return;
+  }
+  if (n == 16) {
+    sort16(a, less);
     return;
   }
   for (std::size_t i = 1; i < n; ++i) {

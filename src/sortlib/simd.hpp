@@ -1,0 +1,76 @@
+// Runtime-dispatched SIMD kernels for the sort engine.
+//
+// Three kernel families, all byte-identical to their scalar counterparts in
+// networks.hpp / merge.hpp (for plain value types the sorted output of a
+// multiset is unique, so any correct network or merge produces the same
+// bytes):
+//
+//   - sort8_blocks / sort16_blocks: sort consecutive independent blocks of
+//     8 (or 16) keys, each block with the Batcher network from
+//     networks.hpp. The AVX2 path transposes 4 (u64) or 8 (u32) blocks
+//     into registers so one compare-exchange of the schedule processes
+//     every block at once, then transposes back.
+//   - merge_runs_u64: two-way merge of sorted u64 runs using an in-register
+//     bitonic merge (4 lanes per step) with a scalar drain.
+//
+// Dispatch: resolved per call from (a) the PAPAR_FORCE_SCALAR environment
+// variable (read once) or the set_force_scalar() override, then (b) CPU
+// detection — __builtin_cpu_supports("avx2") on x86. On AArch64 the
+// detector reports Level::kNeon but the kernels are scalar stubs behind the
+// same interface (vectorized NEON bodies can drop in without touching
+// callers); output is byte-identical by construction either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+namespace papar::sortlib::simd {
+
+enum class Level {
+  kScalar,
+  kAvx2,
+  /// NEON detected; kernels currently fall back to the scalar networks
+  /// (stub). Kept distinct so breakdowns/metrics show what was detected.
+  kNeon,
+};
+
+/// The level the kernel dispatch uses right now. Resolution order:
+/// set_force_scalar() override, else PAPAR_FORCE_SCALAR=1 in the
+/// environment (read on first use), else hardware detection.
+Level active_level();
+
+const char* level_name(Level level);
+
+/// Programmatic override for benches and tests: force (or un-force) the
+/// scalar fallback from code, taking effect for subsequent kernel calls.
+/// Overrides whatever PAPAR_FORCE_SCALAR said.
+void set_force_scalar(bool force);
+
+/// Sorts `blocks` consecutive, independent 8-element blocks starting at
+/// `data` (data[0..8), data[8..16), ...), ascending.
+void sort8_blocks(std::uint64_t* data, std::size_t blocks);
+void sort8_blocks(std::uint32_t* data, std::size_t blocks);
+
+/// Sorts `blocks` consecutive, independent 16-element blocks.
+void sort16_blocks(std::uint64_t* data, std::size_t blocks);
+void sort16_blocks(std::uint32_t* data, std::size_t blocks);
+
+/// Merges sorted [a_first, a_last) and [b_first, b_last) into `out`
+/// (ascending, unsigned order); the runs need not be contiguous. Ties take
+/// the A run first. `out` must not overlap the inputs.
+void merge_two_u64(const std::uint64_t* a_first, const std::uint64_t* a_last,
+                   const std::uint64_t* b_first, const std::uint64_t* b_last,
+                   std::uint64_t* out);
+
+/// True when the (T, Less) pair is eligible for the SIMD block-sort and
+/// merge kernels: plain u32/u64 keys under the default ascending order.
+template <typename T, typename Less>
+inline constexpr bool simd_sortable =
+    (std::is_same_v<std::remove_cv_t<T>, std::uint64_t> ||
+     std::is_same_v<std::remove_cv_t<T>, std::uint32_t>) &&
+    (std::is_same_v<std::decay_t<Less>, std::less<std::remove_cv_t<T>>> ||
+     std::is_same_v<std::decay_t<Less>, std::less<>>);
+
+}  // namespace papar::sortlib::simd

@@ -1,33 +1,62 @@
-// Mergesort built from sorting networks, plus a parallel front end.
+// The sort engine: network-leaf mergesort, LSD radix, and a parallel front
+// end that picks between them at runtime.
 //
 // Serves the role ASPaS [12] plays in the paper's sort operator: a highly
-// optimized mergesort on multicore processors. Leaves of the mergesort are
-// 8-element sorting networks (branch-free), runs are merged bottom-up with a
-// ping-pong scratch buffer, and the parallel variant sorts per-thread chunks
-// concurrently before a splitter-partitioned parallel multiway merge (see
-// merge.hpp; the pre-existing sequential loser-tree merge is kept as a
-// benchmark baseline).
+// optimized sort on multicore processors. Three layers:
+//
+//  - merge_sort / merge_sort_into: iterative bottom-up mergesort whose
+//    leaves are 8- or 16-element sorting networks (networks.hpp, replayed in
+//    SIMD registers for u32/u64 keys via simd.hpp). The leaf width is chosen
+//    by pass-count parity so the ping-pong between the data and scratch
+//    buffers *ends* in the caller-requested buffer — no copy-back.
+//  - radix.hpp: byte-wise LSD radix sort for fixed-width keys.
+//  - parallel_sort: sorts balanced chunks concurrently into scratch, then
+//    combines them with the splitter-partitioned parallel multiway merge
+//    (merge.hpp) straight into the caller's buffer; or dispatches the whole
+//    input to radix when the key type allows it (SortEngine below).
+//
+// Engine selection (SortEngine): kAuto consults the process-wide default
+// (set_default_sort_engine, wired to the --sort CLI knob); a kAuto default
+// auto-dispatches integral keys of at least kRadixAutoCutoff elements to
+// radix and everything else to mergesort. Float/double spans use radix only
+// when pinned explicitly (their normalized key order refines operator<;
+// see radix.hpp). The decision and the SIMD level actually used are
+// reported in SortBreakdown and surface as papar_sort_* metrics in the
+// engine layer.
 //
 // Stability: merge_sort and parallel_sort are stable as long as `less` is a
-// strict weak ordering, EXCEPT inside the initial 8-element networks (which
-// are not stable). PaPar's partition-identity guarantee therefore never
-// relies on stability: callers sort with a total order (key, tie-broken by
-// full record bytes) so equal elements are indistinguishable.
+// strict weak ordering, EXCEPT inside the initial sorting networks (which
+// are not stable). The radix path is stable end-to-end. PaPar's
+// partition-identity guarantee therefore never relies on stability: callers
+// sort with a total order (key, tie-broken by full record bytes) so equal
+// elements are indistinguishable.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "sortlib/merge.hpp"
 #include "sortlib/networks.hpp"
+#include "sortlib/radix.hpp"
+#include "sortlib/simd.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace papar::sortlib {
 
 inline constexpr std::size_t kNetworkBlock = 8;
+
+/// Integral inputs at least this large auto-dispatch to the radix engine
+/// when the effective SortEngine is kAuto.
+inline constexpr std::size_t kRadixAutoCutoff = 8192;
 
 /// How parallel_sort combines the independently sorted chunks.
 enum class MergeAlgo {
@@ -36,22 +65,96 @@ enum class MergeAlgo {
   /// offset (the default).
   kParallelSplitter,
   /// The pre-parallel-merge behavior: a single-threaded loser tree popping
-  /// into a temporary, then a copy back. Kept as the measured "before" of
-  /// tools/run_bench and for A/B tests.
+  /// into the output. Kept as the measured "before" of tools/run_bench and
+  /// for A/B tests.
   kSequentialLoserTree,
 };
 
-/// Wall-clock breakdown of one parallel_sort call: time the pool spent
-/// sorting per-thread chunks vs. time the cross-chunk merge took.
-/// Filled by parallel_sort when a non-null pointer is passed.
+/// Which algorithm family parallel_sort runs.
+enum class SortEngine {
+  /// Resolve through the process default; if that is also kAuto, dispatch
+  /// on key type and input size (integral keys >= kRadixAutoCutoff go to
+  /// radix, everything else to mergesort).
+  kAuto,
+  /// Network-leaf mergesort + multiway merge (any type, any comparator).
+  kMergesort,
+  /// LSD radix sort; applies only when the element type has a RadixKey
+  /// specialization and the comparator is the default ascending order,
+  /// otherwise the call falls back to mergesort.
+  kRadix,
+};
+
+namespace sort_detail {
+inline std::atomic<SortEngine>& default_engine_slot() {
+  static std::atomic<SortEngine> engine{SortEngine::kAuto};
+  return engine;
+}
+}  // namespace sort_detail
+
+/// Process-wide default consulted when parallel_sort is called with
+/// SortEngine::kAuto (the --sort=auto|merge|radix knob lands here).
+inline SortEngine default_sort_engine() {
+  return sort_detail::default_engine_slot().load(std::memory_order_relaxed);
+}
+inline void set_default_sort_engine(SortEngine engine) {
+  sort_detail::default_engine_slot().store(engine, std::memory_order_relaxed);
+}
+
+inline const char* sort_engine_name(SortEngine engine) {
+  switch (engine) {
+    case SortEngine::kMergesort:
+      return "merge";
+    case SortEngine::kRadix:
+      return "radix";
+    case SortEngine::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+/// Parses the --sort knob value ("auto" | "merge" | "radix").
+inline SortEngine parse_sort_engine(std::string_view name) {
+  if (name == "auto") return SortEngine::kAuto;
+  if (name == "merge") return SortEngine::kMergesort;
+  if (name == "radix") return SortEngine::kRadix;
+  throw ConfigError("unknown sort engine `" + std::string(name) +
+                    "` (expected auto, merge, or radix)");
+}
+
+/// Installs a process-wide default engine for its lifetime and restores the
+/// previous default on exit (workflow runs scope the --sort knob this way).
+class SortEngineScope {
+ public:
+  explicit SortEngineScope(SortEngine engine) : prev_(default_sort_engine()) {
+    set_default_sort_engine(engine);
+  }
+  ~SortEngineScope() { set_default_sort_engine(prev_); }
+
+  SortEngineScope(const SortEngineScope&) = delete;
+  SortEngineScope& operator=(const SortEngineScope&) = delete;
+
+ private:
+  SortEngine prev_;
+};
+
+/// True when (T, Less) may legally take the radix path: fixed-width
+/// normalized key under the default ascending order.
+template <typename T, typename Less>
+inline constexpr bool radix_compatible =
+    radix_sortable<T> && (std::is_same_v<std::decay_t<Less>, std::less<std::remove_cv_t<T>>> ||
+                          std::is_same_v<std::decay_t<Less>, std::less<>>);
+
+/// Wall-clock breakdown of one parallel_sort call, plus the dispatch
+/// decision it made. Filled when a non-null pointer is passed.
 ///
 /// Semantics: `merge_seconds` measures ONLY the cross-chunk merge that
 /// combines independently sorted chunk runs. In the single-chunk fallback
 /// (tiny input, or a one-thread pool) there is no cross-chunk merge, so
 /// `chunks` is 1 and `merge_seconds` is 0 even though merge_sort's internal
-/// bottom-up passes — which are chunk-local work, exactly like the passes
-/// inside every parallel chunk — may dominate; all of that time is
-/// `chunk_sort_seconds`.
+/// bottom-up passes may dominate; all of that time is `chunk_sort_seconds`.
+/// For the radix engine the whole sort (histogram + scatter passes) is
+/// `chunk_sort_seconds`, `chunks` is the parallel scatter chunk count, and
+/// `merge_seconds` stays 0.
 struct SortBreakdown {
   double chunk_sort_seconds = 0.0;
   /// Cross-chunk merge wall time (splitter partitioning + parallel merge
@@ -64,6 +167,18 @@ struct SortBreakdown {
   /// Independent jobs of the parallel merge (1 for the loser tree; 0 when
   /// no cross-chunk merge ran).
   std::size_t merge_jobs = 0;
+  /// The engine that actually ran (never kAuto).
+  SortEngine engine_used = SortEngine::kMergesort;
+  /// SIMD kernel level active during the call (scalar for non-u32/u64 keys
+  /// regardless of hardware).
+  simd::Level simd_level = simd::Level::kScalar;
+  /// Width of the normalized radix key in bytes (0 for the merge engine).
+  std::size_t key_bytes = 0;
+  /// Radix scatter passes executed / skipped as trivial (see RadixStats).
+  std::size_t radix_passes = 0;
+  std::size_t radix_passes_skipped = 0;
+  /// True when an odd radix pass count cost one copy back from scratch.
+  bool radix_copied_back = false;
 };
 
 /// Splits [0, n) into `chunks` contiguous ranges whose sizes differ by at
@@ -82,21 +197,66 @@ inline std::vector<std::pair<std::size_t, std::size_t>> balanced_chunk_ranges(
   return ranges;
 }
 
-/// Iterative bottom-up mergesort. O(n log n), ~n extra memory.
+namespace sort_detail {
+
+inline constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Sorts every `leaf`-wide block of [data, data+n) in place (the final
+/// partial block included), using the SIMD block sorters when the type
+/// qualifies.
 template <typename T, typename Less>
-void merge_sort(std::span<T> data, Less less) {
-  const std::size_t n = data.size();
-  if (n <= 1) return;
-
-  // Pass 0: sort each 8-element block with the network.
-  for (std::size_t i = 0; i < n; i += kNetworkBlock) {
-    sort_small(data.data() + i, std::min(kNetworkBlock, n - i), less);
+void sort_leaves(T* data, std::size_t n, std::size_t leaf, Less& less) {
+  const std::size_t full = n / leaf;
+  if constexpr (simd::simd_sortable<T, Less>) {
+    if (leaf == kNetworkBlock) {
+      simd::sort8_blocks(data, full);
+    } else {
+      simd::sort16_blocks(data, full);
+    }
+  } else {
+    for (std::size_t b = 0; b < full; ++b) {
+      sort_small(data + b * leaf, leaf, less);
+    }
   }
+  const std::size_t tail = full * leaf;
+  if (tail < n) sort_small(data + tail, n - tail, less);
+}
 
-  std::vector<T> scratch(data.begin(), data.end());
-  T* src = data.data();
-  T* dst = scratch.data();
-  for (std::size_t width = kNetworkBlock; width < n; width *= 2) {
+}  // namespace sort_detail
+
+/// Iterative bottom-up mergesort of `data` using caller scratch (>= n
+/// elements, clobbered); the sorted result lands in `data` or — when
+/// `want_in_scratch` — in [scratch, scratch + n).
+///
+/// The leaf width (8 or 16) is picked so the number of bottom-up merge
+/// levels has the parity that makes the data<->scratch ping-pong *end* in
+/// the requested buffer: for n > 8 the 16-wide leaf runs exactly one fewer
+/// level than the 8-wide leaf, so one of the two always matches and no
+/// final copy is ever needed (parallel_sort exploits this to land chunk
+/// runs in scratch and the cross-chunk merge back in the caller's buffer).
+template <typename T, typename Less>
+void merge_sort_into(std::span<T> data, T* scratch, bool want_in_scratch, Less less) {
+  const std::size_t n = data.size();
+  T* const d = data.data();
+  if (n == 0) return;
+  if (n <= kNetworkBlock) {
+    sort_small(d, n, less);
+    if (want_in_scratch) std::copy(d, d + n, scratch);
+    return;
+  }
+  std::size_t leaf = kNetworkBlock;
+  std::size_t levels = merge_detail::ceil_log2(sort_detail::ceil_div(n, leaf));
+  const bool want_even = !want_in_scratch;  // the ping-pong starts at `data`
+  if ((levels % 2 == 0) != want_even) {
+    leaf = 2 * kNetworkBlock;
+    levels = merge_detail::ceil_log2(sort_detail::ceil_div(n, leaf));
+  }
+  sort_detail::sort_leaves(d, n, leaf, less);
+  T* src = d;
+  T* dst = scratch;
+  for (std::size_t width = leaf; width < n; width *= 2) {
     for (std::size_t lo = 0; lo < n; lo += 2 * width) {
       const std::size_t mid = std::min(lo + width, n);
       const std::size_t hi = std::min(lo + 2 * width, n);
@@ -104,27 +264,79 @@ void merge_sort(std::span<T> data, Less less) {
     }
     std::swap(src, dst);
   }
-  if (src != data.data()) {
-    std::copy(src, src + n, data.data());
-  }
+  PAPAR_CHECK_MSG(src == (want_in_scratch ? scratch : d),
+                  "merge_sort_into parity landed in the wrong buffer");
 }
 
-/// Parallel mergesort: the pool sorts balanced chunks concurrently, then the
-/// chunk runs are combined — by default with the splitter-partitioned
-/// parallel multiway merge, which writes every element directly into its
-/// final position (no single-threaded merge, no copy-back). When `breakdown`
-/// is non-null it receives the phase split (see SortBreakdown for the
-/// single-chunk fallback semantics).
+/// In-place mergesort front end (allocates its own scratch). Requires T to
+/// be default-constructible (the scratch is value-initialized, never read
+/// before being written).
+template <typename T, typename Less>
+void merge_sort(std::span<T> data, Less less) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (n <= kNetworkBlock) {
+    sort_small(data.data(), n, less);
+    return;
+  }
+  std::vector<T> scratch(n);
+  merge_sort_into(data, scratch.data(), false, less);
+}
+
+/// Parallel sort with engine dispatch. The mergesort engine sorts balanced
+/// chunks concurrently (each landing its run in the shared scratch buffer),
+/// then combines the runs with the splitter-partitioned parallel multiway
+/// merge writing every element directly into its final position in `data` —
+/// the chunk phase, the merge phase, and the radix engine all finish
+/// without a copy-back. When `breakdown` is non-null it receives the phase
+/// split and the dispatch decision.
 template <typename T, typename Less>
 void parallel_sort(std::span<T> data, Less less, ThreadPool& pool,
                    SortBreakdown* breakdown = nullptr,
-                   MergeAlgo algo = MergeAlgo::kParallelSplitter) {
+                   MergeAlgo algo = MergeAlgo::kParallelSplitter,
+                   SortEngine engine = SortEngine::kAuto) {
   WallTimer timer;
   const std::size_t n = data.size();
+  if (engine == SortEngine::kAuto) engine = default_sort_engine();
+  if (breakdown != nullptr) *breakdown = SortBreakdown{};
+
+  if constexpr (radix_compatible<T, Less>) {
+    const bool use_radix =
+        engine == SortEngine::kRadix ||
+        (engine == SortEngine::kAuto && std::is_integral_v<std::remove_cv_t<T>> &&
+         n >= kRadixAutoCutoff);
+    if (use_radix) {
+      using Traits = RadixKey<std::remove_cv_t<T>>;
+      RadixStats rstats;
+      if (n > 1) {
+        std::vector<T> scratch(n);
+        lsd_radix_sort(data, std::span<T>(scratch),
+                       [](const T& v) { return Traits::to_key(v); }, pool, &rstats);
+      } else {
+        rstats.chunks = 1;
+      }
+      if (breakdown != nullptr) {
+        breakdown->chunk_sort_seconds = timer.seconds();
+        breakdown->chunks = rstats.chunks;
+        breakdown->engine_used = SortEngine::kRadix;
+        breakdown->key_bytes = sizeof(typename Traits::Key);
+        breakdown->radix_passes = rstats.passes;
+        breakdown->radix_passes_skipped = rstats.skipped_passes;
+        breakdown->radix_copied_back = rstats.copied_back;
+      }
+      return;
+    }
+  }
+
+  if (breakdown != nullptr) {
+    breakdown->engine_used = SortEngine::kMergesort;
+    if constexpr (simd::simd_sortable<T, Less>) {
+      breakdown->simd_level = simd::active_level();
+    }
+  }
   if (n <= 4 * kNetworkBlock || pool.size() == 1) {
     merge_sort(data, less);
     if (breakdown != nullptr) {
-      *breakdown = SortBreakdown{};
       breakdown->chunk_sort_seconds = timer.seconds();
       breakdown->chunks = 1;
     }
@@ -133,43 +345,51 @@ void parallel_sort(std::span<T> data, Less less, ThreadPool& pool,
   const std::size_t chunks =
       std::max<std::size_t>(1, std::min(pool.size(), n / (2 * kNetworkBlock)));
   const auto ranges = balanced_chunk_ranges(n, chunks);
+  // One shared scratch: every chunk's ping-pong lands its sorted run in the
+  // scratch slice, and the multiway merge reads the runs from there while
+  // writing final positions in `data` (see
+  // parallel_multiway_merge_from_scratch).
+  std::vector<T> scratch(n);
   pool.parallel_for(chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
     for (std::size_t c = begin; c < end; ++c) {
       auto [lo, hi] = ranges[c];
-      merge_sort(std::span<T>(data.data() + lo, hi - lo), less);
+      merge_sort_into(std::span<T>(data.data() + lo, hi - lo), scratch.data() + lo,
+                      true, less);
     }
   });
   const double chunk_seconds = timer.seconds();
 
   std::vector<std::span<const T>> runs;
   for (auto [begin, end] : ranges) {
-    if (end > begin) runs.emplace_back(data.data() + begin, end - begin);
+    if (end > begin) runs.emplace_back(scratch.data() + begin, end - begin);
   }
   if (breakdown != nullptr) {
-    *breakdown = SortBreakdown{};
     breakdown->chunk_sort_seconds = chunk_seconds;
     breakdown->chunks = chunks;
   }
-  if (runs.size() > 1) {
-    if (algo == MergeAlgo::kParallelSplitter) {
-      MultiwayMergeStats stats;
-      parallel_multiway_merge(std::move(runs), data, less, pool, 0,
-                              breakdown != nullptr ? &stats : nullptr);
-      if (breakdown != nullptr) {
-        breakdown->merge_seconds = timer.seconds() - chunk_seconds;
-        breakdown->merge_partition_seconds = stats.partition_seconds;
-        breakdown->merge_jobs = stats.jobs;
-      }
-    } else {
-      std::vector<T> merged;
-      merged.reserve(n);
-      LoserTree<T, Less> tree(std::move(runs), less);
-      while (!tree.empty()) merged.push_back(tree.pop());
-      std::copy(merged.begin(), merged.end(), data.begin());
-      if (breakdown != nullptr) {
-        breakdown->merge_seconds = timer.seconds() - chunk_seconds;
-        breakdown->merge_jobs = 1;
-      }
+  if (runs.size() == 1) {
+    std::copy(runs[0].begin(), runs[0].end(), data.begin());
+    return;
+  }
+  if (algo == MergeAlgo::kParallelSplitter) {
+    MultiwayMergeStats stats;
+    parallel_multiway_merge_from_scratch(std::move(runs), data, std::span<T>(scratch),
+                                         less, pool, 0,
+                                         breakdown != nullptr ? &stats : nullptr);
+    if (breakdown != nullptr) {
+      breakdown->merge_seconds = timer.seconds() - chunk_seconds;
+      breakdown->merge_partition_seconds = stats.partition_seconds;
+      breakdown->merge_jobs = stats.jobs;
+    }
+  } else {
+    // The runs live in scratch, so the loser tree can pop straight into
+    // `data` (the old copy-through-a-temporary is gone here too).
+    LoserTree<T, Less> tree(std::move(runs), less);
+    T* out = data.data();
+    while (!tree.empty()) *out++ = tree.pop();
+    if (breakdown != nullptr) {
+      breakdown->merge_seconds = timer.seconds() - chunk_seconds;
+      breakdown->merge_jobs = 1;
     }
   }
 }

@@ -1,0 +1,271 @@
+// Columnar shuffle batches (--pages=framed|columnar): wire-format round
+// trips, fixed-stride elision, and the partition-identity guarantee — the
+// knob may change wire bytes only, never output bytes — across the plain
+// alltoallv shuffle, the budget-governed segmented shuffle, and both case
+// studies at 256 fiber ranks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blast/generator.hpp"
+#include "blast/partitioner.hpp"
+#include "graph/generator.hpp"
+#include "graph/papar_hybrid.hpp"
+#include "mapreduce/columnar.hpp"
+#include "mapreduce/kvbuffer.hpp"
+#include "mapreduce/mapreduce.hpp"
+#include "mpsim/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace papar::mr {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> records_of(const KvBuffer& page) {
+  std::vector<std::pair<std::string, std::string>> out;
+  page.for_each([&](std::string_view k, std::string_view v) {
+    out.emplace_back(std::string(k), std::string(v));
+  });
+  return out;
+}
+
+TEST(ColumnarBatch, RoundTripsFixedStrideRecords) {
+  ColumnarWriter w;
+  KvBuffer expect;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key(8, static_cast<char>('a' + i % 26));
+    const std::string value(4, static_cast<char>('0' + i % 10));
+    w.add(key, value);
+    expect.add(key, value);
+  }
+  std::vector<unsigned char> wire;
+  w.finish_into(wire);
+  // Fixed strides elide both size columns: header (5) + two 1-byte varint
+  // strides + heaps. The framed page spends 8 bytes per record instead.
+  EXPECT_EQ(wire.size(), 5u + 1u + 1u + 100u * 12u);
+  EXPECT_LT(wire.size(), expect.byte_size());
+
+  KvBuffer got;
+  EXPECT_EQ(append_columnar(got, wire.data(), wire.size()), wire.size());
+  EXPECT_EQ(got.bytes(), expect.bytes());
+}
+
+TEST(ColumnarBatch, RoundTripsVariableRecordsIncludingEmpty) {
+  ColumnarWriter w;
+  KvBuffer expect;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key(rng.next_below(17), 'k');
+    const std::string value(rng.next_below(33), 'v');
+    w.add(key, value);
+    expect.add(key, value);
+  }
+  w.add("", "");  // fully empty record
+  expect.add("", "");
+  // Multi-byte varint sizes (>= 128) in both columns.
+  const std::string long_key(300, 'K');
+  const std::string long_value(70000, 'V');
+  w.add(long_key, long_value);
+  expect.add(long_key, long_value);
+  std::vector<unsigned char> wire;
+  w.finish_into(wire);
+  KvBuffer got;
+  EXPECT_EQ(append_columnar(got, wire.data(), wire.size()), wire.size());
+  EXPECT_EQ(got.bytes(), expect.bytes());
+  EXPECT_EQ(got.count(), expect.count());
+  // Varint size columns keep the wire strictly smaller than the framed
+  // page even with every record a different size.
+  EXPECT_LT(wire.size(), expect.byte_size());
+}
+
+TEST(ColumnarBatch, EmptyBatchAndWriterReuse) {
+  ColumnarWriter w;
+  std::vector<unsigned char> wire;
+  w.finish_into(wire);
+  EXPECT_EQ(wire.size(), 5u);  // count + flags only
+  KvBuffer got;
+  EXPECT_EQ(append_columnar(got, wire.data(), wire.size()), wire.size());
+  EXPECT_TRUE(got.empty());
+
+  // finish_into resets the writer: the next batch starts clean.
+  w.add("reused", "writer");
+  wire.clear();
+  w.finish_into(wire);
+  got.clear();
+  append_columnar(got, wire.data(), wire.size());
+  EXPECT_EQ(records_of(got),
+            (std::vector<std::pair<std::string, std::string>>{{"reused", "writer"}}));
+}
+
+TEST(ColumnarBatch, MixedStrideModes) {
+  // Fixed keys + variable values and vice versa.
+  for (const bool fixed_keys : {true, false}) {
+    ColumnarWriter w;
+    KvBuffer expect;
+    for (int i = 0; i < 50; ++i) {
+      const std::string key(fixed_keys ? 8 : 1 + i % 9, 'k');
+      const std::string value(fixed_keys ? 1 + i % 5 : 6, 'v');
+      w.add(key, value);
+      expect.add(key, value);
+    }
+    std::vector<unsigned char> wire;
+    w.finish_into(wire);
+    KvBuffer got;
+    append_columnar(got, wire.data(), wire.size());
+    EXPECT_EQ(got.bytes(), expect.bytes()) << "fixed_keys=" << fixed_keys;
+  }
+}
+
+TEST(ColumnarBatch, MalformedInputFailsTyped) {
+  ColumnarWriter w;
+  w.add("key-bytes", "value-bytes");
+  std::vector<unsigned char> wire;
+  w.finish_into(wire);
+  KvBuffer sink;
+  // Truncated header, truncated heap, trailing garbage, unknown flags.
+  EXPECT_THROW(append_columnar(sink, wire.data(), 3), DataError);
+  EXPECT_THROW(append_columnar(sink, wire.data(), wire.size() - 1), DataError);
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(append_columnar(sink, trailing.data(), trailing.size()), DataError);
+  auto bad_flags = wire;
+  bad_flags[4] = 0x80;
+  EXPECT_THROW(append_columnar(sink, bad_flags.data(), bad_flags.size()), DataError);
+  // Overlong varint in a size column: count=1, variable sizes, then five
+  // continuation bytes (a u32 LEB128 never needs more).
+  const std::vector<unsigned char> overlong = {1,    0,    0,    0,    0x00,
+                                               0x80, 0x80, 0x80, 0x80, 0x80};
+  EXPECT_THROW(append_columnar(sink, overlong.data(), overlong.size()), DataError);
+}
+
+TEST(PageFormatKnob, ParseNameAndScope) {
+  EXPECT_EQ(parse_page_format("framed"), PageFormat::kFramed);
+  EXPECT_EQ(parse_page_format("columnar"), PageFormat::kColumnar);
+  EXPECT_THROW(parse_page_format("rowwise"), ConfigError);
+  EXPECT_STREQ(page_format_name(PageFormat::kColumnar), "columnar");
+  ASSERT_EQ(default_page_format(), PageFormat::kFramed);
+  {
+    PageFormatScope scope(PageFormat::kColumnar);
+    EXPECT_EQ(default_page_format(), PageFormat::kColumnar);
+  }
+  EXPECT_EQ(default_page_format(), PageFormat::kFramed);
+}
+
+/// Runs one aggregate() with mixed-size records and returns every rank's
+/// page bytes after the shuffle.
+std::vector<std::vector<unsigned char>> shuffle_pages(int p, PageFormat format) {
+  PageFormatScope scope(format);
+  std::vector<std::vector<unsigned char>> pages(static_cast<std::size_t>(p));
+  mp::Runtime rt(p, mp::NetworkModel::zero());
+  rt.run([&](mp::Comm& comm) {
+    MapReduce mr(comm);
+    mr.map(64, [&](int itask, KvEmitter& emit) {
+      Rng rng(static_cast<std::uint64_t>(itask) + 1);
+      for (int r = 0; r < 40; ++r) {
+        // Mix fixed-width keys with variable-length values so batches
+        // exercise both stride modes; include empty values.
+        const std::uint64_t key = rng.next_below(97);
+        const std::string value(rng.next_below(24), static_cast<char>('A' + r % 26));
+        emit.emit_pod(key, r % 7 == 0 ? std::uint64_t{0} : rng.next_u64());
+        emit.emit(std::string_view(reinterpret_cast<const char*>(&key), sizeof(key)),
+                  value);
+      }
+    });
+    mr.aggregate();
+    pages[static_cast<std::size_t>(comm.rank())] = mr.local().bytes();
+  });
+  return pages;
+}
+
+TEST(ColumnarShuffle, ByteIdenticalToFramedAcrossRankCounts) {
+  for (const int p : {1, 2, 5, 8}) {
+    EXPECT_EQ(shuffle_pages(p, PageFormat::kColumnar),
+              shuffle_pages(p, PageFormat::kFramed))
+        << p << " ranks";
+  }
+}
+
+core::EngineOptions columnar_fibers(int workers) {
+  core::EngineOptions options;
+  options.pages = PageFormat::kColumnar;
+  options.scheduler.mode = mp::SchedulerMode::kFibers;
+  options.scheduler.workers = workers;
+  options.scheduler.seed = 21;
+  return options;
+}
+
+TEST(ColumnarShuffle, Blast256FiberRanksMatchesFramedBaseline) {
+  blast::GeneratorOptions gopt = blast::env_nr_like();
+  gopt.sequence_count = 1024;
+  const auto db = blast::generate_database(gopt);
+  const auto framed = blast::partition_with_papar(db, 16, 32, blast::Policy::kCyclic);
+  const auto columnar = blast::partition_with_papar(
+      db, 256, 32, blast::Policy::kCyclic, columnar_fibers(4));
+  EXPECT_EQ(columnar.partitions.partitions, framed.partitions.partitions);
+}
+
+TEST(ColumnarShuffle, HybridCut256FiberRanksMatchesFramedBaseline) {
+  graph::ZipfGraphOptions gopt;
+  gopt.num_vertices = 1024;
+  gopt.num_edges = 6144;
+  gopt.zipf_s = 1.25;
+  gopt.seed = 9;
+  const auto g = graph::generate_zipf(gopt);
+  const auto framed = graph::papar_hybrid_cut(g, 16, 16, /*threshold=*/32);
+  const auto columnar =
+      graph::papar_hybrid_cut(g, 256, 16, /*threshold=*/32, columnar_fibers(4));
+  EXPECT_EQ(columnar.partitioning.edge_partition, framed.partitioning.edge_partition);
+}
+
+TEST(ColumnarShuffle, SegmentedBudgetPathMatchesFramedBaseline) {
+  // Any non-zero budget routes the shuffle through the credit-governed
+  // segmented path; a generous limit keeps spill out of the picture so the
+  // test isolates columnar segment encode/decode.
+  blast::GeneratorOptions gopt = blast::env_nr_like();
+  gopt.sequence_count = 1024;
+  const auto db = blast::generate_database(gopt);
+  const auto framed = blast::partition_with_papar(db, 16, 32, blast::Policy::kCyclic);
+  core::EngineOptions options;
+  options.pages = PageFormat::kColumnar;
+  options.mem_budget = std::size_t{1} << 30;
+  const auto columnar =
+      blast::partition_with_papar(db, 16, 32, blast::Policy::kCyclic, options);
+  EXPECT_EQ(columnar.partitions.partitions, framed.partitions.partitions);
+}
+
+TEST(SortEngineKnob, RadixAndMergeWorkflowsMatchByteForByte) {
+  // The --sort knob must never change partitions, only timing: pin each
+  // engine across a whole hybrid-cut run and compare.
+  graph::ZipfGraphOptions gopt;
+  gopt.num_vertices = 512;
+  gopt.num_edges = 4096;
+  gopt.zipf_s = 1.1;
+  gopt.seed = 4;
+  const auto g = graph::generate_zipf(gopt);
+  core::EngineOptions merge_opt;
+  merge_opt.sort_engine = sortlib::SortEngine::kMergesort;
+  core::EngineOptions radix_opt;
+  radix_opt.sort_engine = sortlib::SortEngine::kRadix;
+  const auto via_merge = graph::papar_hybrid_cut(g, 8, 8, /*threshold=*/24, merge_opt);
+  const auto via_radix = graph::papar_hybrid_cut(g, 8, 8, /*threshold=*/24, radix_opt);
+  EXPECT_EQ(via_merge.partitioning.edge_partition,
+            via_radix.partitioning.edge_partition);
+}
+
+TEST(SortEngineKnob, RadixUnderColumnarPagesMatchesDefaults) {
+  // Both knobs together (the fast configuration) against both defaults.
+  blast::GeneratorOptions gopt = blast::env_nr_like();
+  gopt.sequence_count = 512;
+  const auto db = blast::generate_database(gopt);
+  const auto baseline = blast::partition_with_papar(db, 8, 16, blast::Policy::kCyclic);
+  core::EngineOptions fast;
+  fast.sort_engine = sortlib::SortEngine::kRadix;
+  fast.pages = PageFormat::kColumnar;
+  const auto tuned =
+      blast::partition_with_papar(db, 8, 16, blast::Policy::kCyclic, fast);
+  EXPECT_EQ(tuned.partitions.partitions, baseline.partitions.partitions);
+}
+
+}  // namespace
+}  // namespace papar::mr

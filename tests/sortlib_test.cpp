@@ -400,15 +400,18 @@ TEST(ParallelSort, ParallelMergeByteIdenticalToLoserTree) {
 }
 
 TEST(ParallelSort, BreakdownReportsMergeJobs) {
+  // Pin the mergesort engine: under kAuto a span this large of integral keys
+  // auto-dispatches to radix, which reports no merge phase at all.
   ThreadPool pool(4);
   Rng rng(19);
   std::vector<std::uint64_t> v(200000);
   for (auto& x : v) x = rng.next_u64();
   SortBreakdown breakdown;
   parallel_sort(std::span<std::uint64_t>(v), std::less<std::uint64_t>(), pool,
-                &breakdown);
+                &breakdown, MergeAlgo::kParallelSplitter, SortEngine::kMergesort);
   EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
   EXPECT_EQ(breakdown.chunks, 4u);
+  EXPECT_EQ(breakdown.engine_used, SortEngine::kMergesort);
   EXPECT_GE(breakdown.merge_jobs, 2u);
   EXPECT_GE(breakdown.merge_seconds, breakdown.merge_partition_seconds);
 }

@@ -11,7 +11,8 @@
 //         --arg input_path=db.index --arg output_path=out/part \
 //         --arg num_partitions=32 \
 //         --file db.index=./my_database.index \
-//         --nodes 16 [--compress] [--naive-splitters] [--stats]
+//         --nodes 16 [--sort auto|merge|radix] [--pages framed|columnar]
+//         [--compress] [--naive-splitters] [--stats]
 //         [--trace trace.json] [--metrics out.prom]
 //         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
 //         [--fault-seed 7] [--ckpt-dir out/ckpt]
@@ -34,6 +35,15 @@
 // --metrics writes the counter/histogram registry (message latency, payload
 // size, mailbox depth, retransmits, plus run counters) in Prometheus text
 // exposition format.
+//
+// --sort picks the local sort engine (auto dispatches integral keys past a
+// size cutoff to LSD radix, merge pins the network-leaf mergesort, radix
+// pins the radix path); --pages picks the shuffle wire format (columnar
+// ships per-destination key/value columns with fixed-stride size elision,
+// framed ships the page bytes as-is). Both knobs change performance only:
+// partitions are byte-identical across all four combinations, and the
+// papar_sort_* / papar_mr_shuffle_* series in --metrics report the
+// decisions taken.
 //
 // --faults enables deterministic fault injection (see DESIGN.md §10): the
 // value is either an inline spec like "drop=0.05,dup=0.01,crash=1@40" or a
@@ -96,7 +106,9 @@ void usage(const char* argv0) {
                "          --workflow <xml>\n"
                "          --arg name=value [...] --file key=path [...]\n"
                "          [--nodes N | --ranks N] [--scheduler threads|fibers]\n"
-               "          [--workers N] [--compress] [--naive-splitters] [--stats]\n"
+               "          [--workers N] [--sort auto|merge|radix]\n"
+               "          [--pages framed|columnar]\n"
+               "          [--compress] [--naive-splitters] [--stats]\n"
                "          [--trace <file>] [--metrics <file>]\n"
                "          [--faults <spec|file>] [--fault-seed N]\n"
                "          [--ckpt-dir <dir>]\n"
@@ -137,6 +149,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.nodes = parse_number<int>(next(), flag.c_str());
     } else if (flag == "--scheduler") {
       opt.engine.scheduler.mode = mp::parse_scheduler_mode(next());
+    } else if (flag == "--sort") {
+      opt.engine.sort_engine = sortlib::parse_sort_engine(next());
+    } else if (flag == "--pages") {
+      opt.engine.pages = mr::parse_page_format(next());
     } else if (flag == "--workers") {
       opt.engine.scheduler.workers = parse_number<int>(next(), "--workers");
     } else if (flag == "--faults") {

@@ -40,7 +40,10 @@
 #include "graph/papar_hybrid.hpp"
 #include "mpsim/fault.hpp"
 #include "obs/critpath.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "mapreduce/columnar.hpp"
+#include "sortlib/simd.hpp"
 #include "sortlib/sort.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
@@ -71,9 +74,10 @@ int repeats() {
   return 5;
 }
 
-void print_entry(const bench::BenchEntry& e) {
-  std::printf("  %-32s before %.4fs  after %.4fs  speedup %.2fx\n", e.name.c_str(),
-              e.before_median(), e.after_median(), e.speedup());
+void print_entry(const bench::BenchEntry& e, const char* unit = "s") {
+  std::printf("  %-32s before %.4f%s  after %.4f%s  speedup %.2fx\n",
+              e.name.c_str(), e.before_median(), unit, e.after_median(), unit,
+              e.speedup());
 }
 
 // Per-stage share of the simulated critical path, from one traced run of
@@ -95,15 +99,43 @@ std::vector<std::pair<std::string, double>> critpath_fractions(
   return fractions;
 }
 
+/// One timed parallel_sort under an explicit (engine, merge algo, SIMD)
+/// configuration, hard-stopping if the output differs from `reference`
+/// (byte-identity across every path is the contract the numbers ride on).
+template <typename T>
+double timed_sort(std::vector<T> v, ThreadPool& pool, sortlib::SortEngine engine,
+                  sortlib::MergeAlgo algo, bool force_scalar,
+                  std::vector<T>& reference) {
+  sortlib::simd::set_force_scalar(force_scalar);
+  WallTimer timer;
+  sortlib::parallel_sort(std::span<T>(v), std::less<T>(), pool, nullptr, algo,
+                         engine);
+  const double wall = timer.seconds();
+  sortlib::simd::set_force_scalar(false);
+  if (reference.empty()) {
+    reference = std::move(v);
+  } else if (v != reference) {
+    std::fprintf(stderr, "FATAL: sort output differs between engine paths\n");
+    std::exit(1);
+  }
+  return wall;
+}
+
+template <typename T>
+std::vector<T> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.next_u64());
+  return v;
+}
+
 bench::BenchReport bench_sortlib(int reps) {
   const std::size_t n = bench::scaled(1'000'000);
   const std::size_t threads = 4;
   std::printf("sortlib: %zu random u64, %zu pool threads, %d repeats/knob\n", n,
               threads, reps);
 
-  Rng rng(42);
-  std::vector<std::uint64_t> base(n);
-  for (auto& x : base) x = rng.next_u64();
+  const auto base = random_keys<std::uint64_t>(n, 42);
 
   ThreadPool pool(threads);
   bench::BenchEntry merge{
@@ -124,7 +156,8 @@ bench::BenchReport bench_sortlib(int reps) {
       sortlib::SortBreakdown breakdown;
       WallTimer timer;
       sortlib::parallel_sort(std::span<std::uint64_t>(v),
-                             std::less<std::uint64_t>(), pool, &breakdown, algo);
+                             std::less<std::uint64_t>(), pool, &breakdown, algo,
+                             sortlib::SortEngine::kMergesort);
       const double wall = timer.seconds();
       const bool before = algo == sortlib::MergeAlgo::kSequentialLoserTree;
       (before ? merge.before_samples : merge.after_samples)
@@ -141,11 +174,89 @@ bench::BenchReport bench_sortlib(int reps) {
     }
   }
 
+  // Engine A/B on the headline input: the pre-vectorization default (the
+  // parallel-merge sort with scalar networks) vs the LSD radix path kAuto
+  // now dispatches large integral spans to.
+  bench::BenchEntry engine_ab{"sort_engine.1M_u64.4t",
+                              "parallel mergesort, scalar networks (previous default)",
+                              "LSD radix (auto-dispatch choice)",
+                              {},
+                              {}};
+  // SIMD A/B on the mergesort engine: forced-scalar networks/merge vs the
+  // runtime-dispatched vector kernels.
+  bench::BenchEntry simd_ab{"simd_networks.1M_u64.4t",
+                            "scalar networks + scalar merge (PAPAR_FORCE_SCALAR)",
+                            std::string("vector kernels (") +
+                                sortlib::simd::level_name(sortlib::simd::active_level()) +
+                                ")",
+                            {},
+                            {}};
+  for (int r = 0; r < reps; ++r) {
+    // The engine "before" forces scalar kernels: that is the parallel-merge
+    // path as it existed before this round of vectorization work.
+    engine_ab.before_samples.push_back(
+        timed_sort(base, pool, sortlib::SortEngine::kMergesort,
+                   sortlib::MergeAlgo::kParallelSplitter, true, reference));
+    engine_ab.after_samples.push_back(
+        timed_sort(base, pool, sortlib::SortEngine::kRadix,
+                   sortlib::MergeAlgo::kParallelSplitter, false, reference));
+    simd_ab.before_samples.push_back(
+        timed_sort(base, pool, sortlib::SortEngine::kMergesort,
+                   sortlib::MergeAlgo::kParallelSplitter, true, reference));
+    simd_ab.after_samples.push_back(
+        timed_sort(base, pool, sortlib::SortEngine::kMergesort,
+                   sortlib::MergeAlgo::kParallelSplitter, false, reference));
+  }
+
   bench::BenchReport report;
   report.bench = "sortlib";
   report.scale = bench::scale_factor();
   report.repeats = reps;
-  report.entries = {merge, total};
+  report.entries = {merge, total, engine_ab, simd_ab};
+
+  // The sortlib-matrix sweep: engine path x key width x input size, every
+  // cell byte-identity-checked. Covers both dispatch regimes (below/above
+  // the radix cutoff territory) per width.
+  const std::vector<std::size_t> matrix_sizes = {bench::scaled(65'536),
+                                                 bench::scaled(1'000'000)};
+  auto matrix_cell = [&](auto tag, const char* width_name, std::size_t size) {
+    using T = decltype(tag);
+    const auto data = random_keys<T>(size, 7 + size);
+    const std::string suffix = std::string(width_name) + "." +
+                               std::to_string(size / 1024) + "k";
+    bench::BenchEntry radix_vs_merge{"matrix.radix_vs_merge." + suffix,
+                                     "mergesort engine (SIMD leaves)",
+                                     "radix engine",
+                                     {},
+                                     {}};
+    bench::BenchEntry simd_vs_scalar{"matrix.simd_vs_scalar." + suffix,
+                                     "mergesort engine, forced scalar",
+                                     "mergesort engine, vector kernels",
+                                     {},
+                                     {}};
+    std::vector<T> cell_reference;
+    for (int r = 0; r < reps; ++r) {
+      radix_vs_merge.before_samples.push_back(
+          timed_sort(data, pool, sortlib::SortEngine::kMergesort,
+                     sortlib::MergeAlgo::kParallelSplitter, false, cell_reference));
+      radix_vs_merge.after_samples.push_back(
+          timed_sort(data, pool, sortlib::SortEngine::kRadix,
+                     sortlib::MergeAlgo::kParallelSplitter, false, cell_reference));
+      simd_vs_scalar.before_samples.push_back(
+          timed_sort(data, pool, sortlib::SortEngine::kMergesort,
+                     sortlib::MergeAlgo::kParallelSplitter, true, cell_reference));
+      simd_vs_scalar.after_samples.push_back(
+          timed_sort(data, pool, sortlib::SortEngine::kMergesort,
+                     sortlib::MergeAlgo::kParallelSplitter, false, cell_reference));
+    }
+    report.entries.push_back(std::move(radix_vs_merge));
+    report.entries.push_back(std::move(simd_vs_scalar));
+  };
+  for (const std::size_t size : matrix_sizes) {
+    matrix_cell(std::uint32_t{}, "u32", size);
+    matrix_cell(std::uint64_t{}, "u64", size);
+  }
+
   for (const auto& e : report.entries) print_entry(e);
   return report;
 }
@@ -174,12 +285,48 @@ bench::BenchReport bench_blast(int reps) {
     }
   }
 
+  // Shuffle wire-format A/B: framed page bytes vs columnar batches with
+  // fixed-stride size elision (--pages). Partitions must be byte-identical;
+  // the entry measures the shuffle's serialized payload megabytes (the
+  // mr.shuffle.wire_bytes counter), so the "speedup" column is the
+  // serialization-reduction factor (deterministic, not timing noise). The
+  // shuffle is off the simulated critical path here, so makespan would
+  // hide the win.
+  bench::BenchEntry pages{"shuffle_wire_mb.env_nr_like.16n",
+                          "framed shuffle pages ([klen][vlen][k][v] frames)",
+                          "columnar shuffle batches (key/value columns)",
+                          {},
+                          {}};
+  std::vector<std::vector<blast::IndexEntry>> page_reference;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto format : {mr::PageFormat::kFramed, mr::PageFormat::kColumnar}) {
+      auto injector = make_injector();
+      core::EngineOptions options;
+      options.pages = format;
+      obs::Recorder recorder;
+      const auto result = blast::partition_with_papar(
+          db, 16, 32, blast::Policy::kCyclic, options, bench::papar_fabric(),
+          injector ? &*injector : nullptr, nullptr, &recorder);
+      (format == mr::PageFormat::kFramed ? pages.before_samples
+                                         : pages.after_samples)
+          .push_back(
+              static_cast<double>(recorder.counter("mr.shuffle.wire_bytes")) / 1e6);
+      if (page_reference.empty()) {
+        page_reference = result.partitions.partitions;
+      } else if (result.partitions.partitions != page_reference) {
+        std::fprintf(stderr, "FATAL: partitions differ between page formats\n");
+        std::exit(1);
+      }
+    }
+  }
+
   bench::BenchReport report;
   report.bench = "blast";
   report.scale = bench::scale_factor();
   report.repeats = reps;
-  report.entries = {makespan};
+  report.entries = {makespan, pages};
   print_entry(makespan);
+  print_entry(pages, "MB");
 
   obs::TraceRecorder tracer;
   auto injector = make_injector();
@@ -216,12 +363,44 @@ bench::BenchReport bench_hybrid(int reps) {
     }
   }
 
+  // Same wire-format A/B as blast (see there): serialized shuffle payload
+  // megabytes, not makespan. Hybrid's records are graph edges, again
+  // fixed-stride and therefore fully size-column-elided.
+  bench::BenchEntry pages{"shuffle_wire_mb.google_like.16n",
+                          "framed shuffle pages ([klen][vlen][k][v] frames)",
+                          "columnar shuffle batches (key/value columns)",
+                          {},
+                          {}};
+  std::vector<std::uint32_t> page_reference;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto format : {mr::PageFormat::kFramed, mr::PageFormat::kColumnar}) {
+      auto injector = make_injector();
+      core::EngineOptions options;
+      options.pages = format;
+      obs::Recorder recorder;
+      const auto result = graph::papar_hybrid_cut(
+          g, 16, 16, 200, options, bench::papar_fabric(),
+          injector ? &*injector : nullptr, nullptr, &recorder);
+      (format == mr::PageFormat::kFramed ? pages.before_samples
+                                         : pages.after_samples)
+          .push_back(
+              static_cast<double>(recorder.counter("mr.shuffle.wire_bytes")) / 1e6);
+      if (page_reference.empty()) {
+        page_reference = result.partitioning.edge_partition;
+      } else if (result.partitioning.edge_partition != page_reference) {
+        std::fprintf(stderr, "FATAL: partitions differ between page formats\n");
+        std::exit(1);
+      }
+    }
+  }
+
   bench::BenchReport report;
   report.bench = "hybrid";
   report.scale = s;
   report.repeats = reps;
-  report.entries = {makespan};
+  report.entries = {makespan, pages};
   print_entry(makespan);
+  print_entry(pages, "MB");
 
   obs::TraceRecorder tracer;
   auto injector = make_injector();
