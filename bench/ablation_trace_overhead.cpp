@@ -1,20 +1,27 @@
-// Ablation: cost of the causal tracing instrumentation.
+// Ablation: cost of the causal tracing and telemetry instrumentation.
 //
 // The tracing hooks in mpsim's hot paths (deliver/recv/barrier) are gated
 // on a single pointer check, so a run without a TraceRecorder attached must
-// behave like a build without the instrumentation at all. This bench
-// quantifies both sides of that claim on the BLAST workload:
+// behave like a build without the instrumentation at all. The continuous
+// telemetry sampler (obs/sampler.hpp) hooks the same paths behind the same
+// discipline. This bench quantifies all sides of that claim on the BLAST
+// workload:
 //
-//   off  no TraceRecorder attached (the default library configuration) —
-//        the "disabled" cost.
-//   on   recorder attached, full causal event graph recorded.
+//   off      no TraceRecorder, no TelemetrySampler (the default library
+//            configuration) — the "disabled" cost.
+//   on       recorder attached, full causal event graph recorded.
+//   sampler  telemetry sampler attached (rings only, no stream file) —
+//            every comm event pays the due() check plus rate-limited
+//            ring writes.
 //
 // Asserts (hard-stops, so the bench-smoke run enforces them in CI):
 //   1. partitions are byte-identical across all runs — observation never
 //      changes the computation;
-//   2. the off/on makespan medians agree within a noise band — tracing is
-//      cheap enough that even fully enabled it does not distort the
-//      simulated numbers, and disabled it is strictly cheaper than that;
+//   2. the off/on and off/sampler makespan medians agree within a noise
+//      band — with everything enabled the simulated numbers are not
+//      distorted, and with everything off (the sampler-off configuration)
+//      the cost is statistically indistinguishable from no instrumentation
+//      at all;
 //   3. the traced run's critical path attributes the whole makespan.
 #include <cmath>
 #include <cstdio>
@@ -25,13 +32,14 @@
 #include "bench/common.hpp"
 #include "blast/generator.hpp"
 #include "blast/partitioner.hpp"
+#include "core/engine.hpp"
 #include "obs/critpath.hpp"
 #include "obs/trace.hpp"
 
 int main() {
   using namespace papar;
   bench::print_header(
-      "Ablation: tracing overhead (off vs fully enabled)",
+      "Ablation: tracing + telemetry overhead (off vs fully enabled)",
       "observability must not perturb the measurement (zero-cost when off)");
 
   blast::GeneratorOptions opt = blast::env_nr_like();
@@ -41,23 +49,26 @@ int main() {
   std::printf("blast env_nr-like (%zu sequences), 16 nodes, %d repeats/knob\n",
               opt.sequence_count, reps);
 
-  std::vector<double> off_samples, on_samples;
+  enum Arm { kOff = 0, kTraced = 1, kSampled = 2 };
+  std::vector<double> samples[3];
   blast::PartitionedIndex reference;
   double attributed = 0.0, makespan_traced = 0.0;
   for (int r = 0; r < reps; ++r) {
-    for (const bool traced : {false, true}) {
+    for (const Arm arm : {kOff, kTraced, kSampled}) {
       obs::TraceRecorder tracer;
+      core::EngineOptions options;
+      options.telemetry = (arm == kSampled);
       auto result = blast::partition_with_papar(
-          db, 16, 32, blast::Policy::kCyclic, {}, bench::papar_fabric(),
-          nullptr, traced ? &tracer : nullptr);
-      (traced ? on_samples : off_samples).push_back(result.stats.makespan);
+          db, 16, 32, blast::Policy::kCyclic, options, bench::papar_fabric(),
+          nullptr, arm == kTraced ? &tracer : nullptr);
+      samples[arm].push_back(result.stats.makespan);
       if (reference.partitions.empty()) {
         reference = std::move(result.partitions);
       } else if (result.partitions != reference) {
-        std::fprintf(stderr, "FATAL: tracing changed the partitions\n");
+        std::fprintf(stderr, "FATAL: observation changed the partitions\n");
         return 1;
       }
-      if (traced && r == 0) {
+      if (arm == kTraced && r == 0) {
         const auto path = obs::critical_path(tracer.snapshot());
         attributed = path.attributed();
         makespan_traced = path.total;
@@ -65,24 +76,36 @@ int main() {
     }
   }
 
-  const double off = bench::median(off_samples);
-  const double on = bench::median(on_samples);
-  const double ratio = off > 0.0 ? on / off : 0.0;
-  std::printf("  makespan off %.4fs  on %.4fs  on/off %.3fx\n", off, on, ratio);
+  const double off = bench::median(samples[kOff]);
+  const double on = bench::median(samples[kTraced]);
+  const double sampled = bench::median(samples[kSampled]);
+  const double trace_ratio = off > 0.0 ? on / off : 0.0;
+  const double sampler_ratio = off > 0.0 ? sampled / off : 0.0;
+  std::printf("  makespan off %.4fs  traced %.4fs (%.3fx)  sampled %.4fs (%.3fx)\n",
+              off, on, trace_ratio, sampled, sampler_ratio);
   std::printf("  critical path attributed %.6fs of %.6fs makespan\n", attributed,
               makespan_traced);
 
   // Virtual time is derived from measured thread-CPU time, so back-to-back
   // runs of the *same* configuration already jitter; the band is set well
   // above that jitter but far below anything that would distort a result.
-  if (ratio < 1.0 / 1.5 || ratio > 1.5) {
-    std::fprintf(stderr, "FATAL: tracing overhead out of band (%.3fx)\n", ratio);
+  // The sampler-off arm (== off) being the baseline, both enabled arms
+  // must land inside the band for "off is below noise" to hold.
+  if (trace_ratio < 1.0 / 1.5 || trace_ratio > 1.5) {
+    std::fprintf(stderr, "FATAL: tracing overhead out of band (%.3fx)\n",
+                 trace_ratio);
+    return 1;
+  }
+  if (sampler_ratio < 1.0 / 1.5 || sampler_ratio > 1.5) {
+    std::fprintf(stderr, "FATAL: telemetry overhead out of band (%.3fx)\n",
+                 sampler_ratio);
     return 1;
   }
   if (std::abs(attributed - makespan_traced) > 1e-9 * std::max(1.0, makespan_traced)) {
     std::fprintf(stderr, "FATAL: critical path does not tile the makespan\n");
     return 1;
   }
-  std::printf("PASS: observation is inert (identical partitions, bounded cost)\n");
+  std::printf(
+      "PASS: observation is inert (identical partitions, bounded cost)\n");
   return 0;
 }

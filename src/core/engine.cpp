@@ -8,6 +8,8 @@
 
 #include "mapreduce/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sortlib/simd.hpp"
 #include "util/log.hpp"
 #include "util/membudget.hpp"
 #include "util/parse.hpp"
@@ -452,6 +454,25 @@ PartitionResult WorkflowEngine::run(
     budget_guard.rt = &runtime;
   }
 
+  // Continuous telemetry: any telemetry knob attaches a sampler for the
+  // run (the flight recorder needs the rings even without a live stream).
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  struct SamplerGuard {
+    mp::Runtime* rt = nullptr;
+    ~SamplerGuard() {
+      if (rt != nullptr) rt->set_sampler(nullptr);
+    }
+  } sampler_guard;
+  if (options_.telemetry || !options_.telemetry_stream.empty() ||
+      !options_.flight_rec_dir.empty()) {
+    obs::TelemetryOptions topt;
+    topt.interval = options_.telemetry_interval;
+    topt.stream_path = options_.telemetry_stream;
+    sampler = std::make_unique<obs::TelemetrySampler>(topt);
+    runtime.set_sampler(sampler.get());
+    sampler_guard.rt = &runtime;
+  }
+
   // Install the run's sort-engine and shuffle wire-format knobs as the
   // process-wide defaults for the run's duration (every rank thread shares
   // the process, so sender and receiver always agree); the scopes restore
@@ -667,7 +688,31 @@ PartitionResult WorkflowEngine::run(
     }
   };
 
-  result.stats = runtime.run(body);
+  // Flight recorder: a typed failure dumps the telemetry rings plus the
+  // error text into a post-mortem bundle before the error continues up.
+  // Only the four "the cluster is stuck / out of budget / lost a peer"
+  // errors bundle — programming errors propagate untouched.
+  const auto flight_dump = [&](const char* kind, const std::exception& e) {
+    if (options_.flight_rec_dir.empty()) return;
+    const std::string path = obs::write_flight_bundle(
+        options_.flight_rec_dir, kind, e.what(), sampler.get());
+    if (!path.empty()) log::info("flight recorder: wrote ", path);
+  };
+  try {
+    result.stats = runtime.run(body);
+  } catch (const mp::DeadlockError& e) {
+    flight_dump("DeadlockError", e);
+    throw;
+  } catch (const mp::TimeoutError& e) {
+    flight_dump("TimeoutError", e);
+    throw;
+  } catch (const mp::PeerFailureError& e) {
+    flight_dump("PeerFailureError", e);
+    throw;
+  } catch (const BudgetExceededError& e) {
+    flight_dump("BudgetExceededError", e);
+    throw;
+  }
   // Clean exit: checkpoint files have served their purpose. (A thrown run
   // never reaches this, leaving them on disk for post-mortem inspection.)
   if (ckpt) ckpt->remove_spill_files();
@@ -707,6 +752,26 @@ PartitionResult WorkflowEngine::run(
       // Event counters streamed in live through the budget hook; the peak
       // is only known now.
       metrics->inc("mem.high_water_bytes", budget->high_water());
+    }
+  }
+  if (const obs::Recorder* rec = runtime.recorder()) {
+    // Sort-engine breakdown (satellite of the sort-engine work): which
+    // engine ran, how many radix passes executed vs. were skipped by the
+    // all-equal-byte shortcut, and the SIMD level the run dispatched to.
+    result.report.sort.records = rec->counter("sort.records");
+    result.report.sort.merge_sorts = rec->counter("sort.engine_merge");
+    result.report.sort.radix_sorts = rec->counter("sort.engine_radix");
+    result.report.sort.radix_passes = rec->counter("sort.radix_passes");
+    result.report.sort.radix_passes_skipped =
+        rec->counter("sort.radix_passes_skipped");
+    if (result.report.sort.any()) {
+      result.report.sort.simd_level =
+          sortlib::simd::level_name(sortlib::simd::active_level());
+    }
+  }
+  if (sampler) {
+    if (obs::MetricsRegistry* metrics = runtime.metrics()) {
+      sampler->export_gauges(*metrics);
     }
   }
   result.report.stages.reserve(nsteps);

@@ -72,6 +72,22 @@ struct EngineOptions {
   /// scales the same workflows to 1024 ranks (DESIGN.md §13). Case-study
   /// drivers that build their own Runtime pass this through.
   mp::SchedulerOptions scheduler;
+  /// Continuous telemetry (DESIGN.md §15). Any of the three knobs below
+  /// being set attaches a TelemetrySampler for the run: per-rank time-series
+  /// rings of stage / blocked state / mailbox / budget / sort progress.
+  /// `telemetry` alone keeps the rings in memory (exported as metrics
+  /// gauge timelines when a registry is attached).
+  bool telemetry = false;
+  /// JSONL live-stream file a concurrent `papar_top <file>` tails
+  /// (--telemetry <file>); empty = no stream.
+  std::string telemetry_stream;
+  /// Flight recorder (--flight-rec <dir>): on DeadlockError,
+  /// BudgetExceededError, PeerFailureError, or TimeoutError, the last N
+  /// samples per rank plus the error text are dumped to <dir>/flight.json
+  /// for offline replay with `papar_top` before the error is rethrown.
+  std::string flight_rec_dir;
+  /// Minimum virtual seconds between samples of one rank.
+  double telemetry_interval = 1e-3;
 };
 
 /// The materialized output of a workflow run.

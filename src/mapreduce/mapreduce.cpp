@@ -463,6 +463,7 @@ void MapReduce::local_sort(
     rec->add_counter("sort.records", page_.count());
     rec->add_counter("sort.engine_merge", 1);
   }
+  comm_->note_sort_progress(page_.count());
   // reorder() materializes a full second copy of the page; when that copy
   // would push the rank past its soft watermark, sort externally instead:
   // sorted runs spill to disk and a streaming merge rebuilds the page,
@@ -555,6 +556,7 @@ void MapReduce::local_sort_by_projection(
     rec->add_counter("sort.radix_passes", rstats.passes);
     rec->add_counter("sort.radix_passes_skipped", rstats.skipped_passes);
   }
+  comm_->note_sort_progress(n);
   BudgetScope copy(budget_, comm_->rank(), page_.byte_size());
   page_.reorder(order);
 }

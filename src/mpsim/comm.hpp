@@ -264,9 +264,16 @@ class Comm {
 
   /// Declares that this rank entered pipeline stage `name`: subsequent
   /// trace events carry the stage, and a zero-length stage marker is
-  /// recorded at the current clock. No-op when no TraceRecorder is
-  /// attached to the runtime, so pipelines may call it unconditionally.
+  /// recorded at the current clock. Also updates the telemetry sampler's
+  /// per-rank stage (the papar_top stage column) and forces a sample.
+  /// No-op when neither a TraceRecorder nor a TelemetrySampler is attached
+  /// to the runtime, so pipelines may call it unconditionally.
   void set_trace_stage(std::string_view name);
+
+  /// Reports `records` more records sorted on this rank to the telemetry
+  /// sampler (the papar_top SORTED column). No-op without a sampler, so
+  /// sort paths may call it unconditionally.
+  void note_sort_progress(std::uint64_t records);
 
  private:
   friend struct detail::Shared;

@@ -15,6 +15,7 @@
 
 #include "mpsim/sched.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "util/membudget.hpp"
 #include "util/timer.hpp"
@@ -160,6 +161,12 @@ struct Shared {
   /// credits instead of growing the destination mailbox without bound.
   MemoryBudget* budget = nullptr;
   std::size_t mailbox_cap = 0;
+
+  /// Attached telemetry sampler (nullptr = telemetry off; like the tracer,
+  /// every hot-path hook is gated on this one pointer). Ranks sample
+  /// themselves at comm events (rate-limited by TelemetrySampler::due) and
+  /// the watchdog/idle sweep (`telemetry_scan`) covers parked ranks.
+  obs::TelemetrySampler* sampler = nullptr;
 
   /// Attached metrics registry plus handles resolved at attach time so the
   /// per-message path is a pointer check and an atomic update.
@@ -310,6 +317,34 @@ struct Shared {
   }
 
   void try_detect_deadlock();
+
+  // -- Telemetry (all no-ops when `sampler` is null) -------------------------
+
+  /// Records one sample of `rank` from fields the caller already holds
+  /// (mailbox fields are passed in, so call sites inside a mailbox
+  /// critical section add no lock edges).
+  void telemetry_record(int rank, double vtime, int state,
+                        std::size_t mb_bytes, std::size_t mb_msgs,
+                        std::size_t credits);
+
+  /// Records one sample of `rank`, reading its own mailbox briefly.
+  /// Callers must hold no mailbox or barrier lock.
+  void telemetry_sample_self(int rank, double vtime, int state);
+
+  /// Observer-side sweep over all ranks (parked ranks included), stamping
+  /// each with its last known virtual clock. Runs from the watchdog /
+  /// fiber idle poll with no caller locks held.
+  void telemetry_scan();
+
+  /// The threaded watchdog's / fiber idle poll's combined duty: deadlock
+  /// scan plus a telemetry sweep and stream frame.
+  void watchdog_poll() {
+    try_detect_deadlock();
+    if (obs::TelemetrySampler* smp = sampler) {
+      telemetry_scan();
+      smp->maybe_flush_stream();
+    }
+  }
 };
 
 void Shared::try_detect_deadlock() {
@@ -506,6 +541,64 @@ void Shared::try_detect_deadlock() {
   }
   abort_deadlock.store(true, std::memory_order_release);
   wake_all();
+}
+
+void Shared::telemetry_record(int rank, double vtime, int state,
+                              std::size_t mb_bytes, std::size_t mb_msgs,
+                              std::size_t credits) {
+  obs::TelemetrySampler* smp = sampler;  // callers gate on non-null
+  obs::TelemetrySample s;
+  s.vtime = vtime;
+  s.stage = smp->stage(rank);
+  s.state = static_cast<obs::RankActivity>(state);
+  s.mailbox_bytes = mb_bytes;
+  s.mailbox_msgs = static_cast<std::uint32_t>(mb_msgs);
+  s.credits = static_cast<std::uint32_t>(credits);
+  if (budget != nullptr) {
+    s.budget_used = budget->used(rank);
+    s.high_water = budget->high_water(rank);
+    s.spill_bytes = budget->spill_bytes();
+  }
+  s.sort_records = smp->sort_records(rank);
+  if (fibers != nullptr) {
+    s.runq_depth = static_cast<std::uint32_t>(fibers->runq_depth());
+  }
+  smp->record(rank, s);
+}
+
+void Shared::telemetry_sample_self(int rank, double vtime, int state) {
+  auto& mb = mailboxes[static_cast<std::size_t>(rank)];
+  std::size_t bytes, msgs, credits;
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    bytes = mb.queued_bytes;
+    msgs = mb.queue.size();
+    credits = mb.credit_grants;
+  }
+  telemetry_record(rank, vtime, state, bytes, msgs, credits);
+}
+
+void Shared::telemetry_scan() {
+  obs::TelemetrySampler* smp = sampler;
+  if (smp == nullptr) return;
+  for (int r = 0; r < size; ++r) {
+    const int st = status[static_cast<std::size_t>(r)].state.load(
+        std::memory_order_acquire);
+    // A parked rank's clock is frozen; stamp its last known virtual time
+    // so the sweep refreshes state without inventing progress.
+    const double vt = smp->last_vtime(r);
+    if (!smp->due(r, vt, static_cast<obs::RankActivity>(st))) continue;
+    auto& mb = mailboxes[static_cast<std::size_t>(r)];
+    std::size_t bytes, msgs, credits;
+    {
+      std::lock_guard<std::mutex> lock(mb.mutex);
+      bytes = mb.queued_bytes;
+      msgs = mb.queue.size();
+      credits = mb.credit_grants;
+    }
+    // Record outside the mailbox lock so the ring mutex stays a leaf.
+    telemetry_record(r, vt, st, bytes, msgs, credits);
+  }
 }
 
 }  // namespace detail
@@ -769,7 +862,7 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
             // Scan without holding the mailbox lock (the scanner takes every
             // mailbox lock in turn; never nest them).
             lock.unlock();
-            s->try_detect_deadlock();
+            s->watchdog_poll();
             lock.lock();
           }
         }
@@ -791,6 +884,12 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   if (shared_->metrics != nullptr) {
     shared_->m_payload->observe(static_cast<double>(n));
     shared_->m_queue->observe(static_cast<double>(queue_depth));
+  }
+  if (obs::TelemetrySampler* smp = shared_->sampler) {
+    if (smp->due(rank_, vtime_, obs::RankActivity::kRunning)) {
+      shared_->telemetry_sample_self(rank_, vtime_, detail::kRunning);
+      smp->maybe_flush_stream();
+    }
   }
   if (tracer != nullptr) {
     obs::TraceEvent ev;
@@ -934,6 +1033,15 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         if (s->m_latency != nullptr) {
           s->m_latency->observe(std::max(0.0, vtime_ - sent));
         }
+        if (obs::TelemetrySampler* smp = s->sampler) {
+          if (smp->due(rank_, vtime_, obs::RankActivity::kRunning)) {
+            // Caller holds mb.mutex; pass the mailbox fields directly so
+            // record() only ever takes its leaf ring mutex.
+            s->telemetry_record(rank_, vtime_, detail::kRunning,
+                                mb.queued_bytes, mb.queue.size(),
+                                mb.credit_grants);
+          }
+        }
         return env;
       }
     }
@@ -965,6 +1073,13 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
       st.blocked_deadline.store(deadline_v, std::memory_order_relaxed);
     }
     st.state.store(detail::kBlockedRecv, std::memory_order_release);
+    if (obs::TelemetrySampler* smp = s->sampler) {
+      if (smp->due(rank_, vtime_, obs::RankActivity::kBlockedRecv)) {
+        s->telemetry_record(rank_, vtime_, detail::kBlockedRecv,
+                            mb.queued_bytes, mb.queue.size(),
+                            mb.credit_grants);
+      }
+    }
     if (detail::FiberScheduler* fibers = s->fibers) {
       // Register while still holding mb.mutex (same critical section as
       // the failed match scan), then park with no locks held.
@@ -980,7 +1095,7 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         // Scan for deadlock without holding our mailbox lock (the scanner
         // takes every mailbox lock in turn; never nest them).
         lock.unlock();
-        s->try_detect_deadlock();
+        s->watchdog_poll();
         lock.lock();
       }
     }
@@ -1124,7 +1239,7 @@ void Comm::barrier() {
             s->barrier_cv.wait_for(lock, s->watchdog) == std::cv_status::timeout;
         if (watchdog_expired) {
           lock.unlock();
-          s->try_detect_deadlock();
+          s->watchdog_poll();
           lock.lock();
         }
       }
@@ -1149,8 +1264,16 @@ void Comm::barrier() {
 
 void Comm::set_trace_stage(std::string_view name) {
   obs::TraceRecorder* tracer = shared_->tracer;
-  if (tracer == nullptr) return;
+  obs::TelemetrySampler* smp = shared_->sampler;
+  if (tracer == nullptr && smp == nullptr) return;
   charge_compute();
+  if (smp != nullptr) {
+    // Stage transitions are rare and always worth a sample — they are the
+    // edges papar_top's per-rank stage column renders.
+    smp->set_stage(rank_, smp->stage_id(name));
+    shared_->telemetry_sample_self(rank_, vtime_, detail::kRunning);
+  }
+  if (tracer == nullptr) return;
   trace_stage_ = tracer->stage_id(name);
   obs::TraceEvent ev;
   ev.kind = obs::TraceEventKind::kStageMark;
@@ -1159,6 +1282,17 @@ void Comm::set_trace_stage(std::string_view name) {
   ev.begin = vtime_;
   ev.end = vtime_;
   tracer->record(rank_, ev);
+}
+
+void Comm::note_sort_progress(std::uint64_t records) {
+  obs::TelemetrySampler* smp = shared_->sampler;
+  if (smp == nullptr) return;
+  smp->add_sort_records(rank_, records);
+  charge_compute();
+  if (smp->due(rank_, vtime_, obs::RankActivity::kRunning)) {
+    shared_->telemetry_sample_self(rank_, vtime_, detail::kRunning);
+    smp->maybe_flush_stream();
+  }
 }
 
 std::vector<unsigned char> Comm::bcast(int root, std::vector<unsigned char> bytes) {
@@ -1332,6 +1466,13 @@ void Runtime::set_metrics(obs::MetricsRegistry* metrics) {
 
 obs::MetricsRegistry* Runtime::metrics() const { return shared_->metrics; }
 
+void Runtime::set_sampler(obs::TelemetrySampler* sampler) {
+  if (sampler != nullptr) sampler->bind(nranks_);
+  shared_->sampler = sampler;
+}
+
+obs::TelemetrySampler* Runtime::sampler() const { return shared_->sampler; }
+
 RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   shared_->reset_for_run();
   if (shared_->tracer != nullptr) shared_->tracer->begin_run();
@@ -1369,9 +1510,15 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
           ev.end = comm.vtime_;
           tracer->record(r, ev);
         }
+        if (shared_->sampler != nullptr) {
+          shared_->telemetry_sample_self(r, comm.vtime_, detail::kDone);
+        }
         shared_->declare_terminated(r, detail::kDone, comm.vtime_);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        if (shared_->sampler != nullptr) {
+          shared_->telemetry_sample_self(r, comm.vtime_, detail::kFailed);
+        }
         // Crash paths already declared; anything else terminates here so
         // peers blocked on this rank unwind instead of hanging.
         shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
@@ -1391,7 +1538,7 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
         comms[static_cast<std::size_t>(r)].last_cpu_ = thread_cpu_seconds();
       };
       const std::function<void()> on_idle = [&] {
-        shared_->try_detect_deadlock();
+        shared_->watchdog_poll();
       };
       try {
         fibers.run(body, on_resume, on_idle);
@@ -1432,7 +1579,10 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
         if (!real_error) real_error = e;
       }
     }
-    if (real_error) std::rethrow_exception(real_error);
+    if (real_error) {
+      if (shared_->sampler != nullptr) shared_->sampler->flush_stream(true);
+      std::rethrow_exception(real_error);
+    }
     if (!crash_error && !fault_error) break;  // attempt succeeded
     if (crashed && inj != nullptr && attempt < max_recoveries) {
       ++attempt;
@@ -1444,8 +1594,10 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
       shared_->reset_for_attempt();
       continue;
     }
+    if (shared_->sampler != nullptr) shared_->sampler->flush_stream(true);
     std::rethrow_exception(crash_error ? crash_error : fault_error);
   }
+  if (shared_->sampler != nullptr) shared_->sampler->flush_stream(true);
 
   RunStats stats;
   stats.recoveries = attempt;

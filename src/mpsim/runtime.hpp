@@ -28,6 +28,7 @@ class MemoryBudget;
 namespace papar::obs {
 class TraceRecorder;
 class MetricsRegistry;
+class TelemetrySampler;
 }  // namespace papar::obs
 
 namespace papar::mp {
@@ -103,6 +104,16 @@ class Runtime {
   /// here, so per-message observation is lock-free.
   void set_metrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() const;
+
+  /// Attaches a telemetry sampler (nullptr to detach): ranks snapshot
+  /// their own state (stage, blocked kind, mailbox depth, budget, sort
+  /// progress) into the sampler's per-rank rings at comm events, and the
+  /// deadlock watchdog / fiber idle poll sweeps parked ranks, so the rings
+  /// stay fresh even when everything is blocked. The sampler is bound to
+  /// this runtime's rank count and must outlive the runtime or be detached
+  /// first. The disabled hot path is one pointer check.
+  void set_sampler(obs::TelemetrySampler* sampler);
+  obs::TelemetrySampler* sampler() const;
 
   /// Runs `fn(comm)` on every rank concurrently and returns the stats.
   /// May be called repeatedly; each call is an independent "job step"

@@ -3,6 +3,7 @@
 #include <ucontext.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -101,6 +102,10 @@ struct FiberScheduler::Impl {
   std::condition_variable cv;
   std::vector<Fiber> fibers;  // indexed by rank
   std::deque<int> runq;       // ranks ready to resume
+  /// Mirror of runq.size(), maintained under `mutex` but readable without
+  /// it (telemetry sampling from rank hot paths must not take the
+  /// scheduler lock).
+  std::atomic<std::size_t> runq_len{0};
   int live = 0;               // fibers not yet done
   Rng rng{1};
   bool randomized = false;
@@ -217,6 +222,7 @@ void FiberScheduler::run(const std::function<void(int)>& body,
 #endif
     im.runq.push_back(r);
   }
+  im.runq_len.store(im.runq.size(), std::memory_order_relaxed);
   im.live = nranks_;
 
   std::vector<std::thread> pool;
@@ -269,6 +275,7 @@ void FiberScheduler::worker_main(int worker_index) {
       rank = im.runq.front();
       im.runq.pop_front();
     }
+    im.runq_len.store(im.runq.size(), std::memory_order_relaxed);
     Fiber& f = im.fibers[static_cast<std::size_t>(rank)];
     lock.unlock();
 
@@ -284,6 +291,7 @@ void FiberScheduler::worker_main(int worker_index) {
       // park entirely and let the fiber re-check.
       f.wake_pending = false;
       im.runq.push_back(rank);
+      im.runq_len.store(im.runq.size(), std::memory_order_relaxed);
       im.cv.notify_one();
     } else {
       f.parked = true;
@@ -307,6 +315,7 @@ void FiberScheduler::wake(int rank) {
   if (f.parked) {
     f.parked = false;
     im.runq.push_back(rank);
+    im.runq_len.store(im.runq.size(), std::memory_order_relaxed);
     im.cv.notify_one();
   } else {
     // Running or already queued: remember the wake; the next park becomes
@@ -328,7 +337,12 @@ void FiberScheduler::wake_all() {
       f.wake_pending = true;
     }
   }
+  im.runq_len.store(im.runq.size(), std::memory_order_relaxed);
   im.cv.notify_all();
+}
+
+std::size_t FiberScheduler::runq_depth() const {
+  return impl_->runq_len.load(std::memory_order_relaxed);
 }
 
 }  // namespace detail

@@ -101,6 +101,11 @@ class FiberScheduler {
   /// Wakes every currently-parked fiber (termination / abort broadcast).
   void wake_all();
 
+  /// Ranks currently queued to resume. Wait-free (a relaxed counter kept
+  /// beside the queue), so the telemetry sampler can read it from any
+  /// rank's hot path without touching the scheduler lock.
+  std::size_t runq_depth() const;
+
   int workers() const { return workers_; }
 
  private:

@@ -37,7 +37,66 @@ void atomic_max_double(std::atomic<double>& a, double v) {
   }
 }
 
+/// Canonical map key for a gauge: name + label set (order-sensitive).
+std::string gauge_key(std::string_view name,
+                      const MetricsRegistry::Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+/// `{k="v",...}` rendered for Prometheus / JSON series names; "" when
+/// unlabeled.
+std::string labels_suffix(const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(k);
+    out += "=\"";
+    out += prometheus_escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
+
+// -- Gauge --------------------------------------------------------------------
+
+Gauge::Gauge(std::size_t capacity) {
+  ring_.resize(capacity < 2 ? 2 : capacity);
+}
+
+void Gauge::set(double value, double t) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_[head_] = GaugePoint{t, value};
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+  }
+  last_.store(value, std::memory_order_relaxed);
+}
+
+std::vector<GaugePoint> Gauge::points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugePoint> out;
+  out.reserve(count_);
+  const std::size_t cap = ring_.size();
+  const std::size_t start = (head_ + cap - count_) % cap;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
 
 // -- Histogram ----------------------------------------------------------------
 
@@ -120,6 +179,36 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  const std::string key = gauge_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    GaugeEntry entry;
+    entry.name = std::string(name);
+    entry.labels = labels;
+    entry.gauge = std::make_unique<Gauge>();
+    it = gauges_.emplace(key, std::move(entry)).first;
+  }
+  return it->second.gauge.get();
+}
+
+std::vector<MetricsRegistry::GaugeSeries> MetricsRegistry::gauge_series()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSeries> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_) {
+    GaugeSeries s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.value = entry.gauge->value();
+    s.points = entry.gauge->points();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, std::uint64_t> out;
@@ -139,6 +228,27 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
@@ -151,16 +261,29 @@ std::string MetricsRegistry::to_prometheus() const {
     const std::string n = "papar_" + prometheus_name(name);
     os << "# TYPE " << n << " histogram\n";
     std::uint64_t cum = 0;
-    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t c = h->bucket_count(i);
-      if (c == 0 && i != Histogram::kBuckets) continue;  // keep files compact
+      if (c == 0) continue;  // keep files compact
       cum += c;
-      const double ub = Histogram::upper_bound(i);
-      os << n << "_bucket{le=\"" << (std::isinf(ub) ? std::string("+Inf") : fmt(ub))
-         << "\"} " << cum << "\n";
+      os << n << "_bucket{le=\"" << fmt(Histogram::upper_bound(i)) << "\"} "
+         << cum << "\n";
     }
+    // The spec makes the +Inf bucket mandatory (even for an empty
+    // histogram) and its cumulative count must equal _count.
+    cum += h->bucket_count(Histogram::kBuckets);
+    os << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
     os << n << "_sum " << fmt(h->sum()) << "\n";
     os << n << "_count " << h->count() << "\n";
+  }
+  std::string last_family;
+  for (const auto& [key, entry] : gauges_) {
+    const std::string n = "papar_" + prometheus_name(entry.name);
+    if (n != last_family) {
+      os << "# TYPE " << n << " gauge\n";
+      last_family = n;
+    }
+    os << n << labels_suffix(entry.labels) << " " << fmt(entry.gauge->value())
+       << "\n";
   }
   return os.str();
 }
@@ -185,6 +308,20 @@ std::string MetricsRegistry::to_json() const {
        << ",\"p50\":" << fmt(h->quantile(0.50)) << ",\"p95\":" << fmt(h->quantile(0.95))
        << ",\"p99\":" << fmt(h->quantile(0.99)) << "}";
   }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, entry] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(entry.name + labels_suffix(entry.labels))
+       << ":{\"value\":" << fmt(entry.gauge->value()) << ",\"points\":[";
+    const auto points = entry.gauge->points();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "[" << fmt(points[i].t) << "," << fmt(points[i].v) << "]";
+    }
+    os << "]}";
+  }
   os << "}}";
   return os.str();
 }
@@ -193,6 +330,7 @@ void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   histograms_.clear();
+  gauges_.clear();
 }
 
 }  // namespace papar::obs

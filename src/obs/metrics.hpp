@@ -37,6 +37,39 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// One timestamped point of a gauge timeline.
+struct GaugePoint {
+  double t = 0.0;  // seconds in the recording domain (virtual or wall)
+  double v = 0.0;
+};
+
+/// Last-write-wins gauge with a bounded time series. Every set() updates
+/// the current value and appends a point to a fixed-capacity ring, so the
+/// exporters can draw the gauge as a line (Chrome-trace counter events,
+/// JSON time series) instead of a single end-of-run number. Pointer-stable
+/// once created by the registry.
+class Gauge {
+ public:
+  explicit Gauge(std::size_t capacity = 1024);
+
+  /// Records `value` at time `t`. Thread-safe; points are kept in call
+  /// order (callers sample monotonically per series).
+  void set(double value, double t = 0.0);
+
+  /// Current (last written) value. Wait-free.
+  double value() const { return last_.load(std::memory_order_relaxed); }
+
+  /// Ring contents, oldest first.
+  std::vector<GaugePoint> points() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<GaugePoint> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::atomic<double> last_{0.0};
+};
+
 /// Geometric-bucket histogram over nonnegative values.
 class Histogram {
  public:
@@ -74,13 +107,32 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
-/// Thread-safe registry of named counters and histograms.
+/// Thread-safe registry of named counters, histograms, and gauge
+/// timelines.
 class MetricsRegistry {
  public:
+  /// Prometheus label set, in emission order.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// One gauge with its identity and series, as returned by gauge_series().
+  struct GaugeSeries {
+    std::string name;
+    Labels labels;
+    double value = 0.0;
+    std::vector<GaugePoint> points;
+  };
+
   /// Finds or creates; the returned pointer is stable for the registry's
-  /// lifetime, so hot paths resolve once and keep the handle.
+  /// lifetime, so hot paths resolve each name once and keep the handle.
   Counter* counter(std::string_view name);
   Histogram* histogram(std::string_view name);
+  /// Gauges are additionally keyed by their label set, so
+  /// gauge("x", {{"rank","0"}}) and gauge("x", {{"rank","1"}}) are
+  /// distinct series of one metric family.
+  Gauge* gauge(std::string_view name, const Labels& labels = {});
+
+  /// Snapshot of every gauge (identity, last value, time series).
+  std::vector<GaugeSeries> gauge_series() const;
 
   /// Convenience single-shot forms (one map lookup each).
   void inc(std::string_view name, std::uint64_t delta = 1) { counter(name)->add(delta); }
@@ -90,24 +142,38 @@ class MetricsRegistry {
 
   /// Prometheus text exposition format, version 0.0.4: counters as
   /// `papar_<name>_total`, histograms as `papar_<name>` with cumulative
-  /// `_bucket{le=...}` lines, `_sum`, and `_count`. Metric names are
+  /// `_bucket{le=...}` lines (the `+Inf` bucket always emitted, equal to
+  /// `_count`), `_sum`, and `_count`; gauges as `papar_<name>{labels}`
+  /// with label values escaped per the text-format spec. Metric names are
   /// sanitized to [a-zA-Z0-9_].
   std::string to_prometheus() const;
 
   /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
-  /// p50, p95, p99}}} — the summary merged into --stats / trace reports.
+  /// p50, p95, p99}}, "gauges": {series: {value, points: [[t,v],...]}}}
+  /// — the summary merged into --stats / trace reports.
   std::string to_json() const;
 
   void clear();
 
  private:
+  struct GaugeEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Gauge> gauge;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, GaugeEntry, std::less<>> gauges_;  // keyed name+labels
 };
 
 /// `name` with every character outside [a-zA-Z0-9_] replaced by '_', and a
 /// leading digit guarded — a valid Prometheus metric-name fragment.
 std::string prometheus_name(std::string_view name);
+
+/// `value` with `\`, `"`, and newline escaped as `\\`, `\"`, `\n` — a
+/// valid Prometheus label value per the text-format spec.
+std::string prometheus_escape_label_value(std::string_view value);
 
 }  // namespace papar::obs

@@ -176,7 +176,13 @@ std::string StageReport::to_json() const {
      << ",\"spill_runs\":" << memory.spill_runs
      << ",\"soft_crossings\":" << memory.soft_crossings
      << ",\"backpressure_stalls\":" << memory.backpressure_stalls
-     << ",\"emergency_credits\":" << memory.emergency_credits << "},\"stages\":[";
+     << ",\"emergency_credits\":" << memory.emergency_credits << "},\"sort\":{"
+     << "\"records\":" << sort.records
+     << ",\"merge_sorts\":" << sort.merge_sorts
+     << ",\"radix_sorts\":" << sort.radix_sorts
+     << ",\"radix_passes\":" << sort.radix_passes
+     << ",\"radix_passes_skipped\":" << sort.radix_passes_skipped
+     << ",\"simd_level\":" << json::quote(sort.simd_level) << "},\"stages\":[";
   bool first = true;
   for (const auto& s : stages) {
     if (!first) os << ",";
@@ -227,6 +233,18 @@ StageReport StageReport::from_json(std::string_view text) {
     report.memory.soft_crossings = u64("soft_crossings");
     report.memory.backpressure_stalls = u64("backpressure_stalls");
     report.memory.emergency_credits = u64("emergency_credits");
+  }
+  // Reports written before the sort section existed lack the key.
+  if (const json::Value* s = root.find("sort")) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(s->at(key).number);
+    };
+    report.sort.records = u64("records");
+    report.sort.merge_sorts = u64("merge_sorts");
+    report.sort.radix_sorts = u64("radix_sorts");
+    report.sort.radix_passes = u64("radix_passes");
+    report.sort.radix_passes_skipped = u64("radix_passes_skipped");
+    report.sort.simd_level = s->at("simd_level").string;
   }
   for (const auto& v : root.at("stages").array) {
     StageRecord s;
@@ -284,6 +302,17 @@ void StageReport::print(std::FILE* out) const {
                  static_cast<unsigned long long>(memory.soft_crossings),
                  static_cast<unsigned long long>(memory.backpressure_stalls),
                  static_cast<unsigned long long>(memory.emergency_credits));
+  }
+  if (sort.any()) {
+    std::fprintf(out,
+                 "sort: records=%llu merge=%llu radix=%llu "
+                 "radix_passes=%llu passes_skipped=%llu simd=%s\n",
+                 static_cast<unsigned long long>(sort.records),
+                 static_cast<unsigned long long>(sort.merge_sorts),
+                 static_cast<unsigned long long>(sort.radix_sorts),
+                 static_cast<unsigned long long>(sort.radix_passes),
+                 static_cast<unsigned long long>(sort.radix_passes_skipped),
+                 sort.simd_level.empty() ? "scalar" : sort.simd_level.c_str());
   }
 }
 

@@ -168,6 +168,28 @@ struct MemoryStats {
   }
 };
 
+/// Sort-engine activity for one run: which engine the local sorts used,
+/// radix pass economy, and the SIMD level the vectorized kernels ran at.
+/// All zero/empty when the run had no sort stage; populated by the engine
+/// from the sort.* recorder counters (see sortlib::SortBreakdown).
+struct SortStats {
+  /// Records local-sorted, summed over ranks and stages.
+  std::uint64_t records = 0;
+  /// Rank-stage sorts taken by each engine.
+  std::uint64_t merge_sorts = 0;
+  std::uint64_t radix_sorts = 0;
+  /// LSD radix digit passes executed and skipped (single-valued digits).
+  std::uint64_t radix_passes = 0;
+  std::uint64_t radix_passes_skipped = 0;
+  /// SIMD dispatch level the sort kernels ran at ("avx2", "sse2", ...).
+  std::string simd_level;
+
+  bool any() const {
+    return records || merge_sorts || radix_sorts || radix_passes ||
+           radix_passes_skipped;
+  }
+};
+
 /// Per-job breakdown attached to a PartitionResult.
 struct StageReport {
   std::vector<StageRecord> stages;
@@ -179,6 +201,8 @@ struct StageReport {
   FaultStats faults;
   /// Memory-governance activity (all-zero when no budget was attached).
   MemoryStats memory;
+  /// Sort-engine breakdown (all-zero when the run had no sort stage).
+  SortStats sort;
 
   std::uint64_t stage_bytes_total() const;
 

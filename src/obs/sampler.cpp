@@ -1,0 +1,558 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace papar::obs {
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_num(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_sample(std::string& out, const TelemetrySample& s) {
+  out += '[';
+  append_num(out, s.vtime);
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.stage));
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.state));
+  out += ',';
+  append_num(out, s.mailbox_bytes);
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.mailbox_msgs));
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.credits));
+  out += ',';
+  append_num(out, s.budget_used);
+  out += ',';
+  append_num(out, s.high_water);
+  out += ',';
+  append_num(out, s.spill_bytes);
+  out += ',';
+  append_num(out, s.sort_records);
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.runq_depth));
+  out += ']';
+}
+
+double num_at(const json::Value& arr, std::size_t i) {
+  if (i >= arr.array.size()) return 0.0;
+  const json::Value& v = arr.array[i];
+  return v.kind == json::Value::Kind::kNumber ? v.number : 0.0;
+}
+
+std::uint64_t u64_at(const json::Value& arr, std::size_t i) {
+  const double v = num_at(arr, i);
+  return v <= 0.0 ? 0u : static_cast<std::uint64_t>(v);
+}
+
+TelemetrySample sample_from_value(const json::Value& arr) {
+  TelemetrySample s;
+  s.vtime = num_at(arr, 0);
+  s.stage = static_cast<std::uint32_t>(u64_at(arr, 1));
+  const std::uint64_t st = u64_at(arr, 2);
+  s.state = st <= 5 ? static_cast<RankActivity>(st) : RankActivity::kRunning;
+  s.mailbox_bytes = u64_at(arr, 3);
+  s.mailbox_msgs = static_cast<std::uint32_t>(u64_at(arr, 4));
+  s.credits = static_cast<std::uint32_t>(u64_at(arr, 5));
+  s.budget_used = u64_at(arr, 6);
+  s.high_water = u64_at(arr, 7);
+  s.spill_bytes = u64_at(arr, 8);
+  s.sort_records = u64_at(arr, 9);
+  s.runq_depth = static_cast<std::uint32_t>(u64_at(arr, 10));
+  return s;
+}
+
+}  // namespace
+
+const char* rank_activity_name(RankActivity a) {
+  switch (a) {
+    case RankActivity::kRunning:
+      return "run";
+    case RankActivity::kBlockedRecv:
+      return "recv";
+    case RankActivity::kBlockedBarrier:
+      return "barrier";
+    case RankActivity::kBlockedSend:
+      return "send";
+    case RankActivity::kDone:
+      return "done";
+    case RankActivity::kFailed:
+      return "FAIL";
+  }
+  return "?";
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryOptions opt)
+    : opt_(std::move(opt)), t0_(std::chrono::steady_clock::now()) {
+  if (opt_.ring < 8) opt_.ring = 8;
+  if (opt_.interval < 0.0) opt_.interval = 0.0;
+  stages_.emplace_back();  // id 0 = ""
+}
+
+TelemetrySampler::~TelemetrySampler() {
+  if (stream_ != nullptr) std::fclose(stream_);
+}
+
+void TelemetrySampler::bind(int nranks) {
+  cells_.clear();
+  for (int r = 0; r < nranks; ++r) {
+    cells_.push_back(std::make_unique<RankCell>());
+    cells_.back()->ring.resize(opt_.ring);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    stages_.assign(1, std::string());
+  }
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  if (stream_ != nullptr) {
+    std::fclose(stream_);
+    stream_ = nullptr;
+  }
+  if (!opt_.stream_path.empty()) {
+    stream_ = std::fopen(opt_.stream_path.c_str(), "w");
+  }
+  last_frame_ms_.store(-1, std::memory_order_relaxed);
+  t0_ = std::chrono::steady_clock::now();
+}
+
+void TelemetrySampler::record(int rank, const TelemetrySample& s) {
+  RankCell& c = *cells_[static_cast<std::size_t>(rank)];
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.ring[c.head] = s;
+    c.head = (c.head + 1) % c.ring.size();
+    if (c.count < c.ring.size()) ++c.count;
+  }
+  c.last_vtime.store(s.vtime, std::memory_order_relaxed);
+  c.last_state.store(static_cast<std::uint8_t>(s.state),
+                     std::memory_order_relaxed);
+}
+
+std::uint32_t TelemetrySampler::stage_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  stages_.emplace_back(name);
+  return static_cast<std::uint32_t>(stages_.size() - 1);
+}
+
+std::string TelemetrySampler::stage_name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  return id < stages_.size() ? stages_[id] : std::string();
+}
+
+std::vector<std::string> TelemetrySampler::stage_table() const {
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  return stages_;
+}
+
+void TelemetrySampler::add_sort_records(int rank, std::uint64_t n) {
+  cells_[static_cast<std::size_t>(rank)]->sort_records.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+std::uint64_t TelemetrySampler::sort_records(int rank) const {
+  return cells_[static_cast<std::size_t>(rank)]->sort_records.load(
+      std::memory_order_relaxed);
+}
+
+void TelemetrySampler::maybe_flush_stream() {
+  if (stream_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - t0_).count();
+  std::int64_t last = last_frame_ms_.load(std::memory_order_relaxed);
+  const auto min_gap =
+      static_cast<std::int64_t>(opt_.stream_interval * 1000.0);
+  if (last >= 0 && now_ms - last < min_gap) return;
+  // One writer wins; contenders (and racers inside the gap) skip.
+  if (!last_frame_ms_.compare_exchange_strong(last, now_ms,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  write_frame_locked(false);
+}
+
+void TelemetrySampler::flush_stream(bool done) {
+  if (stream_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  last_frame_ms_.store(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - t0_).count(),
+      std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  write_frame_locked(done);
+}
+
+void TelemetrySampler::write_frame_locked(bool done) {
+  if (stream_ == nullptr) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  std::string line;
+  line.reserve(64 + cells_.size() * 96);
+  line += "{\"t\":";
+  append_num(line, wall);
+  line += ",\"nranks\":";
+  append_num(line, static_cast<std::uint64_t>(cells_.size()));
+  line += ",\"done\":";
+  line += done ? "true" : "false";
+  line += ",\"stages\":[";
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (i > 0) line += ',';
+      line += json::quote(stages_[i]);
+    }
+  }
+  line += "],\"ranks\":[";
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    if (r > 0) line += ',';
+    append_sample(line, latest(static_cast<int>(r)));
+  }
+  line += "]}\n";
+  std::fputs(line.c_str(), stream_);
+  std::fflush(stream_);
+}
+
+std::vector<TelemetrySample> TelemetrySampler::samples(int rank) const {
+  const RankCell& c = *cells_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(c.mutex);
+  std::vector<TelemetrySample> out;
+  out.reserve(c.count);
+  const std::size_t cap = c.ring.size();
+  const std::size_t start = (c.head + cap - c.count) % cap;
+  for (std::size_t i = 0; i < c.count; ++i) {
+    out.push_back(c.ring[(start + i) % cap]);
+  }
+  return out;
+}
+
+TelemetrySample TelemetrySampler::latest(int rank) const {
+  const RankCell& c = *cells_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (c.count == 0) return {};
+  const std::size_t cap = c.ring.size();
+  return c.ring[(c.head + cap - 1) % cap];
+}
+
+std::string TelemetrySampler::to_json() const {
+  std::string out;
+  out += "{\"nranks\":";
+  append_num(out, static_cast<std::uint64_t>(cells_.size()));
+  out += ",\"interval\":";
+  append_num(out, opt_.interval);
+  out += ",\"ring\":";
+  append_num(out, static_cast<std::uint64_t>(opt_.ring));
+  out += ",\"stages\":[";
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += json::quote(stages_[i]);
+    }
+  }
+  out += "],\"ranks\":[";
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '[';
+    const auto ring = samples(static_cast<int>(r));
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (i > 0) out += ',';
+      append_sample(out, ring[i]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+void TelemetrySampler::export_gauges(MetricsRegistry& metrics) const {
+  for (int r = 0; r < nranks(); ++r) {
+    const auto ring = samples(r);
+    if (ring.empty()) continue;
+    const std::string rank = std::to_string(r);
+    Gauge* mailbox =
+        metrics.gauge("telemetry_mailbox_bytes", {{"rank", rank}});
+    Gauge* used = metrics.gauge("telemetry_budget_used_bytes", {{"rank", rank}});
+    Gauge* sorted = metrics.gauge("telemetry_sort_records", {{"rank", rank}});
+    Gauge* spill = metrics.gauge("telemetry_spill_bytes");
+    for (const TelemetrySample& s : ring) {
+      mailbox->set(static_cast<double>(s.mailbox_bytes), s.vtime);
+      used->set(static_cast<double>(s.budget_used), s.vtime);
+      sorted->set(static_cast<double>(s.sort_records), s.vtime);
+      spill->set(static_cast<double>(s.spill_bytes), s.vtime);
+    }
+  }
+}
+
+void TelemetrySampler::clear() {
+  for (auto& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell->mutex);
+    cell->head = 0;
+    cell->count = 0;
+    cell->last_vtime.store(-1e300, std::memory_order_relaxed);
+    cell->last_state.store(0xff, std::memory_order_relaxed);
+    cell->stage.store(0, std::memory_order_relaxed);
+    cell->sort_records.store(0, std::memory_order_relaxed);
+  }
+}
+
+// -- Flight recorder ----------------------------------------------------------
+
+std::string write_flight_bundle(const std::string& dir,
+                                const std::string& error_kind,
+                                const std::string& what,
+                                const TelemetrySampler* sampler) {
+  try {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / "flight.json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return {};
+    out << "{\"error\":{\"kind\":" << json::quote(error_kind)
+        << ",\"what\":" << json::quote(what) << "},\"telemetry\":";
+    if (sampler != nullptr) {
+      out << sampler->to_json();
+    } else {
+      out << "null";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out) return {};
+    return path.string();
+  } catch (...) {
+    return {};
+  }
+}
+
+// -- papar_top frame model ----------------------------------------------------
+
+namespace {
+
+bool frame_from_stream_value(const json::Value& root, TelemetryFrame* out) {
+  const json::Value* ranks = root.find("ranks");
+  if (ranks == nullptr || ranks->kind != json::Value::Kind::kArray) {
+    return false;
+  }
+  TelemetryFrame f;
+  if (const json::Value* t = root.find("t")) f.wall = t->number;
+  if (const json::Value* d = root.find("done")) f.done = d->boolean;
+  if (const json::Value* st = root.find("stages")) {
+    for (const json::Value& s : st->array) f.stages.push_back(s.string);
+  }
+  for (const json::Value& s : ranks->array) {
+    f.ranks.push_back(sample_from_value(s));
+  }
+  f.nranks = static_cast<int>(f.ranks.size());
+  *out = std::move(f);
+  return true;
+}
+
+bool frame_from_bundle_value(const json::Value& root, TelemetryFrame* out) {
+  TelemetryFrame f;
+  f.done = true;
+  if (const json::Value* err = root.find("error")) {
+    if (const json::Value* k = err->find("kind")) f.error_kind = k->string;
+    if (const json::Value* w = err->find("what")) f.error_what = w->string;
+  }
+  const json::Value* tel = root.find("telemetry");
+  if (tel != nullptr && tel->kind == json::Value::Kind::kObject) {
+    if (const json::Value* st = tel->find("stages")) {
+      for (const json::Value& s : st->array) f.stages.push_back(s.string);
+    }
+    if (const json::Value* ranks = tel->find("ranks")) {
+      for (const json::Value& ring : ranks->array) {
+        // Each rank is a ring of samples, oldest first; show the newest.
+        if (ring.kind == json::Value::Kind::kArray && !ring.array.empty()) {
+          f.ranks.push_back(sample_from_value(ring.array.back()));
+        } else {
+          f.ranks.push_back(TelemetrySample{});
+        }
+      }
+    }
+  }
+  f.nranks = static_cast<int>(f.ranks.size());
+  *out = std::move(f);
+  return true;
+}
+
+std::string fmt_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b >= 10ull * 1024 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(b) / (1ull << 30));
+  } else if (b >= 10 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(b) / (1 << 20));
+  } else if (b >= 10 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(b) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool parse_telemetry_frame(std::string_view line, TelemetryFrame* out) {
+  try {
+    const json::Value root = json::parse(line);
+    if (root.kind != json::Value::Kind::kObject) return false;
+    return frame_from_stream_value(root, out);
+  } catch (...) {
+    return false;
+  }
+}
+
+bool load_telemetry_file(const std::string& path, TelemetryFrame* out,
+                         std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // A flight bundle is one JSON object with an "error"/"telemetry" key; a
+  // stream is JSONL where the last complete frame wins.
+  try {
+    const json::Value root = json::parse(text);
+    if (root.kind == json::Value::Kind::kObject) {
+      if (root.find("telemetry") != nullptr || root.find("error") != nullptr) {
+        return frame_from_bundle_value(root, out);
+      }
+      if (frame_from_stream_value(root, out)) return true;
+    }
+  } catch (...) {
+    // Fall through to line-by-line stream parsing.
+  }
+
+  bool any = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    TelemetryFrame f;
+    if (!line.empty() && parse_telemetry_frame(line, &f)) {
+      *out = std::move(f);
+      any = true;
+    }
+    pos = end + 1;
+  }
+  if (!any && err != nullptr) *err = "no telemetry frames in " + path;
+  return any;
+}
+
+std::string render_telemetry_frame(const TelemetryFrame& frame,
+                                   const TopOptions& opt) {
+  std::string out;
+  char buf[256];
+
+  int running = 0, blocked = 0, done = 0, failed = 0;
+  double max_vtime = 0.0;
+  std::vector<double> vtimes;
+  vtimes.reserve(frame.ranks.size());
+  for (const TelemetrySample& s : frame.ranks) {
+    switch (s.state) {
+      case RankActivity::kRunning:
+        ++running;
+        break;
+      case RankActivity::kDone:
+        ++done;
+        break;
+      case RankActivity::kFailed:
+        ++failed;
+        break;
+      default:
+        ++blocked;
+        break;
+    }
+    max_vtime = std::max(max_vtime, s.vtime);
+    vtimes.push_back(s.vtime);
+  }
+  double median = 0.0;
+  if (!vtimes.empty()) {
+    std::nth_element(vtimes.begin(), vtimes.begin() + vtimes.size() / 2,
+                     vtimes.end());
+    median = vtimes[vtimes.size() / 2];
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "papar_top — %d ranks · run %d · blocked %d · done %d · "
+                "fail %d · t=%.3fs%s\n",
+                frame.nranks, running, blocked, done, failed, frame.wall,
+                frame.done ? " · FINAL" : "");
+  out += buf;
+  if (!frame.error_kind.empty()) {
+    out += "flight bundle: " + frame.error_kind + "\n";
+    // First line of the error only; the full dump stays in the bundle.
+    const std::size_t nl = frame.error_what.find('\n');
+    out += "  " + frame.error_what.substr(0, nl) + "\n";
+  }
+
+  out +=
+      "RANK STATE    STAGE               VTIME                    "
+      "MAILBOX  MSGS CRED      MEM    SPILL   SORTED\n";
+
+  const int rows = std::min<int>(static_cast<int>(frame.ranks.size()),
+                                 opt.max_rows > 0 ? opt.max_rows : 64);
+  for (int r = 0; r < rows; ++r) {
+    const TelemetrySample& s = frame.ranks[static_cast<std::size_t>(r)];
+    std::string stage = s.stage < frame.stages.size()
+                            ? frame.stages[s.stage]
+                            : std::string("#") + std::to_string(s.stage);
+    if (stage.empty()) stage = "-";
+    if (stage.size() > 18) stage.resize(18);
+
+    // vtime bar scaled to the slowest rank; skew mark past 1.5x median.
+    const int bar_width = 12;
+    const int fill =
+        max_vtime > 0.0
+            ? static_cast<int>(std::lround(s.vtime / max_vtime * bar_width))
+            : 0;
+    std::string bar(static_cast<std::size_t>(std::clamp(fill, 0, bar_width)),
+                    '#');
+    bar.resize(bar_width, '.');
+    const bool skew = median > 0.0 && s.vtime > 1.5 * median;
+
+    const bool highlight =
+        opt.color && (skew || s.state == RankActivity::kFailed);
+    if (highlight) out += "\x1b[31m";
+    std::snprintf(buf, sizeof(buf),
+                  "%4d %-8s %-18s %9.4fs [%s]%c %8s %5u %4u %8s %8s %8llu\n",
+                  r, rank_activity_name(s.state), stage.c_str(), s.vtime,
+                  bar.c_str(), skew ? '*' : ' ',
+                  fmt_bytes(s.mailbox_bytes).c_str(), s.mailbox_msgs,
+                  s.credits, fmt_bytes(s.budget_used).c_str(),
+                  fmt_bytes(s.spill_bytes).c_str(),
+                  static_cast<unsigned long long>(s.sort_records));
+    out += buf;
+    if (highlight) out += "\x1b[0m";
+  }
+  if (rows < static_cast<int>(frame.ranks.size())) {
+    std::snprintf(buf, sizeof(buf), "... %d more ranks (use --rows to show)\n",
+                  static_cast<int>(frame.ranks.size()) - rows);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace papar::obs

@@ -279,6 +279,21 @@ std::string to_chrome_trace(const TraceData& trace, const Recorder* spans,
     }
   }
 
+  // Gauge timelines as counter events ("ph":"C") — Perfetto draws each
+  // series as a live line alongside the slices and flow arrows.
+  if (metrics != nullptr) {
+    for (const auto& g : metrics->gauge_series()) {
+      std::string series = g.name;
+      for (const auto& [k, v] : g.labels) series += "." + k + ":" + v;
+      for (const auto& p : g.points) {
+        sep();
+        os << "{\"name\":" << json::quote(series)
+           << ",\"cat\":\"gauge\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":"
+           << fmt(p.t * 1e6) << ",\"args\":{\"value\":" << fmt(p.v) << "}}";
+      }
+    }
+  }
+
   os << "],\"displayTimeUnit\":\"ms\",\"papar\":{\"trace\":" << trace.to_json();
   if (report != nullptr) os << ",\"report\":" << report->to_json();
   if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();

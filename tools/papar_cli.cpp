@@ -14,6 +14,7 @@
 //         --nodes 16 [--sort auto|merge|radix] [--pages framed|columnar]
 //         [--compress] [--naive-splitters] [--stats]
 //         [--trace trace.json] [--metrics out.prom]
+//         [--telemetry live.jsonl] [--flight-rec out/flight]
 //         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
 //         [--fault-seed 7] [--ckpt-dir out/ckpt]
 //         [--mem-budget 64m] [--spill-dir out/spill]
@@ -52,6 +53,13 @@
 // on, the engine checkpoints inter-job state at every stage boundary and
 // recovers crashed stages automatically; --ckpt-dir additionally spills
 // each checkpoint blob to disk.
+//
+// --telemetry streams one dashboard frame per line (JSONL) to the given
+// file while the run executes; `papar_top <file>` tails it live or replays
+// it afterwards. --flight-rec names a directory: on a typed failure
+// (deadlock, budget breach, peer failure, timeout) the engine dumps the
+// last N telemetry samples per rank plus the error into
+// <dir>/flight.json, which `papar_top` replays offline.
 //
 // --mem-budget caps each simulated rank's tracked working memory (sizes
 // accept k/m/g suffixes). Past the 80% soft watermark the shuffle and sort
@@ -110,6 +118,7 @@ void usage(const char* argv0) {
                "          [--pages framed|columnar]\n"
                "          [--compress] [--naive-splitters] [--stats]\n"
                "          [--trace <file>] [--metrics <file>]\n"
+               "          [--telemetry <file>] [--flight-rec <dir>]\n"
                "          [--faults <spec|file>] [--fault-seed N]\n"
                "          [--ckpt-dir <dir>]\n"
                "          [--mem-budget <size>] [--spill-dir <dir>]\n",
@@ -175,6 +184,12 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.trace_path = next();
     } else if (flag == "--metrics") {
       opt.metrics_path = next();
+    } else if (flag == "--telemetry") {
+      opt.engine.telemetry_stream = next();
+      opt.engine.telemetry = true;
+    } else if (flag == "--flight-rec") {
+      opt.engine.flight_rec_dir = next();
+      opt.engine.telemetry = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
       std::exit(0);

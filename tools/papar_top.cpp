@@ -1,0 +1,132 @@
+// papar_top — live terminal dashboard for a running (or finished) papar
+// job, and offline replayer for flight-recorder bundles.
+//
+//   papar_top live.jsonl              # tail a --telemetry stream, refresh
+//   papar_top --once live.jsonl       # render the latest frame and exit
+//   papar_top out/flight/flight.json  # replay a --flight-rec bundle
+//
+// The stream file is the JSONL feed `papar --telemetry <file>` writes (one
+// dashboard frame per line); a flight bundle is the post-mortem JSON
+// `--flight-rec` dumps on a typed failure. Rendering and parsing live in
+// obs/sampler.hpp (render_telemetry_frame), so tests replay bundles without
+// spawning this binary; this file is the terminal shell: follow the file,
+// clear-and-redraw on each new frame, stop at the final (done) frame.
+//
+//   --once       render the newest complete frame and exit
+//   --rows N     show at most N rank rows (default 64; rest summarized)
+//   --interval S wall seconds between refresh polls (default 0.25)
+//   --no-color   disable ANSI highlighting of skewed / failed ranks
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/sampler.hpp"
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using namespace papar;
+
+struct TopCli {
+  std::string path;
+  bool once = false;
+  bool color = true;
+  int rows = 64;
+  double interval = 0.25;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--once] [--rows N] [--interval S] [--no-color]\n"
+               "          <telemetry.jsonl | flight.json>\n",
+               argv0);
+}
+
+TopCli parse_cli(int argc, char** argv) {
+  TopCli opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError("missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--once") {
+      opt.once = true;
+    } else if (flag == "--rows") {
+      opt.rows = parse_number<int>(next(), "--rows");
+    } else if (flag == "--interval") {
+      opt.interval = parse_number<double>(next(), "--interval");
+    } else if (flag == "--no-color") {
+      opt.color = false;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (!flag.empty() && flag[0] == '-') {
+      throw ConfigError("unknown flag `" + flag + "`");
+    } else if (opt.path.empty()) {
+      opt.path = flag;
+    } else {
+      throw ConfigError("more than one input file given");
+    }
+  }
+  if (opt.path.empty()) {
+    usage(argv[0]);
+    throw ConfigError("a telemetry stream or flight bundle is required");
+  }
+  if (opt.rows < 1) throw ConfigError("--rows must be >= 1");
+  return opt;
+}
+
+int run(int argc, char** argv) {
+  const TopCli opt = parse_cli(argc, argv);
+  obs::TopOptions render;
+  render.max_rows = opt.rows;
+  render.color = opt.color && ::isatty(::fileno(stdout)) != 0;
+
+  obs::TelemetryFrame frame;
+  std::string err;
+  if (opt.once) {
+    if (!obs::load_telemetry_file(opt.path, &frame, &err)) {
+      throw DataError("papar_top: " + err);
+    }
+    std::fputs(obs::render_telemetry_frame(frame, render).c_str(), stdout);
+    return 0;
+  }
+
+  // Live mode: re-read the file each poll (frames are small — one line per
+  // flush — and rereading keeps the tool stateless across truncation),
+  // redraw when the newest complete frame changes, stop on the final one.
+  double last_wall = -1.0;
+  bool drew = false;
+  for (;;) {
+    const bool ok = obs::load_telemetry_file(opt.path, &frame, &err);
+    if (ok && (frame.wall != last_wall || !drew)) {
+      last_wall = frame.wall;
+      drew = true;
+      // Clear screen + home rather than scroll: this is a dashboard.
+      if (render.color) std::fputs("\x1b[2J\x1b[H", stdout);
+      std::fputs(obs::render_telemetry_frame(frame, render).c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (ok && (frame.done || !frame.error_kind.empty())) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(opt.interval * 1000)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const papar::Error& e) {
+    std::fprintf(stderr, "papar_top: %s\n", e.what());
+    return 1;
+  }
+}
