@@ -473,6 +473,31 @@ PartitionResult WorkflowEngine::run(
     sampler_guard.rt = &runtime;
   }
 
+  // Crash-recovery strategy for the run (DESIGN.md §16). The retention
+  // spool shares the run's spill directory; the guard restores the
+  // runtime's previous options so a reused runtime is unaffected.
+  struct RecoveryGuard {
+    mp::Runtime* rt = nullptr;
+    mp::RecoveryOptions prev;
+    ~RecoveryGuard() {
+      if (rt != nullptr) rt->set_recovery(std::move(prev));
+    }
+  } recovery_guard;
+  {
+    recovery_guard.prev = runtime.recovery();
+    recovery_guard.rt = &runtime;
+    mp::RecoveryOptions ropts = options_.recovery;
+    if (ropts.retention_spill_dir.empty()) {
+      ropts.retention_spill_dir =
+          !options_.spill_dir.empty()
+              ? options_.spill_dir
+              : (std::filesystem::temp_directory_path() /
+                 ("papar-retention-" + std::to_string(::getpid())))
+                    .string();
+    }
+    runtime.set_recovery(std::move(ropts));
+  }
+
   // Install the run's sort-engine and shuffle wire-format knobs as the
   // process-wide defaults for the run's duration (every rank thread shares
   // the process, so sender and receiver always agree); the scopes restore
@@ -492,7 +517,13 @@ PartitionResult WorkflowEngine::run(
 
     auto job_boundary = [&](std::size_t idx) {
       comm.barrier();
-      if (comm.rank() == 0) {
+      // A replaying rank's barriers fast-forward through here without
+      // synchronizing; re-reading the (now advanced) shared counters would
+      // misattribute traffic, so rank 0 keeps its original snapshots. The
+      // exception: rank 0 crashed inside this very boundary before taking
+      // the snapshot (it is still unwritten), in which case the replay's
+      // live pass through it is the only chance to take one.
+      if (comm.rank() == 0 && (!comm.is_replay() || boundary_time[idx] == 0.0)) {
         boundary_bytes[idx] = comm.remote_bytes_so_far();
         boundary_messages[idx] = comm.remote_messages_so_far();
         boundary_time[idx] = comm.vtime();
@@ -559,8 +590,22 @@ PartitionResult WorkflowEngine::run(
     // sit behind the opening job barrier, so every rank reads the same
     // store state and resolves the same stage. A crash with no complete
     // stage (e.g. during the first boundary) re-runs from the top.
+    //
+    // A single-rank replay (comm.is_replay()) instead restores this rank's
+    // OWN newest slice — it may legitimately be one stage ahead of
+    // latest_complete when the crash hit before the stage's barrier
+    // resolved everywhere — and re-enters the loop at that stage with its
+    // retention window intact, replaying alone while live peers keep going.
     std::size_t start_step = 0;
-    if (ckpt && comm.attempt() > 0 && nsteps > 0) {
+    if (ckpt && comm.is_replay() && nsteps > 0) {
+      if (auto stage = ckpt->latest_for_rank(comm.rank(), nsteps - 1)) {
+        auto blob = ckpt->load(*stage, comm.rank());
+        PAPAR_CHECK_MSG(blob.has_value(), "rank checkpoint slice lost its blob");
+        datasets = decode_datasets(*blob);
+        start_step = static_cast<std::size_t>(*stage);
+        if (auto* rec = comm.recorder()) rec->add_counter("ckpt.restores");
+      }
+    } else if (ckpt && comm.attempt() > 0 && nsteps > 0) {
       if (auto stage = ckpt->latest_complete(nsteps - 1)) {
         auto blob = ckpt->load(*stage, comm.rank());
         PAPAR_CHECK_MSG(blob.has_value(), "complete checkpoint stage lost a rank blob");
@@ -572,17 +617,22 @@ PartitionResult WorkflowEngine::run(
 
     for (std::size_t s = start_step; s < steps.size(); ++s) {
       const auto& step = steps[s];
-      job_boundary(s);
-      enter_stage("job:" + step.decl->id);
+      // Stage boundary = retention-epoch boundary: acknowledged shuffle
+      // segments from the previous stage are released. A replaying rank
+      // re-entering at its window-start stage keeps the window (the replay
+      // still serves from it); every later boundary closes it normally.
+      comm.retention_epoch(s == start_step);
       if (ckpt) {
-        // Saved between the boundary barrier and the stage's first
-        // communication: saves are purely local, and scheduled crashes only
-        // fire at communication events, so a crash can never interrupt a
-        // save — if any rank reaches stage s's body, all ranks passed the
-        // barrier and stage s's checkpoint is complete.
+        // Saved before the boundary barrier: saves are purely local, and
+        // scheduled crashes only fire at communication events, so a crash
+        // can never interrupt a save — any rank inside stage s's body made
+        // it past boundary s, which means every rank saved stage s first.
+        // (A deterministic replay rewrites identical bytes.)
         ckpt->save(s, comm.rank(), encode_datasets(datasets));
         if (auto* rec = comm.recorder()) rec->add_counter("ckpt.saves");
       }
+      job_boundary(s);
+      enter_stage("job:" + step.decl->id);
       const double stage_open = comm.vtime();
       std::uint64_t in_count = 0;
       std::uint64_t out_count = 0;
@@ -690,8 +740,9 @@ PartitionResult WorkflowEngine::run(
 
   // Flight recorder: a typed failure dumps the telemetry rings plus the
   // error text into a post-mortem bundle before the error continues up.
-  // Only the four "the cluster is stuck / out of budget / lost a peer"
-  // errors bundle — programming errors propagate untouched.
+  // Only the typed "the cluster is stuck / out of budget / lost a peer /
+  // crashed beyond recovery / data integrity lost" errors bundle —
+  // programming errors propagate untouched.
   const auto flight_dump = [&](const char* kind, const std::exception& e) {
     if (options_.flight_rec_dir.empty()) return;
     const std::string path = obs::write_flight_bundle(
@@ -709,8 +760,14 @@ PartitionResult WorkflowEngine::run(
   } catch (const mp::PeerFailureError& e) {
     flight_dump("PeerFailureError", e);
     throw;
+  } catch (const mp::RankCrashedError& e) {
+    flight_dump("RankCrashedError", e);
+    throw;
   } catch (const BudgetExceededError& e) {
     flight_dump("BudgetExceededError", e);
+    throw;
+  } catch (const DataError& e) {
+    flight_dump("DataError", e);
     throw;
   }
   // Clean exit: checkpoint files have served their purpose. (A thrown run
@@ -735,9 +792,23 @@ PartitionResult WorkflowEngine::run(
     result.report.faults.retries = fc.retries;
     result.report.faults.detections = fc.detections;
     result.report.faults.recoveries = fc.recoveries;
+    result.report.faults.corruptions = fc.corruptions;
+    result.report.faults.rank_replays = fc.rank_replays;
+    result.report.faults.segments_refetched = fc.refetches;
+    result.report.faults.bytes_refetched = fc.refetch_bytes;
+    result.report.faults.retention_evictions = fc.retention_evictions;
     if (ckpt) {
       result.report.faults.checkpoint_saves = ckpt->saves();
       result.report.faults.checkpoint_restores = ckpt->restores();
+    }
+    if (obs::MetricsRegistry* metrics = runtime.metrics()) {
+      // papar_recovery_* counters: the localized-recovery ladder's work,
+      // alongside the fault counters the injector already exports.
+      metrics->inc("recovery.rank_replays", fc.rank_replays);
+      metrics->inc("recovery.segments_refetched", fc.refetches);
+      metrics->inc("recovery.bytes_refetched", fc.refetch_bytes);
+      metrics->inc("recovery.retention_evictions", fc.retention_evictions);
+      metrics->inc("recovery.corruptions", fc.corruptions);
     }
   }
   if (budget) {

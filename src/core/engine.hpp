@@ -88,6 +88,18 @@ struct EngineOptions {
   std::string flight_rec_dir;
   /// Minimum virtual seconds between samples of one rank.
   double telemetry_interval = 1e-3;
+  /// Crash-recovery strategy (--recovery=stage|local, DESIGN.md §16).
+  /// kStage re-executes the interrupted stage on every rank (the behavior
+  /// described at checkpoint_dir above). kLocal repairs a fail-stop crash
+  /// by replaying only the crashed rank: its stage checkpoint slice
+  /// restores its datasets, consumed shuffle segments are retained per
+  /// rank until the stage boundary so the replay re-fetches lost inbound
+  /// data without live peers re-executing, and replayed sends are
+  /// suppressed. When segment retention was evicted under memory pressure
+  /// (RecoveryOptions::retention_limit, or the budget's mailbox limit),
+  /// recovery degrades to the full-stage ladder rung. The spill directory
+  /// for retained segments defaults to `spill_dir`.
+  mp::RecoveryOptions recovery;
 };
 
 /// The materialized output of a workflow run.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace papar::mr {
@@ -41,6 +42,9 @@ void CheckpointStore::save(std::uint64_t stage, int rank, std::vector<unsigned c
       spill_paths_.push_back(path);
     }
   }
+  auto& crcs = crcs_[stage];
+  if (crcs.empty()) crcs.resize(static_cast<std::size_t>(nranks_), 0);
+  crcs[static_cast<std::size_t>(rank)] = crc32c(bytes.data(), bytes.size());
   slots[static_cast<std::size_t>(rank)] = std::move(bytes);
   ++saves_;
   enforce_retention_locked();
@@ -84,7 +88,12 @@ void CheckpointStore::enforce_retention_locked() {
         break;
       }
     }
-    it = any ? std::next(it) : stages_.erase(it);
+    if (any) {
+      it = std::next(it);
+    } else {
+      crcs_.erase(it->first);
+      it = stages_.erase(it);
+    }
   }
 }
 
@@ -118,6 +127,13 @@ std::optional<std::vector<unsigned char>> CheckpointStore::load(std::uint64_t st
   if (it == stages_.end()) return std::nullopt;
   const auto& slot = it->second[static_cast<std::size_t>(rank)];
   if (!slot) return std::nullopt;
+  const auto crc_it = crcs_.find(stage);
+  if (crc_it != crcs_.end() &&
+      crc32c(slot->data(), slot->size()) !=
+          crc_it->second[static_cast<std::size_t>(rank)]) {
+    throw DataError("checkpoint stage " + std::to_string(stage) + " rank " +
+                    std::to_string(rank) + " failed its CRC32C check");
+  }
   ++restores_;
   return *slot;
 }
@@ -149,6 +165,18 @@ std::optional<std::uint64_t> CheckpointStore::latest_complete(std::uint64_t max_
   return best;
 }
 
+std::optional<std::uint64_t> CheckpointStore::latest_for_rank(
+    int rank, std::uint64_t max_stage) const {
+  PAPAR_CHECK_MSG(rank >= 0 && rank < nranks_, "checkpoint rank out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<std::uint64_t> best;
+  for (const auto& [stage, slots] : stages_) {
+    if (stage > max_stage) break;
+    if (slots[static_cast<std::size_t>(rank)]) best = stage;
+  }
+  return best;
+}
+
 std::uint64_t CheckpointStore::saves() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return saves_;
@@ -173,6 +201,7 @@ std::uint64_t CheckpointStore::bytes_stored() const {
 void CheckpointStore::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.clear();
+  crcs_.clear();
   saves_ = 0;
   restores_ = 0;
 }

@@ -54,7 +54,10 @@ class CheckpointStore {
   void save(std::uint64_t stage, int rank, std::vector<unsigned char> bytes);
 
   /// Rank `rank`'s blob for `stage`, or nullopt if never saved. Counts as
-  /// a restore when a blob is returned.
+  /// a restore when a blob is returned. Every returned blob is verified
+  /// against the CRC32C recorded at save time; a mismatch (bit rot in the
+  /// simulated checkpoint service) throws DataError rather than handing a
+  /// corrupted slice to recovery.
   std::optional<std::vector<unsigned char>> load(std::uint64_t stage, int rank);
 
   /// True once every rank has saved `stage`.
@@ -62,6 +65,14 @@ class CheckpointStore {
 
   /// Largest complete stage <= `max_stage`, or nullopt.
   std::optional<std::uint64_t> latest_complete(std::uint64_t max_stage) const;
+
+  /// Largest stage <= `max_stage` with rank `rank`'s own slice present, or
+  /// nullopt. Localized recovery restores from this: a single reviving
+  /// rank only needs its own blob — it may legitimately be one stage ahead
+  /// of latest_complete when the crash hit before the stage's barrier
+  /// resolved everywhere.
+  std::optional<std::uint64_t> latest_for_rank(int rank,
+                                               std::uint64_t max_stage) const;
 
   std::uint64_t saves() const;
   std::uint64_t restores() const;
@@ -79,6 +90,8 @@ class CheckpointStore {
   mutable std::mutex mutex_;
   /// stage -> per-rank blob (slot empty until that rank saves).
   std::map<std::uint64_t, std::vector<std::optional<std::vector<unsigned char>>>> stages_;
+  /// stage -> per-rank CRC32C of the saved blob (parallel to stages_).
+  std::map<std::uint64_t, std::vector<std::uint32_t>> crcs_;
   std::uint64_t saves_ = 0;
   std::uint64_t restores_ = 0;
   bool spill_dir_ready_ = false;

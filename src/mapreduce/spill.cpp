@@ -8,6 +8,7 @@
 #include <new>
 #include <vector>
 
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace papar::mr {
@@ -121,12 +122,33 @@ void SpillFile::append(const unsigned char* data, std::size_t n) {
       std::fwrite(data, 1, n, impl_->f) != n) {
     throw DataError("short write to spill file `" + path_ + "`");
   }
+  crc_ = crc32c_extend(crc_, data, n);
   bytes_written_ += n;
 }
 
 void SpillFile::seal() {
   if (std::fflush(impl_->f) != 0) {
     throw DataError("cannot flush spill file `" + path_ + "`");
+  }
+  // End-to-end integrity over the disk round trip: what read_exact will
+  // serve must hash to what append accumulated. The extra sequential read
+  // is bounded by the spill itself and only paid on spilling paths.
+  if (std::fseek(impl_->f, 0, SEEK_SET) != 0) {
+    throw DataError("cannot rewind spill file `" + path_ + "`");
+  }
+  std::uint32_t crc = 0;
+  unsigned char buf[1u << 16];
+  std::size_t left = bytes_written_;
+  while (left > 0) {
+    const std::size_t n = std::min(left, sizeof(buf));
+    if (std::fread(buf, 1, n, impl_->f) != n) {
+      throw DataError("short read verifying spill file `" + path_ + "`");
+    }
+    crc = crc32c_extend(crc, buf, n);
+    left -= n;
+  }
+  if (crc != crc_) {
+    throw DataError("spill file `" + path_ + "` failed its CRC32C check");
   }
 }
 

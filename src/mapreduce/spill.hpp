@@ -56,21 +56,28 @@ class SpillFile {
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
-  /// Appends raw bytes; throws DataError on I/O failure.
+  /// Appends raw bytes (accumulating the file's CRC32C); throws DataError
+  /// on I/O failure.
   void append(const unsigned char* data, std::size_t n);
 
-  /// Flushes buffered writes so read_exact sees everything appended.
+  /// Flushes buffered writes so read_exact sees everything appended, then
+  /// re-reads the file and verifies it against the CRC32C accumulated
+  /// across appends — end-to-end integrity over the disk round trip.
+  /// Throws DataError on a mismatch.
   void seal();
 
   /// Reads exactly [off, off+n) into dst; throws DataError on short reads.
   void read_exact(std::size_t off, unsigned char* dst, std::size_t n);
 
   std::size_t bytes_written() const { return bytes_written_; }
+  /// CRC32C over everything appended so far.
+  std::uint32_t crc() const { return crc_; }
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
   std::size_t bytes_written_ = 0;
+  std::uint32_t crc_ = 0;
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpsim/fault.hpp"
@@ -246,6 +248,26 @@ class Comm {
   /// whether to restore state instead of recomputing it.
   int attempt() const { return attempt_; }
 
+  // -- Localized recovery (RecoveryMode::kLocal, DESIGN.md §16) ------------
+
+  /// Declares a retention epoch boundary: segments retained for this rank's
+  /// possible replay are released and the rank's send/barrier replay logs
+  /// reset, because a crash after this point restores from the checkpoint
+  /// slice taken at this boundary and never needs them again. The engine
+  /// calls this at every stage boundary (right before the per-rank
+  /// checkpoint slice is saved). `replaying_window_start` must be true when
+  /// a reviving rank re-reaches the boundary it restored from — there the
+  /// call is a no-op so the in-progress replay keeps its logs.
+  void retention_epoch(bool replaying_window_start = false);
+
+  /// True while this rank is replaying after an in-place revive (localized
+  /// recovery). Pipelines use it to skip side effects that must not repeat
+  /// (e.g. snapshotting shared counters at a fast-forwarded barrier).
+  bool is_replay() const { return is_replay_; }
+
+  /// Single-rank replays this rank has taken this run.
+  int replays() const { return replays_done_; }
+
   /// Fabric traffic accumulated so far in this run (shared across ranks).
   /// Lets callers snapshot counters at a phase boundary — e.g. to exclude
   /// the final output write, which the paper's timings also exclude.
@@ -321,6 +343,53 @@ class Comm {
   /// Interned id of the pipeline stage this rank is in (trace context
   /// propagated with every message; 0 = no stage declared yet).
   std::uint32_t trace_stage_ = 0;
+
+  // -- Localized-recovery replay state (all touched only by this rank's own
+  // thread; the retention logs themselves live with the destination
+  // mailboxes in detail::Shared under their mutexes).
+
+  /// Messages this rank sent per (dest, tag) since the last retention
+  /// epoch. Snapshotted into `suppress_` at a crash so replayed sends are
+  /// swallowed instead of delivered twice.
+  std::map<std::pair<int, int>, std::uint64_t> sent_counts_;
+  /// Remaining sends per (dest, tag) to suppress during replay.
+  std::map<std::pair<int, int>, std::uint64_t> suppress_;
+  /// Replay window per (source, tag): how many retained segments to serve
+  /// from the retention log (`replay_limit_`) and how many have been served
+  /// so far (`replay_cursor_`).
+  std::map<std::pair<int, int>, std::uint64_t> replay_limit_;
+  std::map<std::pair<int, int>, std::uint64_t> replay_cursor_;
+  /// Resolved times of barriers this rank completed since the last
+  /// retention epoch; during replay the first `barrier_replay_limit_`
+  /// barrier calls fast-forward to these times without touching shared
+  /// barrier state.
+  std::vector<double> barrier_times_;
+  std::size_t barrier_replay_cursor_ = 0;
+  std::size_t barrier_replay_limit_ = 0;
+  bool is_replay_ = false;
+  int replays_done_ = 0;
+  /// Corruption-repair retries charged against RetryPolicy::
+  /// stage_retry_budget since the last retention epoch.
+  std::uint64_t stage_retries_used_ = 0;
+
+  /// Crash-time snapshot: arms the replay state above from the current
+  /// sent counts, retention-log sizes, and barrier log.
+  void arm_replay();
+
+  /// During replay, serves the next retained segment matching
+  /// (source, tag) — with `skip_sources` honoured when non-null — charging
+  /// the modeled re-fetch cost. Returns false when the replay window for
+  /// every matching key is exhausted (the caller falls through to the live
+  /// mailbox, which is correct: log-first serving preserves per-link FIFO).
+  bool replay_serve(int source, int tag, const std::vector<char>* skip_sources,
+                    Envelope& out);
+
+  /// Verifies a consumed payload against its transport CRC32C. A detected
+  /// bit-flip is repaired by a modeled retransmission (charged per
+  /// RetryPolicy, counted against the per-stage retry budget) or surfaced
+  /// as DataError — never silently trusted. No-op without a fault injector.
+  void check_integrity(Envelope& env, std::uint32_t crc, bool corrupted,
+                       std::uint64_t corrupt_bit);
 };
 
 }  // namespace papar::mp

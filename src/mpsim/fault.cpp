@@ -89,6 +89,8 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
           throw ConfigError("fault spec delay seconds: must be nonnegative");
         }
       }
+    } else if (key == "corrupt") {
+      plan.corrupt = parse_probability(value, "fault spec corrupt", 1.0);
     } else if (key == "crash") {
       const auto [rank, event] = split_at(value, "fault spec crash");
       CrashSpec c;
@@ -111,7 +113,7 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       }
     } else {
       throw ConfigError("fault spec: unknown key `" + std::string(key) +
-                        "` (expected seed/drop/dup/delay/crash/slow/"
+                        "` (expected seed/drop/dup/delay/corrupt/crash/slow/"
                         "max_recoveries)");
     }
   }
@@ -150,6 +152,7 @@ std::string FaultPlan::to_string() const {
     out << ",delay=" << format_probability(delay) << ':'
         << format_probability(delay_seconds);
   }
+  if (corrupt > 0.0) out << ",corrupt=" << format_probability(corrupt);
   for (const auto& c : crashes) out << ",crash=" << c.rank << '@' << c.at_event;
   for (const auto& s : slow_ranks) {
     out << ",slow=" << s.rank << '@' << format_probability(s.scale);
@@ -161,6 +164,24 @@ std::string FaultPlan::to_string() const {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery policy
+
+RecoveryMode parse_recovery_mode(const std::string& text) {
+  if (text == "stage") return RecoveryMode::kStage;
+  if (text == "local") return RecoveryMode::kLocal;
+  throw ConfigError("recovery mode: expected `stage` or `local`, got `" + text +
+                    "`");
+}
+
+const char* recovery_mode_name(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kStage: return "stage";
+    case RecoveryMode::kLocal: return "local";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
 // FaultInjector
 
 const char* fault_kind_name(FaultKind kind) {
@@ -168,9 +189,12 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDrop: return "drop";
     case FaultKind::kDuplicate: return "dup";
     case FaultKind::kDelay: return "delay";
+    case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kDetect: return "detect";
     case FaultKind::kRecover: return "recover";
+    case FaultKind::kReplay: return "replay";
+    case FaultKind::kRefetch: return "refetch";
   }
   return "?";
 }
@@ -213,10 +237,15 @@ void FaultInjector::bind(int nranks) {
   drops_.store(0);
   duplicates_.store(0);
   delays_.store(0);
+  corruptions_.store(0);
   crashes_.store(0);
   retries_.store(0);
   detections_.store(0);
   recoveries_.store(0);
+  rank_replays_.store(0);
+  refetches_.store(0);
+  refetch_bytes_.store(0);
+  retention_evictions_.store(0);
   {
     std::lock_guard<std::mutex> lock(trace_mutex_);
     trace_.clear();
@@ -241,6 +270,10 @@ FaultInjector::Decision FaultInjector::next_decision(int src, int dst) {
   if (plan_.delay > 0.0 && link.rng.next_double() < plan_.delay) {
     d.extra_delay = plan_.delay_seconds;
   }
+  if (plan_.corrupt > 0.0 && link.rng.next_double() < plan_.corrupt) {
+    d.corrupt = true;
+    d.corrupt_bit = link.rng.next_u64();
+  }
   if (d.drops > 0) {
     drops_.fetch_add(static_cast<std::uint64_t>(d.drops),
                      std::memory_order_relaxed);
@@ -255,6 +288,10 @@ FaultInjector::Decision FaultInjector::next_decision(int src, int dst) {
   if (d.extra_delay > 0.0) {
     delays_.fetch_add(1, std::memory_order_relaxed);
     record(FaultKind::kDelay, src, dst, msg);
+  }
+  if (d.corrupt) {
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultKind::kCorrupt, src, dst, msg);
   }
   return d;
 }
@@ -293,6 +330,32 @@ void FaultInjector::note_recovery(int attempt) {
   record(FaultKind::kRecover, -1, -1, static_cast<std::uint64_t>(attempt));
 }
 
+void FaultInjector::note_corruption_repair(int src, int dst, std::uint64_t) {
+  // The kCorrupt event was recorded when the decision was drawn; the repair
+  // is its deterministic consequence and only adds a charged retry.
+  (void)src;
+  (void)dst;
+  retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::note_rank_replay(int rank, int nth) {
+  rank_replays_.fetch_add(1, std::memory_order_relaxed);
+  record(FaultKind::kReplay, rank, rank, static_cast<std::uint64_t>(nth));
+}
+
+void FaultInjector::note_refetch(int src, int dst, std::uint64_t seq,
+                                 std::size_t bytes) {
+  refetches_.fetch_add(1, std::memory_order_relaxed);
+  refetch_bytes_.fetch_add(static_cast<std::uint64_t>(bytes),
+                           std::memory_order_relaxed);
+  record(FaultKind::kRefetch, src, dst, seq);
+}
+
+void FaultInjector::note_retention_eviction(int rank) {
+  (void)rank;
+  retention_evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FaultInjector::record(FaultKind kind, int src, int dst, std::uint64_t seq) {
   std::lock_guard<std::mutex> lock(trace_mutex_);
   trace_.push_back(FaultEvent{kind, src, dst, seq});
@@ -303,10 +366,16 @@ FaultCounts FaultInjector::counts() const {
   c.drops = drops_.load(std::memory_order_relaxed);
   c.duplicates = duplicates_.load(std::memory_order_relaxed);
   c.delays = delays_.load(std::memory_order_relaxed);
+  c.corruptions = corruptions_.load(std::memory_order_relaxed);
   c.crashes = crashes_.load(std::memory_order_relaxed);
   c.retries = retries_.load(std::memory_order_relaxed);
   c.detections = detections_.load(std::memory_order_relaxed);
   c.recoveries = recoveries_.load(std::memory_order_relaxed);
+  c.rank_replays = rank_replays_.load(std::memory_order_relaxed);
+  c.refetches = refetches_.load(std::memory_order_relaxed);
+  c.refetch_bytes = refetch_bytes_.load(std::memory_order_relaxed);
+  c.retention_evictions =
+      retention_evictions_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -325,6 +394,7 @@ std::size_t FaultInjector::prune_acknowledged() {
     switch (e.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
+      case FaultKind::kReplay:
         kept.push_back(e);
         break;
       default: {

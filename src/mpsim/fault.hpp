@@ -75,6 +75,52 @@ class DeadlockError : public Error {
   explicit DeadlockError(const std::string& what) : Error("deadlock: " + what) {}
 };
 
+// -- Recovery policy ---------------------------------------------------------
+
+/// How Runtime::run repairs a fail-stop rank crash.
+enum class RecoveryMode {
+  /// Every rank unwinds and the whole job body re-executes from the latest
+  /// complete checkpoint stage (the pre-localized-recovery behaviour).
+  kStage,
+  /// Only the crashed rank replays: it revives in place, restores its own
+  /// checkpoint slice, re-fetches consumed shuffle segments from the
+  /// retention buffers, and rejoins the live ranks — which never unwind.
+  /// Degrades to kStage when retention was evicted or the retry budget is
+  /// exhausted (the graceful-degradation ladder, DESIGN.md §16).
+  kLocal,
+};
+
+RecoveryMode parse_recovery_mode(const std::string& text);
+const char* recovery_mode_name(RecoveryMode mode);
+
+/// Governs re-fetch and replay attempts during localized recovery.
+struct RetryPolicy {
+  /// Single-rank replays allowed per rank before degrading to full-stage
+  /// recovery.
+  int max_attempts = 3;
+  /// Virtual-time backoff charged to a reviving rank before its replay
+  /// starts; doubles per replay of the same rank up to backoff_max.
+  double backoff_base = 50e-6;
+  double backoff_max = 5e-3;
+  /// Per-rank, per-stage budget of integrity retransmissions (checksum
+  /// repairs). Exhausting it surfaces a typed DataError instead of
+  /// retrying forever against a hostile fabric.
+  std::uint64_t stage_retry_budget = 1u << 20;
+};
+
+/// Everything Runtime::set_recovery needs to arm localized recovery.
+struct RecoveryOptions {
+  RecoveryMode mode = RecoveryMode::kStage;
+  RetryPolicy retry;
+  /// In-memory cap on retained (already-consumed) segment bytes per rank;
+  /// 0 derives the cap from the attached MemoryBudget's mailbox limit
+  /// (unbounded when no budget is attached). Overflow spills to
+  /// retention_spill_dir when set, else evicts the rank's retention —
+  /// degrading its next crash to full-stage recovery.
+  std::size_t retention_limit = 0;
+  std::string retention_spill_dir;
+};
+
 // -- Plan --------------------------------------------------------------------
 
 /// Crash rank `rank` when its communication-event counter reaches
@@ -102,6 +148,11 @@ struct FaultPlan {
   double delay = 0.0;
   /// Extra virtual latency added when a delay fires, in seconds.
   double delay_seconds = 100e-6;
+  /// Per-message single-bit-flip probability on every remote link, in
+  /// [0, 1]. A corrupted payload is detected by the CRC32C the transport
+  /// stamps on every page and repaired by a charged retransmission — or
+  /// surfaced as a typed DataError when the stage retry budget runs out.
+  double corrupt = 0.0;
   std::vector<CrashSpec> crashes;
   std::vector<SlowSpec> slow_ranks;
 
@@ -120,8 +171,8 @@ struct FaultPlan {
 
   /// True when the plan injects any fault at all.
   bool any_faults() const {
-    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || !crashes.empty() ||
-           !slow_ranks.empty();
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || corrupt > 0.0 ||
+           !crashes.empty() || !slow_ranks.empty();
   }
 
   /// Parses a spec string. Grammar (comma-separated, no spaces needed):
@@ -129,6 +180,7 @@ struct FaultPlan {
   ///   drop=P            drop probability in [0, 0.95]
   ///   dup=P             duplicate probability in [0, 1]
   ///   delay=P[:SECS]    delay probability, optional per-fault extra latency
+  ///   corrupt=P         single-bit-flip probability in [0, 1]
   ///   crash=R@N         crash rank R at its Nth communication event
   ///   slow=R@SCALE      multiply rank R's compute charges by SCALE
   ///   max_recoveries=N  recovery-attempt budget (default 8)
@@ -145,13 +197,25 @@ struct FaultPlan {
 
 // -- Injector ----------------------------------------------------------------
 
-enum class FaultKind { kDrop, kDuplicate, kDelay, kCrash, kDetect, kRecover };
+enum class FaultKind {
+  kDrop,
+  kDuplicate,
+  kDelay,
+  kCorrupt,
+  kCrash,
+  kDetect,
+  kRecover,
+  /// A rank revived in place and replayed alone (ladder rung 2).
+  kReplay,
+  /// A reviving rank re-fetched one retained segment (ladder rung 1).
+  kRefetch,
+};
 const char* fault_kind_name(FaultKind kind);
 
 /// One injected fault (or detection/recovery) occurrence. `seq` is the
 /// per-link message number (faults), the rank's event counter (crashes), or
-/// the recovery attempt (detect/recover), making the canonical sorted trace
-/// identical across runs with the same seed.
+/// the recovery attempt (detect/recover/replay), making the canonical
+/// sorted trace identical across runs with the same seed.
 struct FaultEvent {
   FaultKind kind = FaultKind::kDrop;
   int src = 0;
@@ -163,12 +227,20 @@ struct FaultCounts {
   std::uint64_t drops = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t delays = 0;
+  std::uint64_t corruptions = 0;
   std::uint64_t crashes = 0;
   std::uint64_t retries = 0;
   std::uint64_t detections = 0;
   std::uint64_t recoveries = 0;
+  /// Localized recovery (DESIGN.md §16): single-rank replays taken,
+  /// retained segments (and bytes) re-fetched by reviving ranks, and
+  /// retention buffers evicted under memory pressure.
+  std::uint64_t rank_replays = 0;
+  std::uint64_t refetches = 0;
+  std::uint64_t refetch_bytes = 0;
+  std::uint64_t retention_evictions = 0;
   std::uint64_t total_injected() const {
-    return drops + duplicates + delays + crashes;
+    return drops + duplicates + delays + corruptions + crashes;
   }
 };
 
@@ -195,6 +267,10 @@ class FaultInjector {
     int drops = 0;
     bool duplicate = false;
     double extra_delay = 0.0;
+    /// Flip bit (corrupt_bit % payload_bits) of the payload in flight; the
+    /// receiving transport detects the CRC mismatch and retransmits.
+    bool corrupt = false;
+    std::uint64_t corrupt_bit = 0;
   };
   Decision next_decision(int src, int dst);
 
@@ -213,6 +289,22 @@ class FaultInjector {
 
   /// Records one recovery attempt (body re-execution).
   void note_recovery(int attempt);
+
+  /// Records one detected-and-repaired corruption on link (src, dst). `seq`
+  /// is the consumption index on the link, deterministic per seed.
+  void note_corruption_repair(int src, int dst, std::uint64_t seq);
+
+  /// Records one single-rank replay (ladder rung 2); `nth` is the rank's
+  /// 1-based replay ordinal.
+  void note_rank_replay(int rank, int nth);
+
+  /// Records one retained-segment re-fetch by a reviving rank. `seq` is the
+  /// replay cursor on the link, deterministic per seed.
+  void note_refetch(int src, int dst, std::uint64_t seq, std::size_t bytes);
+
+  /// Records one retention-buffer eviction under memory pressure (the event
+  /// that degrades the next crash on `rank` to full-stage recovery).
+  void note_retention_eviction(int rank);
 
   FaultCounts counts() const;
 
@@ -254,10 +346,15 @@ class FaultInjector {
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> detections_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> rank_replays_{0};
+  std::atomic<std::uint64_t> refetches_{0};
+  std::atomic<std::uint64_t> refetch_bytes_{0};
+  std::atomic<std::uint64_t> retention_evictions_{0};
 
   mutable std::mutex trace_mutex_;
   std::vector<FaultEvent> trace_;

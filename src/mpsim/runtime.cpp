@@ -5,18 +5,23 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "mpsim/sched.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "util/crc32c.hpp"
 #include "util/membudget.hpp"
 #include "util/timer.hpp"
 
@@ -38,7 +43,68 @@ struct Message {
   std::uint64_t trace_id = 0;     // links the send event to the recv event
   std::uint32_t sender_stage = 0;  // pipeline stage the sender was in
   double sent = 0.0;               // sender clock when the send started
+  // End-to-end integrity (stamped only with a fault injector attached, so
+  // the fault-free hot path never computes a checksum): CRC32C of the
+  // pristine payload, plus which bit the `corrupt=p` fault flipped.
+  std::uint32_t crc = 0;
+  bool corrupted = false;
+  std::uint64_t corrupt_bit = 0;
   std::vector<unsigned char> payload;
+};
+
+/// One consumed payload retained for a possible single-rank replay
+/// (RecoveryMode::kLocal). In-memory by default; under retention-cap
+/// pressure the bytes move to the mailbox's RetentionSpool and only the
+/// {offset, len, crc} triple stays resident.
+struct RetainedSegment {
+  std::vector<unsigned char> data;
+  std::size_t off = 0;
+  std::size_t len = 0;
+  std::uint32_t crc = 0;
+  bool spilled = false;
+};
+
+/// Append-only scratch file backing spilled retention segments; one per
+/// mailbox, created lazily, removed on destruction. Every spilled segment
+/// carries a CRC32C verified on read-back.
+struct RetentionSpool {
+  std::FILE* f = nullptr;
+  std::string path;
+  std::size_t size = 0;
+
+  explicit RetentionSpool(std::string p) : path(std::move(p)) {}
+  ~RetentionSpool() {
+    if (f != nullptr) {
+      std::fclose(f);
+      std::remove(path.c_str());
+    }
+  }
+  RetentionSpool(const RetentionSpool&) = delete;
+  RetentionSpool& operator=(const RetentionSpool&) = delete;
+
+  bool append(const unsigned char* data, std::size_t n, std::size_t& off) {
+    if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+    if (f == nullptr) return false;
+    if (std::fseek(f, static_cast<long>(size), SEEK_SET) != 0) return false;
+    if (std::fwrite(data, 1, n, f) != n) return false;
+    off = size;
+    size += n;
+    return true;
+  }
+
+  bool read_at(std::size_t off, unsigned char* out, std::size_t n) {
+    if (f == nullptr) return false;
+    if (std::fseek(f, static_cast<long>(off), SEEK_SET) != 0) return false;
+    return std::fread(out, 1, n, f) == n;
+  }
+
+  void reset() {
+    size = 0;
+    if (f != nullptr) {
+      std::fclose(f);
+      f = std::fopen(path.c_str(), "w+b");
+    }
+  }
 };
 
 struct Mailbox {
@@ -60,6 +126,27 @@ struct Mailbox {
   /// harmless.
   bool recv_waiting = false;      // the owning rank is parked in recv
   std::vector<int> send_waiters;  // ranks parked awaiting credits here
+
+  // -- Localized-recovery retention (RecoveryMode::kLocal), guarded by
+  // `mutex`. The retention log records every payload this mailbox's owner
+  // CONSUMED since its last retention epoch, keyed by (source, tag). It is
+  // semantically the senders' retention buffers — per-link FIFO makes the
+  // consumed prefix identical to each sender's sent-and-acknowledged
+  // prefix — indexed at the receiver because in a shared-address-space
+  // simulation that is where a reviving rank re-fetches from. Unconsumed
+  // messages live only in `queue`; nothing is held twice.
+  std::map<std::pair<int, int>, std::deque<RetainedSegment>> retained;
+  /// FIFO of (key, index) in retention order: the spill policy evicts the
+  /// oldest in-memory segment first.
+  std::deque<std::pair<std::pair<int, int>, std::size_t>> retain_order;
+  /// In-memory retained payload bytes (spilled segments excluded) — the
+  /// quantity the retention cap bounds.
+  std::size_t retained_mem_bytes = 0;
+  /// Set when the cap forced the whole window to be dropped (no spool
+  /// available): the owner's next crash is ineligible for single-rank
+  /// replay and degrades to a full-stage replay (ladder rung 3).
+  bool retention_evicted = false;
+  std::unique_ptr<RetentionSpool> spool;
 };
 
 // Per-rank execution state, maintained for the failure detector and the
@@ -162,6 +249,10 @@ struct Shared {
   MemoryBudget* budget = nullptr;
   std::size_t mailbox_cap = 0;
 
+  /// Crash-recovery policy (see Runtime::set_recovery). With the default
+  /// RecoveryMode::kStage every retention/replay hook below is inert.
+  RecoveryOptions recovery;
+
   /// Attached telemetry sampler (nullptr = telemetry off; like the tracer,
   /// every hot-path hook is gated on this one pointer). Ranks sample
   /// themselves at comm events (rate-limited by TelemetrySampler::due) and
@@ -227,6 +318,7 @@ struct Shared {
       mb.credit_grants = 0;
       mb.recv_waiting = false;
       mb.send_waiters.clear();
+      clear_retention(mb);
     }
     for (int r = 0; r < size; ++r) {
       auto& st = status[static_cast<std::size_t>(r)];
@@ -317,6 +409,99 @@ struct Shared {
   }
 
   void try_detect_deadlock();
+
+  // -- Localized recovery (RecoveryMode::kLocal, DESIGN.md §16) -------------
+
+  bool local_recovery() const { return recovery.mode == RecoveryMode::kLocal; }
+
+  /// In-memory byte cap on one mailbox's retention window: the explicit
+  /// retention_limit, else the budget's mailbox cap, else unbounded (0).
+  std::size_t retention_cap() const {
+    if (recovery.retention_limit > 0) return recovery.retention_limit;
+    if (budget != nullptr) return budget->config().mailbox_limit;
+    return 0;
+  }
+
+  /// Whether `rank`'s next crash may revive in place instead of declaring
+  /// the rank dead: local mode, replay attempts left, retention intact.
+  bool local_revivable(int rank, int replays_done) {
+    if (!local_recovery()) return false;
+    if (replays_done >= recovery.retry.max_attempts) return false;
+    auto& mb = mailboxes[static_cast<std::size_t>(rank)];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    return !mb.retention_evicted;
+  }
+
+  /// Appends one consumed payload to `owner`'s retention log (caller holds
+  /// mb.mutex). Over the cap, the oldest in-memory segments spill to the
+  /// spool; with no spill dir configured the whole window is evicted and
+  /// the owner's next crash degrades to a full-stage replay.
+  void retain_consumed(Mailbox& mb, int owner, int src, int tag,
+                       const std::vector<unsigned char>& payload) {
+    const std::pair<int, int> key{src, tag};
+    auto& log = mb.retained[key];
+    RetainedSegment seg;
+    seg.data = payload;
+    mb.retain_order.emplace_back(key, log.size());
+    log.push_back(std::move(seg));
+    mb.retained_mem_bytes += payload.size();
+    const std::size_t cap = retention_cap();
+    if (cap == 0 || mb.retained_mem_bytes <= cap) return;
+    if (recovery.retention_spill_dir.empty()) {
+      evict_retention(mb, owner);
+      return;
+    }
+    if (mb.spool == nullptr) {
+      std::error_code ec;
+      std::filesystem::create_directories(recovery.retention_spill_dir, ec);
+      mb.spool = std::make_unique<RetentionSpool>(
+          recovery.retention_spill_dir + "/retention-rank" +
+          std::to_string(owner) + ".spool");
+    }
+    while (mb.retained_mem_bytes > cap && !mb.retain_order.empty()) {
+      const auto [skey, idx] = mb.retain_order.front();
+      mb.retain_order.pop_front();
+      auto& seg2 = mb.retained[skey][idx];
+      if (seg2.spilled || seg2.data.empty()) continue;
+      std::size_t off = 0;
+      seg2.crc = crc32c(seg2.data.data(), seg2.data.size());
+      if (!mb.spool->append(seg2.data.data(), seg2.data.size(), off)) {
+        // Spool write failure: fall back to eviction rather than losing a
+        // segment silently.
+        evict_retention(mb, owner);
+        return;
+      }
+      seg2.off = off;
+      seg2.len = seg2.data.size();
+      seg2.spilled = true;
+      mb.retained_mem_bytes -= seg2.len;
+      seg2.data.clear();
+      seg2.data.shrink_to_fit();
+      if (recorder != nullptr) {
+        recorder->add_counter("recovery.retention_spill_bytes", seg2.len);
+      }
+    }
+  }
+
+  /// Drops `owner`'s whole retention window and marks it evicted.
+  void evict_retention(Mailbox& mb, int owner) {
+    mb.retained.clear();
+    mb.retain_order.clear();
+    mb.retained_mem_bytes = 0;
+    mb.retention_evicted = true;
+    if (mb.spool) mb.spool->reset();
+    if (faults != nullptr) faults->note_retention_eviction(owner);
+    if (recorder != nullptr) recorder->add_counter("recovery.retention_evictions", 1);
+  }
+
+  /// Clears one mailbox's retention state (caller holds mb.mutex).
+  static void clear_retention(Mailbox& mb) {
+    mb.retained.clear();
+    mb.retain_order.clear();
+    mb.retained_mem_bytes = 0;
+    mb.retention_evicted = false;
+    if (mb.spool) mb.spool->reset();
+  }
 
   // -- Telemetry (all no-ops when `sampler` is null) -------------------------
 
@@ -560,6 +745,7 @@ void Shared::telemetry_record(int rank, double vtime, int state,
     s.spill_bytes = budget->spill_bytes();
   }
   s.sort_records = smp->sort_records(rank);
+  s.replays = smp->replays(rank);
   if (fibers != nullptr) {
     s.runq_depth = static_cast<std::uint32_t>(fibers->runq_depth());
   }
@@ -682,8 +868,12 @@ void Comm::fault_comm_event() {
   if (inj->on_comm_event(rank_)) {
     charge_compute();
     // Fail-stop: mark this rank dead *before* unwinding so survivors can
-    // detect the death while this stack is still unwinding.
-    shared_->declare_terminated(rank_, detail::kFailed, vtime_);
+    // detect the death while this stack is still unwinding. When localized
+    // recovery will revive the rank in place (rank_body's catch), peers
+    // must never observe the death — skip the declaration entirely.
+    if (!shared_->local_revivable(rank_, replays_done_)) {
+      shared_->declare_terminated(rank_, detail::kFailed, vtime_);
+    }
     if (obs::Recorder* rec = shared_->recorder) rec->add_counter("fault.crashes", 1);
     throw RankCrashedError(rank_, inj->event_count(rank_));
   }
@@ -709,6 +899,178 @@ void Comm::on_peer_failure(int dead, const char* what) {
       (dead_state == detail::kFailed ? "failed" : "exited without satisfying it"));
 }
 
+// -- Localized recovery (DESIGN.md §16) --------------------------------------
+
+void Comm::retention_epoch(bool replaying_window_start) {
+  // A reviving rank re-reaching the boundary it restored from must keep its
+  // replay window: the in-progress replay still serves from these logs.
+  if (replaying_window_start && is_replay_) return;
+  stage_retries_used_ = 0;
+  if (!shared_->local_recovery()) {
+    is_replay_ = false;
+    return;
+  }
+  // Determinism guarantees a completed replay exhausted its suppress map
+  // and cursors before the next boundary; whatever is left belongs to the
+  // closed window and is dropped with it.
+  sent_counts_.clear();
+  suppress_.clear();
+  replay_limit_.clear();
+  replay_cursor_.clear();
+  barrier_times_.clear();
+  barrier_replay_cursor_ = 0;
+  barrier_replay_limit_ = 0;
+  is_replay_ = false;
+  auto& mb = shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  detail::Shared::clear_retention(mb);
+}
+
+void Comm::arm_replay() {
+  auto* s = shared_;
+  charge_compute();
+  suppress_ = sent_counts_;
+  replay_cursor_.clear();
+  replay_limit_.clear();
+  {
+    auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    for (const auto& [key, log] : mb.retained) {
+      if (!log.empty()) replay_limit_[key] = log.size();
+    }
+  }
+  barrier_replay_cursor_ = 0;
+  barrier_replay_limit_ = barrier_times_.size();
+  is_replay_ = true;
+  ++replays_done_;
+  // Exponential backoff in virtual time before the replay begins — the
+  // ladder's modeled cost of deciding to revive rather than fail over.
+  const RetryPolicy& rp = s->recovery.retry;
+  double backoff = rp.backoff_base;
+  for (int i = 1; i < replays_done_; ++i) {
+    backoff = std::min(backoff * 2.0, rp.backoff_max);
+  }
+  vtime_ += std::min(backoff, rp.backoff_max);
+  if (FaultInjector* inj = s->faults) inj->note_rank_replay(rank_, replays_done_);
+  if (obs::Recorder* rec = s->recorder) rec->add_counter("fault.rank_replays", 1);
+  if (obs::TelemetrySampler* smp = s->sampler) {
+    smp->note_replay(rank_);
+    s->telemetry_sample_self(rank_, vtime_, detail::kRunning);
+  }
+  s->progress.fetch_add(1, std::memory_order_release);
+}
+
+bool Comm::replay_serve(int source, int tag, const std::vector<char>* skip_sources,
+                        Envelope& out) {
+  auto* s = shared_;
+  auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  // std::map order makes the any-source pick deterministic (lowest source
+  // first). Per-link FIFO is all the transport ever guaranteed, so serving
+  // keys in a fixed order is within the original run's semantics.
+  for (const auto& [key, limit] : replay_limit_) {
+    const int src = key.first;
+    if (key.second != tag) continue;
+    if (source != kAnySource && src != source) continue;
+    if (skip_sources != nullptr && src >= 0 &&
+        static_cast<std::size_t>(src) < skip_sources->size() &&
+        (*skip_sources)[static_cast<std::size_t>(src)] != 0) {
+      continue;
+    }
+    std::uint64_t& cur = replay_cursor_[key];
+    if (cur >= limit) continue;
+    const auto log_it = mb.retained.find(key);
+    if (log_it == mb.retained.end() || log_it->second.size() <= cur) {
+      // The window was evicted under cap pressure while this replay was in
+      // flight: the segment is gone for good. Degrade to the full-stage
+      // ladder rung by crashing for real this time (the eviction flag makes
+      // this rank ineligible for another revive).
+      mb.retention_evicted = true;
+      s->declare_terminated(rank_, detail::kFailed, vtime_);
+      throw RankCrashedError(rank_, cur);
+    }
+    detail::RetainedSegment& seg = log_it->second[static_cast<std::size_t>(cur)];
+    out.source = src;
+    out.tag = tag;
+    if (seg.spilled) {
+      out.payload.assign(seg.len, 0);
+      const bool ok = mb.spool != nullptr &&
+                      mb.spool->read_at(seg.off, out.payload.data(), seg.len);
+      if (!ok || crc32c(out.payload.data(), out.payload.size()) != seg.crc) {
+        throw DataError("rank " + std::to_string(rank_) +
+                        ": retention spool segment from rank " +
+                        std::to_string(src) + " failed its CRC32C check");
+      }
+    } else {
+      out.payload = seg.data;
+    }
+    ++cur;
+    // Modeled re-fetch: one round trip to the retaining peer plus the
+    // payload's serialization — cheaper than the peer re-executing, which
+    // is the whole point of the retention buffer.
+    const std::size_t n = out.payload.size();
+    if (src != rank_) {
+      vtime_ += 2.0 * s->network.latency +
+                static_cast<double>(n) / s->network.bandwidth;
+      if (FaultInjector* inj = s->faults) {
+        inj->note_refetch(src, rank_, cur - 1, n);
+      }
+      if (obs::Recorder* rec = s->recorder) {
+        rec->add_counter("recovery.refetches", 1);
+        rec->add_counter("recovery.refetch_bytes", n);
+      }
+    } else {
+      vtime_ += s->network.local_cost(n);
+    }
+    s->progress.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void Comm::check_integrity(Envelope& env, std::uint32_t crc, bool corrupted,
+                           std::uint64_t corrupt_bit) {
+  FaultInjector* inj = shared_->faults;
+  if (inj == nullptr) return;
+  const std::uint32_t actual = crc32c(env.payload.data(), env.payload.size());
+  if (actual == crc) {
+    PAPAR_CHECK_MSG(!corrupted, "payload bit-flip escaped the CRC32C check");
+    return;
+  }
+  if (!corrupted) {
+    // Mismatch with no injected flip: genuine integrity loss that no
+    // retransmission can repair.
+    throw DataError("rank " + std::to_string(rank_) + ": payload from rank " +
+                    std::to_string(env.source) + " failed its CRC32C check");
+  }
+  const RetryPolicy& rp = shared_->recovery.retry;
+  ++stage_retries_used_;
+  if (stage_retries_used_ > rp.stage_retry_budget) {
+    throw DataError("rank " + std::to_string(rank_) +
+                    ": corrupted payload from rank " + std::to_string(env.source) +
+                    " and the per-stage retry budget (" +
+                    std::to_string(rp.stage_retry_budget) + ") is exhausted");
+  }
+  // Detected: model the retransmission — detection timeout, exponential
+  // backoff, and the wire carrying the payload once more.
+  double backoff = rp.backoff_base;
+  for (std::uint64_t i = 1; i < stage_retries_used_; ++i) {
+    backoff = std::min(backoff * 2.0, rp.backoff_max);
+    if (backoff >= rp.backoff_max) break;
+  }
+  vtime_ += static_cast<double>(env.payload.size()) / shared_->network.bandwidth +
+            inj->plan().retry_timeout + std::min(backoff, rp.backoff_max);
+  const std::size_t bit = static_cast<std::size_t>(corrupt_bit);
+  env.payload[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  PAPAR_CHECK_MSG(crc32c(env.payload.data(), env.payload.size()) == crc,
+                  "retransmitted payload still fails its CRC32C check");
+  inj->note_corruption_repair(env.source, rank_, stage_retries_used_);
+  if (shared_->m_retransmits != nullptr) shared_->m_retransmits->add(1);
+  if (obs::Recorder* rec = shared_->recorder) {
+    rec->add_counter("fault.corruption_repairs", 1);
+  }
+}
+
 void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
   std::vector<unsigned char> payload(static_cast<const unsigned char*>(data),
                                      static_cast<const unsigned char*>(data) + n);
@@ -718,6 +1080,18 @@ void Comm::deliver(int dest, int tag, const void* data, std::size_t n) {
 void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   PAPAR_CHECK_MSG(dest >= 0 && dest < size(), "send destination out of range");
   fault_comm_event();
+  if (is_replay_) {
+    // A send the original execution already delivered before the crash:
+    // the destination holds (or has consumed) the payload, so the replayed
+    // copy is swallowed. No fault-decision draw either — the link RNG
+    // streams must stay aligned with the pre-crash timeline.
+    const auto sup = suppress_.find({dest, tag});
+    if (sup != suppress_.end() && sup->second > 0) {
+      if (--sup->second == 0) suppress_.erase(sup);
+      return;
+    }
+  }
+  if (shared_->local_recovery()) ++sent_counts_[{dest, tag}];
   if (shared_->network.copy_payloads) {
     // Benchmark baseline: re-materialize the buffer so the sender burns the
     // same memcpy the copying handoff did.
@@ -728,6 +1102,8 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
   const double send_begin = vtime_;  // before any fault-layer retry charges
   std::uint16_t trace_retransmits = 0;
   bool trace_duplicated = false;
+  bool fault_corrupt = false;
+  std::uint64_t fault_corrupt_bit = 0;
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -738,6 +1114,8 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
       const FaultInjector::Decision d = inj->next_decision(rank_, dest);
       trace_retransmits = static_cast<std::uint16_t>(d.drops);
       trace_duplicated = d.duplicate;
+      fault_corrupt = d.corrupt;
+      fault_corrupt_bit = d.corrupt_bit;
       if (d.drops > 0 && shared_->m_retransmits != nullptr) {
         shared_->m_retransmits->add(static_cast<std::uint64_t>(d.drops));
       }
@@ -788,6 +1166,22 @@ void Comm::deliver(int dest, int tag, std::vector<unsigned char> payload) {
     msg.arrival = vtime_ + shared_->network.local_cost(n);
   }
   msg.payload = std::move(payload);
+  if (shared_->faults != nullptr) {
+    // End-to-end integrity: stamp the CRC32C of the pristine payload, then
+    // let a scheduled `corrupt=p` fault flip one wire bit. The receiver
+    // verifies and repairs (modeled retransmission) or throws DataError —
+    // a flipped bit can never be consumed silently.
+    msg.crc = crc32c(msg.payload.data(), msg.payload.size());
+    if (fault_corrupt && !msg.payload.empty()) {
+      const std::uint64_t bit = fault_corrupt_bit %
+                                (static_cast<std::uint64_t>(msg.payload.size()) * 8u);
+      msg.payload[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<unsigned char>(1u << (bit % 8));
+      msg.corrupted = true;
+      msg.corrupt_bit = bit;
+      if (obs::Recorder* rec = shared_->recorder) rec->add_counter("fault.corruptions", 1);
+    }
+  }
   if (remote) {
     shared_->remote_messages.fetch_add(1, std::memory_order_relaxed);
     shared_->remote_bytes.fetch_add(n, std::memory_order_relaxed);
@@ -958,6 +1352,10 @@ Envelope Comm::recv(int source, int tag, double timeout_seconds) {
 Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
   charge_compute();
   fault_comm_event();
+  if (is_replay_) {
+    Envelope env;
+    if (replay_serve(source, tag, nullptr, env)) return env;
+  }
   const double recv_begin = vtime_;
   auto* s = shared_;
   auto& st = s->status[static_cast<std::size_t>(rank_)];
@@ -997,6 +1395,9 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         const std::uint64_t trace_id = it->trace_id;
         const std::uint32_t sender_stage = it->sender_stage;
         const double sent = it->sent;
+        const std::uint32_t msg_crc = it->crc;
+        const bool msg_corrupted = it->corrupted;
+        const std::uint64_t msg_bit = it->corrupt_bit;
         // The payload is usable once it has arrived and the receiving NIC
         // has clocked it in.
         vtime_ = std::max(vtime_, arrival);
@@ -1007,6 +1408,10 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
         mb.queue.erase(it);
         mb.queued_bytes -= freed > mb.queued_bytes ? mb.queued_bytes : freed;
         if (s->budget != nullptr) s->budget->sub_mailbox(rank_, freed);
+        check_integrity(env, msg_crc, msg_corrupted, msg_bit);
+        if (s->local_recovery()) {
+          s->retain_consumed(mb, rank_, env.source, env.tag, env.payload);
+        }
         if (s->mailbox_cap > 0) {
           // Returning credits may unblock senders waiting on this mailbox.
           mb.cv.notify_all();
@@ -1105,6 +1510,7 @@ Envelope Comm::recv_impl(int source, int tag, double timeout_seconds) {
 bool Comm::try_recv_tagged(int tag, const std::vector<char>& skip_sources,
                            Envelope& out) {
   charge_compute();
+  if (is_replay_ && replay_serve(kAnySource, tag, &skip_sources, out)) return true;
   auto* s = shared_;
   const double recv_begin = vtime_;
   auto& mb = s->mailboxes[static_cast<std::size_t>(rank_)];
@@ -1124,6 +1530,9 @@ bool Comm::try_recv_tagged(int tag, const std::vector<char>& skip_sources,
     const std::uint64_t trace_id = it->trace_id;
     const std::uint32_t sender_stage = it->sender_stage;
     const double sent = it->sent;
+    const std::uint32_t msg_crc = it->crc;
+    const bool msg_corrupted = it->corrupted;
+    const std::uint64_t msg_bit = it->corrupt_bit;
     vtime_ = std::max(vtime_, arrival);
     if (out.source != rank_) {
       vtime_ += static_cast<double>(out.payload.size()) / s->network.bandwidth;
@@ -1132,6 +1541,10 @@ bool Comm::try_recv_tagged(int tag, const std::vector<char>& skip_sources,
     mb.queue.erase(it);
     mb.queued_bytes -= freed > mb.queued_bytes ? mb.queued_bytes : freed;
     if (s->budget != nullptr) s->budget->sub_mailbox(rank_, freed);
+    check_integrity(out, msg_crc, msg_corrupted, msg_bit);
+    if (s->local_recovery()) {
+      s->retain_consumed(mb, rank_, out.source, out.tag, out.payload);
+    }
     if (s->mailbox_cap > 0) {
       mb.cv.notify_all();
       if (s->fibers != nullptr && !mb.send_waiters.empty()) {
@@ -1179,6 +1592,14 @@ MemoryBudget* Comm::memory_budget() const { return shared_->budget; }
 
 bool Comm::probe(int source, int tag) {
   charge_compute();
+  if (is_replay_) {
+    for (const auto& [key, limit] : replay_limit_) {
+      if (key.second != tag) continue;
+      if (source != kAnySource && key.first != source) continue;
+      const auto cur = replay_cursor_.find(key);
+      if (cur == replay_cursor_.end() || cur->second < limit) return true;
+    }
+  }
   auto& mb = shared_->mailboxes[static_cast<std::size_t>(rank_)];
   std::lock_guard<std::mutex> lock(mb.mutex);
   for (const auto& m : mb.queue) {
@@ -1190,6 +1611,14 @@ bool Comm::probe(int source, int tag) {
 void Comm::barrier() {
   charge_compute();
   fault_comm_event();
+  if (is_replay_ && barrier_replay_cursor_ < barrier_replay_limit_) {
+    // This barrier already resolved in the pre-crash timeline; peers have
+    // long moved past it. Fast-forward to the recorded resolution instead
+    // of touching the shared barrier state (which is generations ahead).
+    vtime_ = std::max(vtime_, barrier_times_[barrier_replay_cursor_++]);
+    last_cpu_ = thread_cpu_seconds();
+    return;
+  }
   const double barrier_begin = vtime_;  // this rank's arrival at the barrier
   auto* s = shared_;
   auto& st = s->status[static_cast<std::size_t>(rank_)];
@@ -1247,6 +1676,7 @@ void Comm::barrier() {
     st.state.store(detail::kRunning, std::memory_order_release);
   }
   vtime_ = std::max(vtime_, s->barrier_resolved_time);
+  if (s->local_recovery()) barrier_times_.push_back(s->barrier_resolved_time);
   // The wait itself burned negligible CPU; resynchronize the CPU mark so
   // scheduler noise during the wait is not charged as compute.
   last_cpu_ = thread_cpu_seconds();
@@ -1429,6 +1859,12 @@ void Runtime::set_fault_injector(FaultInjector* injector) {
 
 FaultInjector* Runtime::fault_injector() const { return shared_->faults; }
 
+void Runtime::set_recovery(RecoveryOptions options) {
+  shared_->recovery = std::move(options);
+}
+
+const RecoveryOptions& Runtime::recovery() const { return shared_->recovery; }
+
 void Runtime::set_tracer(obs::TraceRecorder* tracer) {
   if (tracer != nullptr) tracer->bind(nranks_);
   shared_->tracer = tracer;
@@ -1478,6 +1914,9 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   if (shared_->tracer != nullptr) shared_->tracer->begin_run();
   FaultInjector* inj = shared_->faults;
   const int max_recoveries = inj != nullptr ? inj->plan().max_recoveries : 0;
+  // Injector counters accumulate across runs; snapshot so the stats below
+  // report this run's localized-recovery work only.
+  const FaultCounts counts_base = inj != nullptr ? inj->counts() : FaultCounts{};
 
   int attempt = 0;
   double attempt_base = 0.0;  // virtual clock every rank restarts from
@@ -1498,30 +1937,47 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
     const auto rank_body = [&](int r) {
       Comm& comm = comms[static_cast<std::size_t>(r)];
-      try {
-        fn(comm);
-        comm.charge_compute();
-        if (obs::TraceRecorder* tracer = shared_->tracer) {
-          obs::TraceEvent ev;
-          ev.kind = obs::TraceEventKind::kRankDone;
-          ev.stage = comm.trace_stage_;
-          ev.attempt = comm.attempt_;
-          ev.begin = comm.vtime_;
-          ev.end = comm.vtime_;
-          tracer->record(r, ev);
+      for (;;) {
+        try {
+          fn(comm);
+          comm.charge_compute();
+          if (obs::TraceRecorder* tracer = shared_->tracer) {
+            obs::TraceEvent ev;
+            ev.kind = obs::TraceEventKind::kRankDone;
+            ev.stage = comm.trace_stage_;
+            ev.attempt = comm.attempt_;
+            ev.begin = comm.vtime_;
+            ev.end = comm.vtime_;
+            tracer->record(r, ev);
+          }
+          if (shared_->sampler != nullptr) {
+            shared_->telemetry_sample_self(r, comm.vtime_, detail::kDone);
+          }
+          shared_->declare_terminated(r, detail::kDone, comm.vtime_);
+        } catch (const RankCrashedError&) {
+          // Localized recovery: a revivable crash never left this rank —
+          // peers saw nothing (fault_comm_event skipped the kFailed
+          // declaration) — so repair it in place by replaying the body
+          // alone against the retention logs (DESIGN.md §16).
+          if (shared_->local_revivable(r, comm.replays_done_)) {
+            comm.arm_replay();
+            continue;
+          }
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          if (shared_->sampler != nullptr) {
+            shared_->telemetry_sample_self(r, comm.vtime_, detail::kFailed);
+          }
+          shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          if (shared_->sampler != nullptr) {
+            shared_->telemetry_sample_self(r, comm.vtime_, detail::kFailed);
+          }
+          // Crash paths already declared; anything else terminates here so
+          // peers blocked on this rank unwind instead of hanging.
+          shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
         }
-        if (shared_->sampler != nullptr) {
-          shared_->telemetry_sample_self(r, comm.vtime_, detail::kDone);
-        }
-        shared_->declare_terminated(r, detail::kDone, comm.vtime_);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        if (shared_->sampler != nullptr) {
-          shared_->telemetry_sample_self(r, comm.vtime_, detail::kFailed);
-        }
-        // Crash paths already declared; anything else terminates here so
-        // peers blocked on this rank unwind instead of hanging.
-        shared_->declare_terminated(r, detail::kFailed, comm.vtime_);
+        return;
       }
     };
     if (sched_.mode == SchedulerMode::kFibers) {
@@ -1619,6 +2075,12 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   }
   stats.remote_messages = shared_->remote_messages.load();
   stats.remote_bytes = shared_->remote_bytes.load();
+  if (inj != nullptr) {
+    const FaultCounts now = inj->counts();
+    stats.rank_replays = now.rank_replays - counts_base.rank_replays;
+    stats.refetched_segments = now.refetches - counts_base.refetches;
+    stats.refetched_bytes = now.refetch_bytes - counts_base.refetch_bytes;
+  }
   return stats;
 }
 

@@ -42,8 +42,14 @@ struct RunStats {
   /// (rank-local transfers excluded). Includes fault-injection retries.
   std::uint64_t remote_messages = 0;
   std::uint64_t remote_bytes = 0;
-  /// Crash-recovery attempts this run needed (0 = fault-free or no crash).
+  /// Full-stage crash-recovery attempts this run needed (0 = fault-free,
+  /// no crash, or every crash repaired by localized recovery).
   int recoveries = 0;
+  /// Localized recovery (RecoveryMode::kLocal): single-rank replays taken
+  /// and retained segments / bytes re-fetched by reviving ranks.
+  std::uint64_t rank_replays = 0;
+  std::uint64_t refetched_segments = 0;
+  std::uint64_t refetched_bytes = 0;
 };
 
 class Runtime {
@@ -78,6 +84,16 @@ class Runtime {
   /// Comm::attempt() telling the body which execution it is on.
   void set_fault_injector(FaultInjector* injector);
   FaultInjector* fault_injector() const;
+
+  /// Configures crash recovery (see RecoveryOptions). The default is
+  /// RecoveryMode::kStage — the whole-body recovery loop described at
+  /// set_fault_injector. RecoveryMode::kLocal arms localized recovery:
+  /// consumed shuffle segments are retained per rank until the consumer
+  /// calls Comm::retention_epoch (the engine does so at stage boundaries),
+  /// and a crashed rank revives in place and replays alone against that
+  /// retention instead of unwinding every rank (DESIGN.md §16).
+  void set_recovery(RecoveryOptions options);
+  const RecoveryOptions& recovery() const;
 
   /// Attaches a causal trace recorder (nullptr to detach): every
   /// send/recv/barrier records a TraceEvent on its rank and messages carry

@@ -169,7 +169,12 @@ std::string StageReport::to_json() const {
      << ",\"retries\":" << faults.retries << ",\"detections\":" << faults.detections
      << ",\"recoveries\":" << faults.recoveries
      << ",\"checkpoint_saves\":" << faults.checkpoint_saves
-     << ",\"checkpoint_restores\":" << faults.checkpoint_restores << "},\"memory\":{"
+     << ",\"checkpoint_restores\":" << faults.checkpoint_restores
+     << ",\"corruptions\":" << faults.corruptions
+     << ",\"rank_replays\":" << faults.rank_replays
+     << ",\"segments_refetched\":" << faults.segments_refetched
+     << ",\"bytes_refetched\":" << faults.bytes_refetched
+     << ",\"retention_evictions\":" << faults.retention_evictions << "},\"memory\":{"
      << "\"budget_bytes\":" << memory.budget_bytes
      << ",\"high_water_bytes\":" << memory.high_water_bytes
      << ",\"spill_bytes\":" << memory.spill_bytes
@@ -220,6 +225,16 @@ StageReport StageReport::from_json(std::string_view text) {
     report.faults.recoveries = u64("recoveries");
     report.faults.checkpoint_saves = u64("checkpoint_saves");
     report.faults.checkpoint_restores = u64("checkpoint_restores");
+    // Reports written before localized recovery existed lack these keys.
+    auto u64_or = [&](const char* key) -> std::uint64_t {
+      const json::Value* v = f->find(key);
+      return v != nullptr ? static_cast<std::uint64_t>(v->number) : 0u;
+    };
+    report.faults.corruptions = u64_or("corruptions");
+    report.faults.rank_replays = u64_or("rank_replays");
+    report.faults.segments_refetched = u64_or("segments_refetched");
+    report.faults.bytes_refetched = u64_or("bytes_refetched");
+    report.faults.retention_evictions = u64_or("retention_evictions");
   }
   // Reports written before the memory section existed lack the key.
   if (const json::Value* m = root.find("memory")) {
@@ -289,6 +304,17 @@ void StageReport::print(std::FILE* out) const {
                  static_cast<unsigned long long>(faults.recoveries),
                  static_cast<unsigned long long>(faults.checkpoint_saves),
                  static_cast<unsigned long long>(faults.checkpoint_restores));
+    if (faults.corruptions || faults.rank_replays ||
+        faults.segments_refetched || faults.retention_evictions) {
+      std::fprintf(out,
+                   "recovery: corruptions=%llu rank_replays=%llu "
+                   "refetched=%llu (%llu B) retention_evictions=%llu\n",
+                   static_cast<unsigned long long>(faults.corruptions),
+                   static_cast<unsigned long long>(faults.rank_replays),
+                   static_cast<unsigned long long>(faults.segments_refetched),
+                   static_cast<unsigned long long>(faults.bytes_refetched),
+                   static_cast<unsigned long long>(faults.retention_evictions));
+    }
   }
   if (memory.any()) {
     std::fprintf(out,

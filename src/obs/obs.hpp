@@ -138,10 +138,22 @@ struct FaultStats {
   std::uint64_t recoveries = 0;
   std::uint64_t checkpoint_saves = 0;
   std::uint64_t checkpoint_restores = 0;
+  /// Payload bit-flips injected by `corrupt=p` — every one detected by the
+  /// transport CRC32C and repaired or surfaced as DataError.
+  std::uint64_t corruptions = 0;
+  /// Localized recovery (DESIGN.md §16): single-rank replays taken,
+  /// retained shuffle segments (and bytes) re-fetched by reviving ranks,
+  /// and retention buffers evicted under memory pressure.
+  std::uint64_t rank_replays = 0;
+  std::uint64_t segments_refetched = 0;
+  std::uint64_t bytes_refetched = 0;
+  std::uint64_t retention_evictions = 0;
 
   bool any() const {
     return drops || duplicates || delays || crashes || retries || detections ||
-           recoveries || checkpoint_saves || checkpoint_restores;
+           recoveries || checkpoint_saves || checkpoint_restores ||
+           corruptions || rank_replays || segments_refetched ||
+           retention_evictions;
   }
 };
 

@@ -47,6 +47,8 @@ void append_sample(std::string& out, const TelemetrySample& s) {
   append_num(out, s.sort_records);
   out += ',';
   append_num(out, static_cast<std::uint64_t>(s.runq_depth));
+  out += ',';
+  append_num(out, static_cast<std::uint64_t>(s.replays));
   out += ']';
 }
 
@@ -75,6 +77,7 @@ TelemetrySample sample_from_value(const json::Value& arr) {
   s.spill_bytes = u64_at(arr, 8);
   s.sort_records = u64_at(arr, 9);
   s.runq_depth = static_cast<std::uint32_t>(u64_at(arr, 10));
+  s.replays = static_cast<std::uint32_t>(u64_at(arr, 11));
   return s;
 }
 
@@ -170,6 +173,16 @@ void TelemetrySampler::add_sort_records(int rank, std::uint64_t n) {
 
 std::uint64_t TelemetrySampler::sort_records(int rank) const {
   return cells_[static_cast<std::size_t>(rank)]->sort_records.load(
+      std::memory_order_relaxed);
+}
+
+void TelemetrySampler::note_replay(int rank) {
+  cells_[static_cast<std::size_t>(rank)]->replays.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint32_t TelemetrySampler::replays(int rank) const {
+  return cells_[static_cast<std::size_t>(rank)]->replays.load(
       std::memory_order_relaxed);
 }
 
@@ -312,6 +325,7 @@ void TelemetrySampler::clear() {
     cell->last_state.store(0xff, std::memory_order_relaxed);
     cell->stage.store(0, std::memory_order_relaxed);
     cell->sort_records.store(0, std::memory_order_relaxed);
+    cell->replays.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -510,7 +524,7 @@ std::string render_telemetry_frame(const TelemetryFrame& frame,
 
   out +=
       "RANK STATE    STAGE               VTIME                    "
-      "MAILBOX  MSGS CRED      MEM    SPILL   SORTED\n";
+      "MAILBOX  MSGS CRED      MEM    SPILL   SORTED RECOV\n";
 
   const int rows = std::min<int>(static_cast<int>(frame.ranks.size()),
                                  opt.max_rows > 0 ? opt.max_rows : 64);
@@ -537,13 +551,14 @@ std::string render_telemetry_frame(const TelemetryFrame& frame,
         opt.color && (skew || s.state == RankActivity::kFailed);
     if (highlight) out += "\x1b[31m";
     std::snprintf(buf, sizeof(buf),
-                  "%4d %-8s %-18s %9.4fs [%s]%c %8s %5u %4u %8s %8s %8llu\n",
+                  "%4d %-8s %-18s %9.4fs [%s]%c %8s %5u %4u %8s %8s %8llu %5u\n",
                   r, rank_activity_name(s.state), stage.c_str(), s.vtime,
                   bar.c_str(), skew ? '*' : ' ',
                   fmt_bytes(s.mailbox_bytes).c_str(), s.mailbox_msgs,
                   s.credits, fmt_bytes(s.budget_used).c_str(),
                   fmt_bytes(s.spill_bytes).c_str(),
-                  static_cast<unsigned long long>(s.sort_records));
+                  static_cast<unsigned long long>(s.sort_records),
+                  s.replays);
     out += buf;
     if (highlight) out += "\x1b[0m";
   }

@@ -70,6 +70,7 @@ struct TelemetrySample {
   std::uint64_t spill_bytes = 0;   // run-total spill bytes (all ranks)
   std::uint64_t sort_records = 0;  // cumulative records sorted on rank
   std::uint32_t runq_depth = 0;    // fiber scheduler runq length (global)
+  std::uint32_t replays = 0;       // single-rank recovery replays taken
 };
 
 struct TelemetryOptions {
@@ -146,6 +147,11 @@ class TelemetrySampler {
   void add_sort_records(int rank, std::uint64_t n);
   std::uint64_t sort_records(int rank) const;
 
+  /// Localized-recovery replay counter (bumped by Comm::arm_replay, folded
+  /// into subsequent samples and papar_top's RECOV column).
+  void note_replay(int rank);
+  std::uint32_t replays(int rank) const;
+
   /// Writes a stream frame if `stream_interval` wall seconds elapsed since
   /// the last one. Thread-safe; contenders skip instead of queueing.
   void maybe_flush_stream();
@@ -161,7 +167,8 @@ class TelemetrySampler {
   /// Full dump: {"nranks":N,"interval":i,"stages":[...],"ranks":[[...]]}.
   /// Each sample is the flat array [vtime, stage, state, mailbox_bytes,
   /// mailbox_msgs, credits, budget_used, high_water, spill_bytes,
-  /// sort_records, runq_depth].
+  /// sort_records, runq_depth, replays]. The trailing column is optional
+  /// on parse (older streams omit it).
   std::string to_json() const;
 
   /// Folds the rings into MetricsRegistry gauge timelines
@@ -181,6 +188,7 @@ class TelemetrySampler {
     std::atomic<std::uint8_t> last_state{0xff};
     std::atomic<std::uint32_t> stage{0};
     std::atomic<std::uint64_t> sort_records{0};
+    std::atomic<std::uint32_t> replays{0};
   };
 
   void write_frame_locked(bool done);

@@ -345,6 +345,92 @@ TEST(EngineTelemetry, BudgetBreachWritesFlightBundlePaparTopReplays) {
   fs::remove_all(dir);
 }
 
+TEST(EngineTelemetry, UnrecoverableCrashWritesFlightBundle) {
+  const fs::path dir = fresh_dir("papar_flight_crash");
+  const std::string content = pairs_content(2000, 13);
+
+  core::EngineOptions opts;
+  opts.flight_rec_dir = (dir / "flight").string();
+  mp::FaultInjector inj(
+      mp::FaultPlan::parse("seed=6,crash=1@1,max_recoveries=0"));
+  mp::Runtime rt(3, mp::NetworkModel::zero());
+  rt.set_fault_injector(&inj);
+  EXPECT_THROW(run_sort_workflow(content, opts, &rt), mp::RankCrashedError);
+
+  const fs::path bundle = dir / "flight" / "flight.json";
+  ASSERT_TRUE(fs::exists(bundle));
+  obs::TelemetryFrame frame;
+  std::string err;
+  ASSERT_TRUE(obs::load_telemetry_file(bundle.string(), &frame, &err)) << err;
+  EXPECT_EQ(frame.error_kind, "RankCrashedError");
+  EXPECT_EQ(frame.nranks, 3);
+  EXPECT_NE(obs::render_telemetry_frame(frame)
+                .find("flight bundle: RankCrashedError"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(EngineTelemetry, IntegrityFailureWritesFlightBundle) {
+  const fs::path dir = fresh_dir("papar_flight_dataerror");
+  const std::string content = pairs_content(2000, 14);
+
+  core::EngineOptions opts;
+  opts.flight_rec_dir = (dir / "flight").string();
+  // Every payload is corrupted and the retry budget admits no repair, so
+  // the first delivery surfaces DataError — which must leave a bundle.
+  opts.recovery.retry.stage_retry_budget = 0;
+  mp::FaultInjector inj(mp::FaultPlan::parse("seed=7,corrupt=1"));
+  mp::Runtime rt(3, mp::NetworkModel::zero());
+  rt.set_fault_injector(&inj);
+  EXPECT_THROW(run_sort_workflow(content, opts, &rt), DataError);
+
+  const fs::path bundle = dir / "flight" / "flight.json";
+  ASSERT_TRUE(fs::exists(bundle));
+  obs::TelemetryFrame frame;
+  std::string err;
+  ASSERT_TRUE(obs::load_telemetry_file(bundle.string(), &frame, &err)) << err;
+  EXPECT_EQ(frame.error_kind, "DataError");
+  fs::remove_all(dir);
+}
+
+TEST(TelemetrySampler, ReplayColumnRoundTripsAndDefaultsToZero) {
+  // Streams written before localized recovery carry 11-element rank rows;
+  // the replays column must default to zero on parse.
+  obs::TelemetryFrame frame;
+  ASSERT_TRUE(obs::parse_telemetry_frame(
+      "{\"t\":1.5,\"nranks\":1,\"done\":false,\"stages\":[\"\"],"
+      "\"ranks\":[[0.25,0,1,10,2,1,0,0,0,5,3]]}",
+      &frame));
+  EXPECT_EQ(frame.ranks[0].replays, 0u);
+  ASSERT_TRUE(obs::parse_telemetry_frame(
+      "{\"t\":1.5,\"nranks\":1,\"done\":false,\"stages\":[\"\"],"
+      "\"ranks\":[[0.25,0,1,10,2,1,0,0,0,5,3,7]]}",
+      &frame));
+  EXPECT_EQ(frame.ranks[0].replays, 7u);
+
+  // And a sampler round trip through the stream keeps the count.
+  const fs::path dir = fresh_dir("papar_telemetry_replays");
+  obs::TelemetryOptions opt;
+  opt.stream_path = (dir / "live.jsonl").string();
+  obs::TelemetrySampler sampler(opt);
+  sampler.bind(2);
+  sampler.note_replay(1);
+  sampler.note_replay(1);
+  obs::TelemetrySample s = sample_at(1.0, obs::RankActivity::kRunning);
+  s.replays = sampler.replays(1);
+  sampler.record(1, s);
+  sampler.flush_stream(true);
+
+  obs::TelemetryFrame loaded;
+  std::string err;
+  ASSERT_TRUE(obs::load_telemetry_file(opt.stream_path, &loaded, &err)) << err;
+  ASSERT_EQ(loaded.ranks.size(), 2u);
+  EXPECT_EQ(loaded.ranks[1].replays, 2u);
+  const std::string table = obs::render_telemetry_frame(loaded);
+  EXPECT_NE(table.find("RECOV"), std::string::npos);
+  fs::remove_all(dir);
+}
+
 TEST(EngineTelemetry, StreamRunStaysByteIdenticalAndExportsGauges) {
   const fs::path dir = fresh_dir("papar_telemetry_engine");
   const std::string content = pairs_content(3000, 21);

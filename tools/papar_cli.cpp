@@ -17,6 +17,7 @@
 //         [--telemetry live.jsonl] [--flight-rec out/flight]
 //         [--faults "drop=0.05,crash=1@40" | --faults faults.conf]
 //         [--fault-seed 7] [--ckpt-dir out/ckpt]
+//         [--recovery stage|local] [--retry-max N] [--retry-backoff S]
 //         [--mem-budget 64m] [--spill-dir out/spill]
 //
 // Every --arg name=value binds a workflow argument; every --file key=path
@@ -53,6 +54,14 @@
 // on, the engine checkpoints inter-job state at every stage boundary and
 // recovers crashed stages automatically; --ckpt-dir additionally spills
 // each checkpoint blob to disk.
+//
+// --recovery picks the crash-recovery strategy (DESIGN.md §16): `stage`
+// (the default) re-executes the interrupted stage on every rank; `local`
+// repairs a crash by replaying only the crashed rank against retained
+// shuffle segments, degrading back to full-stage recovery when retention
+// was evicted or --retry-max single-rank replays are exhausted.
+// --retry-backoff sets the base virtual-time backoff (seconds) charged
+// before each replay / corruption retransmission.
 //
 // --telemetry streams one dashboard frame per line (JSONL) to the given
 // file while the run executes; `papar_top <file>` tails it live or replays
@@ -121,6 +130,8 @@ void usage(const char* argv0) {
                "          [--telemetry <file>] [--flight-rec <dir>]\n"
                "          [--faults <spec|file>] [--fault-seed N]\n"
                "          [--ckpt-dir <dir>]\n"
+               "          [--recovery stage|local] [--retry-max N]\n"
+               "          [--retry-backoff <seconds>]\n"
                "          [--mem-budget <size>] [--spill-dir <dir>]\n",
                argv0);
 }
@@ -170,6 +181,14 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.fault_seed = parse_number<std::uint64_t>(next(), "--fault-seed");
     } else if (flag == "--ckpt-dir") {
       opt.engine.checkpoint_dir = next();
+    } else if (flag == "--recovery") {
+      opt.engine.recovery.mode = mp::parse_recovery_mode(next());
+    } else if (flag == "--retry-max") {
+      opt.engine.recovery.retry.max_attempts =
+          parse_number<int>(next(), "--retry-max");
+    } else if (flag == "--retry-backoff") {
+      opt.engine.recovery.retry.backoff_base =
+          parse_number<double>(next(), "--retry-backoff");
     } else if (flag == "--mem-budget") {
       opt.engine.mem_budget = parse_byte_size(next(), "--mem-budget");
     } else if (flag == "--spill-dir") {
@@ -334,14 +353,26 @@ int run(int argc, char** argv) {
     const mp::FaultCounts fc = injector->counts();
     std::fprintf(stderr,
                  "papar: faults injected: %llu drops, %llu dups, %llu delays, "
-                 "%llu crashes; %llu retries, %llu detections, %d recoveries\n",
+                 "%llu corruptions, %llu crashes; %llu retries, "
+                 "%llu detections, %d recoveries\n",
                  static_cast<unsigned long long>(fc.drops),
                  static_cast<unsigned long long>(fc.duplicates),
                  static_cast<unsigned long long>(fc.delays),
+                 static_cast<unsigned long long>(fc.corruptions),
                  static_cast<unsigned long long>(fc.crashes),
                  static_cast<unsigned long long>(fc.retries),
                  static_cast<unsigned long long>(fc.detections),
                  result.stats.recoveries);
+    if (fc.rank_replays || fc.refetches || fc.retention_evictions) {
+      std::fprintf(
+          stderr,
+          "papar: localized recovery: %llu rank replays, %llu segments "
+          "re-fetched (%llu bytes), %llu retention evictions\n",
+          static_cast<unsigned long long>(fc.rank_replays),
+          static_cast<unsigned long long>(fc.refetches),
+          static_cast<unsigned long long>(fc.refetch_bytes),
+          static_cast<unsigned long long>(fc.retention_evictions));
+    }
   }
   if (!opt.trace_path.empty()) {
     const obs::TraceData graph = tracer.snapshot();
